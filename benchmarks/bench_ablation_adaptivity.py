@@ -1,0 +1,170 @@
+"""Ablation — adaptivity of the alpha/beta estimates.
+
+The paper's online experiment shows adaptive HTA-GRE beats its fixed-weight
+variants on the *behavioural* metrics; this offline ablation isolates the
+estimation machinery: a heterogeneous population (half diversity-seekers,
+half relevance-seekers) completes tasks by latent utility, and we compare
+the *latent-weight* motivation achieved when assignments use (a) adaptive
+estimates, (b) fixed balanced weights, and (c) fixed diversity-only weights.
+Adaptive assignment should recover most of the oracle's (latent weights
+known) value.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.core import HTAInstance, MotivationWeights
+from repro.core.adaptive import MotivationEstimator, run_adaptive_loop
+from repro.core.solvers import HTAGreSolver
+from repro.core.solvers.baselines import override_weights
+from repro.data import AMTConfig, generate_amt_pool, generate_offline_workers
+
+
+def latent_alpha_of(worker_position: int) -> float:
+    return 0.9 if worker_position % 2 == 0 else 0.1
+
+
+def latent_policy(worker, assigned, instance, rng):
+    q = instance.workers.position(worker.worker_id)
+    alpha = latent_alpha_of(q)
+    order, remaining = [], list(assigned)
+    while remaining:
+        scores = []
+        for t in remaining:
+            div = instance.diversity[t, order].sum() if order else 0.0
+            rel = instance.relevance[q, t]
+            scores.append(alpha * div + (1 - alpha) * rel)
+        pick = remaining[int(np.argmax(scores))]
+        order.append(pick)
+        remaining.remove(pick)
+    return order
+
+
+def latent_objective(trace, pool, workers) -> float:
+    """Re-score every iteration's assignment under the LATENT weights."""
+    total = 0.0
+    for record in trace.records:
+        for q, worker in enumerate(workers):
+            task_ids = record.assignment.tasks_of(worker.worker_id)
+            if not task_ids:
+                continue
+            idx = [pool.position(t) for t in task_ids]
+            instance = HTAInstance(pool, workers, 4)
+            from repro.core.motivation import motivation_of_subset
+
+            alpha = latent_alpha_of(q)
+            total += motivation_of_subset(
+                instance.diversity, instance.relevance[q], idx, alpha, 1 - alpha
+            )
+    return total
+
+
+class _FixedWeightsLoop:
+    """Solver wrapper forcing uniform weights at each iteration."""
+
+    def __init__(self, weights: MotivationWeights):
+        self._weights = weights
+        self._inner = HTAGreSolver()
+
+    def solve(self, instance, rng=None):
+        return self._inner.solve(override_weights(instance, self._weights), rng)
+
+
+class _OracleLoop:
+    """Solver wrapper injecting the true latent weights (upper reference)."""
+
+    def __init__(self):
+        self._inner = HTAGreSolver()
+
+    def solve(self, instance, rng=None):
+        updated = [
+            w.with_weights(
+                MotivationWeights(latent_alpha_of(q), 1 - latent_alpha_of(q))
+            )
+            for q, w in enumerate(instance.workers)
+        ]
+        forced = HTAInstance(
+            instance.tasks,
+            instance.workers.with_updated(updated),
+            instance.x_max,
+            instance.distance,
+        )
+        forced.__dict__["diversity"] = instance.diversity
+        forced.__dict__["relevance"] = instance.relevance
+        return self._inner.solve(forced, rng)
+
+
+def run_variant(name: str, rng_seed: int = 0):
+    pool = generate_amt_pool(AMTConfig(n_groups=40, tasks_per_group=5), rng=3)
+    workers = generate_offline_workers(6, pool.vocabulary, rng=4)
+    solvers = {
+        "adaptive": HTAGreSolver(),
+        "fixed-balanced": _FixedWeightsLoop(MotivationWeights.balanced()),
+        "fixed-div": _FixedWeightsLoop(MotivationWeights.diversity_only()),
+        "oracle": _OracleLoop(),
+    }
+    estimator = MotivationEstimator() if name == "adaptive" else None
+    trace = run_adaptive_loop(
+        pool, workers, 4, solvers[name], 5,
+        completion_policy=latent_policy, estimator=estimator, rng=rng_seed,
+    )
+    return latent_objective(trace, pool, workers)
+
+
+@pytest.mark.parametrize("variant", ["adaptive", "fixed-balanced", "fixed-div", "oracle"])
+def test_ablation_adaptivity_time(benchmark, variant):
+    benchmark.pedantic(run_variant, args=(variant,), rounds=1, iterations=1)
+
+
+def test_ablation_adaptivity_report(report):
+    values = {name: run_variant(name) for name in
+              ("adaptive", "fixed-balanced", "fixed-div", "oracle")}
+    rows = [[name, round(value, 1)] for name, value in values.items()]
+    report(
+        format_table(
+            ["strategy", "latent motivation"],
+            rows,
+            title="Ablation: adaptivity under a heterogeneous latent population",
+        )
+    )
+    # Objective-value finding worth recording: on broad-keyword pools the
+    # quadratic diversity term dominates Eq. 3 for any alpha above ~0.15, so
+    # the *fixed diversity-only* strategy already nearly maximizes even the
+    # latent-weight objective — the value of adaptivity is not visible in
+    # the offline objective (it shows up in the behavioural metrics of
+    # Fig. 5 instead).  We assert only that adaptive stays close to the
+    # true-weight oracle.
+    assert values["adaptive"] >= 0.75 * values["oracle"]
+
+
+def test_ablation_adaptivity_recovers_latent_weights(report):
+    """The core Section III claim: the estimator separates the latent
+    diversity-seekers from the relevance-seekers by observation alone."""
+    pool = generate_amt_pool(AMTConfig(n_groups=60, tasks_per_group=5), rng=3)
+    workers = generate_offline_workers(6, pool.vocabulary, rng=4)
+    estimator = MotivationEstimator()
+    run_adaptive_loop(
+        pool, workers, 6, HTAGreSolver(), 5,
+        completion_policy=latent_policy, estimator=estimator, rng=0,
+    )
+    estimated = [
+        estimator.weights_for(w.worker_id).alpha for w in workers
+    ]
+    seekers = [a for q, a in enumerate(estimated) if latent_alpha_of(q) > 0.5]
+    settlers = [a for q, a in enumerate(estimated) if latent_alpha_of(q) < 0.5]
+    report(
+        format_table(
+            ["latent group", "mean estimated alpha"],
+            [
+                ["diversity-seekers (alpha* = 0.9)", round(float(np.mean(seekers)), 3)],
+                ["relevance-seekers (alpha* = 0.1)", round(float(np.mean(settlers)), 3)],
+            ],
+            title="Ablation: latent-weight recovery by the estimator",
+        )
+    )
+    # The separation is modest on AMT-style pools (in-group tasks are near
+    # identical and cross-group distances are uniformly high, so behaviour
+    # differences are weakly identifiable), but it is consistently positive
+    # — and it compounds across iterations as assignments specialize.
+    assert np.mean(seekers) > np.mean(settlers) + 0.04

@@ -1,0 +1,60 @@
+"""Ablation — the LSAP subroutine inside the HTA pipeline.
+
+The paper motivates HTA-GRE by the cost of the Hungarian step and dismisses
+cost-scaling solvers as pseudo-polynomial (Section IV-C).  This bench swaps
+the LSAP solver inside the otherwise-identical pipeline: Hungarian
+(= HTA-APP), greedy (= HTA-GRE), and auction, measuring time and objective.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core.solvers import HTAGreSolver
+from repro.core.solvers.pipeline import run_qap_pipeline
+
+from conftest import N_WORKERS, cached_instance
+
+N_TASKS = 300
+LSAP_METHODS = ("hungarian", "greedy", "auction")
+
+
+@pytest.mark.parametrize("lsap_method", LSAP_METHODS)
+def test_ablation_lsap_time(benchmark, lsap_method):
+    instance = cached_instance(N_TASKS, N_WORKERS)
+    benchmark.pedantic(
+        run_qap_pipeline,
+        args=(instance, lsap_method),
+        kwargs={"rng": 0},
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_ablation_lsap_report(report):
+    instance = cached_instance(N_TASKS, N_WORKERS)
+    rows = []
+    objectives = {}
+    times = {}
+    for method in LSAP_METHODS:
+        solver = HTAGreSolver(lsap_method=method)
+        result = solver.solve(instance, rng=0)
+        objectives[method] = result.objective
+        times[method] = result.timings["lsap"]
+        rows.append(
+            [method, round(result.timings["lsap"], 4), round(result.objective, 2)]
+        )
+    report(
+        format_table(
+            ["lsap method", "lsap_s", "objective"],
+            rows,
+            title=f"Ablation: LSAP subroutine inside HTA (|T| = {N_TASKS})",
+        )
+    )
+    # Greedy is the fastest; Hungarian the reference objective.
+    assert times["greedy"] < times["hungarian"]
+    assert objectives["greedy"] >= 0.5 * objectives["hungarian"]
+    # Auction matches Hungarian's objective (it solves LSAP optimally on the
+    # rounding grid) at a pseudo-polynomial price.
+    assert objectives["auction"] == pytest.approx(
+        objectives["hungarian"], rel=0.1
+    )

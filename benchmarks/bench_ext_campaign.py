@@ -1,0 +1,70 @@
+"""Extension bench — multi-wave campaigns with returning workers.
+
+The paper's 58 workers over 80 sessions imply returners; this bench
+measures what their warm start is worth: with a shared estimator, a
+returner's first assignment in a later wave already uses learned weights
+(no random cold start), so the adaptive strategy's quality/latency profile
+improves on second visits.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.crowd import PlatformConfig, ServiceConfig
+from repro.crowd.campaign import CampaignConfig, run_campaign
+from repro.data import CrowdFlowerConfig, generate_crowdflower_corpus
+
+PLATFORM = PlatformConfig(
+    session_cap=900.0,
+    mean_interarrival=30.0,
+    service=ServiceConfig(x_max=8, n_random_pad=3, reassign_after=4),
+)
+
+
+def run(return_rate: float, rng: int = 11):
+    corpus = generate_crowdflower_corpus(CrowdFlowerConfig(n_tasks=2500), rng=1)
+    config = CampaignConfig(
+        n_waves=3, workers_per_wave=6, return_rate=return_rate, platform=PLATFORM
+    )
+    return run_campaign(
+        corpus.pool, "hta-gre", config, corpus.graded_questions, rng=rng
+    )
+
+
+@pytest.mark.parametrize("return_rate", [0.0, 0.7])
+def test_ext_campaign_time(benchmark, return_rate):
+    benchmark.pedantic(run, args=(return_rate,), rounds=1, iterations=1)
+
+
+def test_ext_campaign_report(report):
+    result = run(return_rate=0.7)
+    sessions = result.all_sessions()
+    returning = result.sessions_of_returners()
+    first_time = [s for s in sessions if s not in returning]
+
+    def accuracy(group):
+        graded = sum(s.graded_questions() for s in group)
+        correct = sum(s.correct_answers() for s in group)
+        return 100.0 * correct / graded if graded else float("nan")
+
+    rows = [
+        ["total sessions", len(sessions)],
+        ["distinct workers", result.n_distinct_workers()],
+        ["returner sessions", len(returning)],
+        ["first-visit accuracy %", round(accuracy(first_time), 1)],
+        ["return-visit accuracy %", round(accuracy(returning), 1)],
+    ]
+    report(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title="Extension: 3-wave campaign with 70% returners (hta-gre)",
+        )
+    )
+    # Structural facts (the paper's 58-workers/80-sessions shape).
+    assert result.n_distinct_workers() < len(sessions)
+    assert len(returning) >= 4
+    # Every returner has accumulated observations in the shared estimator.
+    for worker_id in result.returner_ids:
+        assert result.estimator.observation_count(worker_id) > 0

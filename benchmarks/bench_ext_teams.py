@@ -1,0 +1,74 @@
+"""Extension bench — team formation for collaborative tasks (future work).
+
+Quantifies the greedy team-formation heuristic: its gap to the exhaustive
+optimum on oracle-sized instances and its advantage over random teams at a
+larger scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.data import (
+    CrowdFlowerConfig,
+    generate_crowdflower_corpus,
+    generate_online_workers,
+)
+from repro.teams import (
+    TeamInstance,
+    collaborative_tasks_from_pool,
+    exact_teams,
+    greedy_teams,
+    random_teams,
+)
+
+
+def small_instance(seed: int = 0) -> TeamInstance:
+    corpus = generate_crowdflower_corpus(CrowdFlowerConfig(n_tasks=30), rng=seed)
+    workers = generate_online_workers(9, rng=seed + 1)
+    tasks = collaborative_tasks_from_pool(list(corpus.pool)[:3], team_size=3)
+    return TeamInstance(tasks, workers)
+
+
+def large_instance(seed: int = 0) -> TeamInstance:
+    corpus = generate_crowdflower_corpus(CrowdFlowerConfig(n_tasks=200), rng=seed)
+    workers = generate_online_workers(60, rng=seed + 1)
+    tasks = collaborative_tasks_from_pool(list(corpus.pool)[:12], team_size=4)
+    return TeamInstance(tasks, workers)
+
+
+@pytest.mark.parametrize("algorithm", [greedy_teams, random_teams])
+def test_ext_teams_time(benchmark, algorithm):
+    instance = large_instance()
+    benchmark.pedantic(algorithm, args=(instance, 0), rounds=1, iterations=1)
+
+
+def test_ext_teams_report(report):
+    # Oracle comparison on small instances.
+    gaps = []
+    for seed in range(5):
+        instance = small_instance(seed)
+        greedy_value = greedy_teams(instance).objective(instance)
+        exact_value = exact_teams(instance).objective(instance)
+        gaps.append(greedy_value / exact_value if exact_value > 0 else 1.0)
+
+    # Random comparison at scale.
+    instance = large_instance()
+    greedy_value = greedy_teams(instance).objective(instance)
+    random_values = [
+        random_teams(instance, rng=seed).objective(instance) for seed in range(5)
+    ]
+    report(
+        format_table(
+            ["metric", "value"],
+            [
+                ["greedy/exact ratio (5 small instances, mean)", round(float(np.mean(gaps)), 3)],
+                ["greedy/exact ratio (worst)", round(min(gaps), 3)],
+                ["greedy objective (12 tasks x 4 workers)", round(greedy_value, 2)],
+                ["random objective (mean of 5)", round(float(np.mean(random_values)), 2)],
+            ],
+            title="Extension: team formation (collaborative tasks)",
+        )
+    )
+    assert min(gaps) > 0.7
+    assert greedy_value > np.mean(random_values)

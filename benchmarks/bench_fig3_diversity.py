@@ -1,0 +1,52 @@
+"""Fig. 3 — effect of task diversity (number of task groups) on response time.
+
+Paper: |T| = 10,000 fixed, #task groups 10..10,000; more groups means more
+diverse profit values, fewer 0-weight edges in the Hungarian's dual, and so
+slower HTA-APP — while HTA-GRE is oblivious to diversity (its sort does not
+care about value distribution).  At 1/10 scale (|T| = 500, groups 4..250) we
+assert: HTA-GRE faster everywhere and HTA-GRE's spread across the sweep
+small relative to HTA-APP's.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core.solvers import get_solver
+from repro.experiments import measure_point
+from repro.experiments.offline import ROW_HEADERS
+
+from conftest import GROUP_SWEEP, N_TASKS_FIXED, N_WORKERS, cached_instance
+
+
+@pytest.mark.parametrize("n_groups", GROUP_SWEEP)
+@pytest.mark.parametrize("solver_name", ["hta-app", "hta-gre"])
+def test_fig3_response_time(benchmark, solver_name, n_groups):
+    instance = cached_instance(N_TASKS_FIXED, N_WORKERS, n_groups=n_groups)
+    solver = get_solver(solver_name)
+    benchmark.pedantic(solver.solve, args=(instance, 0), rounds=1, iterations=1)
+
+
+def test_fig3_series(report):
+    points = []
+    for n_groups in GROUP_SWEEP:
+        instance = cached_instance(N_TASKS_FIXED, N_WORKERS, n_groups=n_groups)
+        for solver_name in ("hta-app", "hta-gre"):
+            points.append(measure_point(solver_name, instance, n_repeats=1, rng=0))
+    report(
+        format_table(
+            ROW_HEADERS,
+            [p.row() for p in points],
+            title=f"Fig. 3: response time vs #task groups (|T| = {N_TASKS_FIXED})",
+        )
+    )
+    by_solver = {}
+    for p in points:
+        by_solver.setdefault(p.solver, []).append(p)
+    app, gre = by_solver["hta-app"], by_solver["hta-gre"]
+    # Shape 1: HTA-GRE faster at every diversity level.
+    assert all(g.total_time < a.total_time for a, g in zip(app, gre))
+    # Shape 2: HTA-GRE's runtime is insensitive to task diversity (small
+    # absolute spread across the sweep compared to HTA-APP's).
+    gre_spread = max(g.total_time for g in gre) - min(g.total_time for g in gre)
+    app_spread = max(a.total_time for a in app) - min(a.total_time for a in app)
+    assert gre_spread < max(app_spread, 0.05)

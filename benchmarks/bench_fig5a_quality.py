@@ -1,0 +1,79 @@
+"""Fig. 5a — crowdwork quality: cumulative % of correct answers over time.
+
+Paper: HTA-GRE-DIV best (81.9% correct), HTA-GRE close behind (75.5%),
+HTA-GRE-REL worst (65%) with its correct-answer rate dropping late in the
+session; significance via two-proportion z-tests.  Same orderings asserted
+here on the simulated deployment (absolute percentages differ — the workers
+are behavioural simulations, see DESIGN.md).
+"""
+
+import pytest
+
+from repro.analysis import format_series
+
+from conftest import fig5_experiment
+
+MINUTES = list(range(0, 31, 3))
+
+
+def test_fig5a_deployment_timing(benchmark):
+    """Times the full shared experiment (runs once; later benches reuse it)."""
+    benchmark.pedantic(fig5_experiment, rounds=1, iterations=1)
+
+
+def test_fig5a_quality_curves(report):
+    result = fig5_experiment()
+    series = {
+        strategy: [outcome.quality.at(m) for m in MINUTES]
+        for strategy, outcome in result.outcomes.items()
+    }
+    report(
+        format_series(
+            "minute",
+            series,
+            MINUTES,
+            title="Fig. 5a: cumulative % correct answers (per strategy)",
+            precision=1,
+        )
+    )
+    final = {s: result.outcomes[s].summary["accuracy_pct"] for s in result.outcomes}
+    # Shape: DIV > GRE > REL on final cumulative quality.
+    assert final["hta-gre-div"] > final["hta-gre"] > final["hta-gre-rel"]
+
+
+def test_fig5a_rel_quality_decays_late(report):
+    """The paper's REL finding: the correct-answer rate drops late-session."""
+    result = fig5_experiment()
+    sessions = result.outcomes["hta-gre-rel"].sessions
+    early_graded = early_correct = late_graded = late_correct = 0
+    for session in sessions:
+        for completion in session.completions:
+            if completion.session_time < 600:
+                early_graded += completion.n_graded
+                early_correct += completion.n_correct
+            elif completion.session_time > 1100:
+                late_graded += completion.n_graded
+                late_correct += completion.n_correct
+    assert early_graded > 0 and late_graded > 0
+    early_rate = early_correct / early_graded
+    late_rate = late_correct / late_graded
+    report(
+        f"Fig. 5a (detail): hta-gre-rel correct rate early (<10 min) = "
+        f"{100 * early_rate:.1f}%, late (>18 min) = {100 * late_rate:.1f}%"
+    )
+    assert late_rate < early_rate
+
+
+def test_fig5a_significance(report):
+    result = fig5_experiment()
+    lines = ["Fig. 5a significance (one-sided two-proportion z-tests):"]
+    for name, test in result.significance.items():
+        if name.startswith("quality"):
+            lines.append(f"  {name}: z = {test.statistic:.2f}, p = {test.p_value:.4f}")
+    report("\n".join(lines))
+    # The paper reports p = 0.01 for GRE > REL on 1,137 graded questions;
+    # the bench-scale run grades far fewer, so we assert the direction and a
+    # loose significance level (the ordering itself is asserted above).
+    test = result.significance["quality:hta-gre>hta-gre-rel"]
+    assert test.statistic > 0
+    assert test.p_value < 0.3

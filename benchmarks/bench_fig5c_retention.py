@@ -1,0 +1,69 @@
+"""Fig. 5c — worker retention: % of sessions alive after x minutes.
+
+Paper: HTA-GRE keeps workers longest (85% of sessions exceeded 18.2 min);
+both fixed-weight baselines lose workers earlier (Mann-Whitney U,
+significance 0.1).  Same survival-curve shape asserted here.
+"""
+
+import pytest
+
+from repro.analysis import format_series
+
+from conftest import fig5_experiment
+
+MINUTES = list(range(0, 31, 3))
+
+
+def test_fig5c_retention_curve_evaluation(benchmark):
+    result = fig5_experiment()
+
+    def evaluate():
+        return {
+            strategy: [outcome.retention.at(m) for m in MINUTES]
+            for strategy, outcome in result.outcomes.items()
+        }
+
+    benchmark.pedantic(evaluate, rounds=1, iterations=1)
+
+
+def test_fig5c_retention_ordering(report):
+    result = fig5_experiment()
+    series = {
+        strategy: [outcome.retention.at(m) for m in MINUTES]
+        for strategy, outcome in result.outcomes.items()
+    }
+    report(
+        format_series(
+            "minute",
+            series,
+            MINUTES,
+            title="Fig. 5c: % sessions alive after x minutes (per strategy)",
+            precision=0,
+        )
+    )
+    retained = {
+        s: result.outcomes[s].summary["retained_over_18_2_min_pct"]
+        for s in result.outcomes
+    }
+    report(f"Fig. 5c retention at 18.2 min: {retained} (paper: hta-gre 85%)")
+    # Shape: HTA-GRE retains at least as well as both baselines at 18.2 min.
+    assert retained["hta-gre"] >= retained["hta-gre-rel"]
+    assert retained["hta-gre"] >= retained["hta-gre-div"]
+
+
+def test_fig5c_survival_curves_monotone(report):
+    result = fig5_experiment()
+    for strategy, outcome in result.outcomes.items():
+        values = [outcome.retention.at(m) for m in MINUTES]
+        assert all(a >= b for a, b in zip(values, values[1:])), strategy
+        assert values[0] == 100.0
+
+
+def test_fig5c_significance(report):
+    result = fig5_experiment()
+    lines = ["Fig. 5c significance (one-sided Mann-Whitney U on durations):"]
+    for name, test in result.significance.items():
+        if name.startswith("retention"):
+            lines.append(f"  {name}: U = {test.statistic:.1f}, p = {test.p_value:.4f}")
+    report("\n".join(lines))
+    assert any(name.startswith("retention") for name in result.significance)

@@ -1,0 +1,57 @@
+"""Micro-benchmarks of the combinatorial substrate.
+
+Tracks the primitives every figure's runtime decomposes into: pairwise
+Jaccard matrices, greedy matching, and the three LSAP solvers.  Unlike the
+figure benches (single-shot pedantic timings), these run multiple rounds so
+pytest-benchmark can report stable medians for regression tracking.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.distance import pairwise_jaccard
+from repro.matching import auction_lsap, greedy_lsap, greedy_matching_dense, hungarian
+
+
+@pytest.fixture(scope="module")
+def boolean_matrix():
+    rng = np.random.default_rng(0)
+    return rng.random((400, 90)) < 0.3
+
+
+@pytest.fixture(scope="module")
+def diversity_matrix(boolean_matrix):
+    return pairwise_jaccard(boolean_matrix)
+
+
+@pytest.fixture(scope="module")
+def profit_matrix():
+    rng = np.random.default_rng(1)
+    return rng.random((200, 200)) * 10.0
+
+
+def test_micro_pairwise_jaccard(benchmark, boolean_matrix):
+    result = benchmark(pairwise_jaccard, boolean_matrix)
+    assert result.shape == (400, 400)
+
+
+def test_micro_greedy_matching(benchmark, diversity_matrix):
+    matching = benchmark(greedy_matching_dense, diversity_matrix)
+    assert len(matching) == 200  # complete positive graph -> perfect matching
+
+
+def test_micro_lsap_hungarian(benchmark, profit_matrix):
+    solution = benchmark(hungarian, profit_matrix)
+    assert solution.is_valid(200)
+
+
+def test_micro_lsap_greedy(benchmark, profit_matrix):
+    solution = benchmark(greedy_lsap, profit_matrix)
+    assert solution.is_valid(200)
+
+
+def test_micro_lsap_auction(benchmark, profit_matrix):
+    solution = benchmark.pedantic(
+        auction_lsap, args=(profit_matrix,), rounds=3, iterations=1
+    )
+    assert solution.is_valid(200)

@@ -1,0 +1,55 @@
+"""Scalability study: HTA-APP vs HTA-GRE response time (paper Figs. 2-3).
+
+Run with ``python examples/scalability_study.py [--full]``.
+
+Sweeps the number of tasks on AMT-style instances and reports the
+per-phase timing split that explains why HTA-GRE wins: HTA-APP's Hungarian
+LSAP is cubic in |T|, HTA-GRE's greedy LSAP is |T|^2 log |T|.  The ``--full``
+flag runs the larger sweep used by the benchmark suite.
+"""
+
+import argparse
+
+from repro.analysis import format_table
+from repro.experiments import ROW_HEADERS, points_by_solver, sweep_tasks
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full", action="store_true",
+        help="run the larger sweep (several minutes)",
+    )
+    args = parser.parse_args()
+
+    task_counts = (300, 500, 800) if args.full else (100, 200, 400)
+    points = sweep_tasks(
+        task_counts,
+        tasks_per_group=20,
+        n_workers=10,
+        x_max=5,
+        n_repeats=1,
+        rng=0,
+    )
+    print(format_table(
+        ROW_HEADERS,
+        [p.row() for p in points],
+        title="Response time vs |T| (Fig. 2a shape, scaled down)",
+    ))
+
+    grouped = points_by_solver(points)
+    print("\nSpeedup of HTA-GRE over HTA-APP:")
+    for app, gre in zip(grouped["hta-app"], grouped["hta-gre"]):
+        print(f"  |T| = {app.n_tasks:5d}: {app.total_time / gre.total_time:6.1f}x "
+              f"(objective ratio {gre.objective / app.objective:.3f})")
+
+    print(
+        "\nReading: the 'lsap_s' column dominates HTA-APP's total and grows"
+        "\nroughly cubically, while HTA-GRE's stays near its matching cost —"
+        "\nthe paper's Fig. 2a finding.  The objective ratios near 1.0 are"
+        "\nits Fig. 2b finding: the greedy LSAP costs almost no motivation."
+    )
+
+
+if __name__ == "__main__":
+    main()

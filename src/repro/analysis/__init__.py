@@ -1,0 +1,27 @@
+"""Statistics and reporting: the paper's significance tests and ASCII tables."""
+
+from .ascii_plot import ascii_plot
+from .svg_plot import save_svg_chart, svg_line_chart
+from .stats import (
+    TestResult,
+    cohens_h,
+    bootstrap_mean_ci,
+    mann_whitney_u,
+    rank_biserial,
+    two_proportion_z_test,
+)
+from .tables import format_series, format_table
+
+__all__ = [
+    "TestResult",
+    "ascii_plot",
+    "bootstrap_mean_ci",
+    "cohens_h",
+    "rank_biserial",
+    "save_svg_chart",
+    "svg_line_chart",
+    "format_series",
+    "format_table",
+    "mann_whitney_u",
+    "two_proportion_z_test",
+]

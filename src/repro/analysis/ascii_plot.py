@@ -1,0 +1,96 @@
+"""Terminal line plots for the reproduced figures.
+
+The paper's figures are line charts; the CLI and the benchmark report
+render them as compact ASCII plots so the curve *shapes* (crossovers, late
+drops, survival steps) are visible without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+_MARKERS = "*o+x#@%&"
+
+
+def ascii_plot(
+    series: Mapping[str, Sequence[float]],
+    width: int = 60,
+    height: int = 14,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named series as one ASCII chart.
+
+    All series share the x axis by index (they must have equal lengths) and
+    a common y scale.  Returns the chart as a string.
+
+    >>> print(ascii_plot({"a": [0, 1]}, width=8, height=3))  # doctest: +SKIP
+    """
+    if not series:
+        raise ValueError("need at least one series to plot")
+    lengths = {len(values) for values in series.values()}
+    if len(lengths) != 1:
+        raise ValueError(f"series lengths differ: {sorted(lengths)}")
+    n_points = lengths.pop()
+    if n_points < 2:
+        raise ValueError("need at least two points per series")
+    if width < 10 or height < 3:
+        raise ValueError("plot area too small (need width >= 10, height >= 3)")
+
+    all_values = [v for values in series.values() for v in values]
+    y_min = min(all_values)
+    y_max = max(all_values)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_col(i: int) -> int:
+        return round(i * (width - 1) / (n_points - 1))
+
+    def to_row(value: float) -> int:
+        scaled = (value - y_min) / (y_max - y_min)
+        return (height - 1) - round(scaled * (height - 1))
+
+    for marker, (name, values) in zip(_MARKERS, series.items()):
+        previous = None
+        for i, value in enumerate(values):
+            col, row = to_col(i), to_row(float(value))
+            grid[row][col] = marker
+            if previous is not None:
+                _draw_segment(grid, previous, (col, row), marker)
+            previous = (col, row)
+
+    y_top = f"{y_max:.4g}"
+    y_bottom = f"{y_min:.4g}"
+    label_width = max(len(y_top), len(y_bottom), len(y_label)) + 1
+    lines = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = y_top
+        elif row_index == height - 1:
+            label = y_bottom
+        elif row_index == height // 2 and y_label:
+            label = y_label
+        else:
+            label = ""
+        lines.append(f"{label:>{label_width}} |{''.join(row)}")
+    lines.append(f"{'':>{label_width}} +{'-' * width}")
+    legend = "   ".join(
+        f"{marker} {name}" for marker, name in zip(_MARKERS, series)
+    )
+    lines.append(f"{'':>{label_width}}  {legend}")
+    return "\n".join(lines)
+
+
+def _draw_segment(grid, start, end, marker) -> None:
+    """Sparse linear interpolation between two plotted points."""
+    (c0, r0), (c1, r1) = start, end
+    steps = max(abs(c1 - c0), abs(r1 - r0))
+    for step in range(1, steps):
+        col = round(c0 + (c1 - c0) * step / steps)
+        row = round(r0 + (r1 - r0) * step / steps)
+        if grid[row][col] == " ":
+            grid[row][col] = "."

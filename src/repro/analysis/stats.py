@@ -1,0 +1,206 @@
+"""Statistical tests used in the paper's evaluation — from scratch.
+
+Section V-C backs each finding with a significance level:
+
+* the quality comparison uses a **two-proportion z-test** ("the significance
+  level is 0.06 using two-proportions Z-test");
+* throughput and retention comparisons use the **Mann-Whitney U test** on
+  per-session values ("significance level is 0.05 using Mann-Whitney U
+  test").
+
+Both tests are implemented here without scipy (the test suite cross-checks
+them against scipy).  A small bootstrap helper rounds out the toolbox for
+confidence intervals on the benchmark outputs.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class TestResult:
+    """Outcome of a hypothesis test.
+
+    Attributes:
+        statistic: The test statistic (z for the z-test, U for Mann-Whitney).
+        p_value: Two-sided p-value unless stated otherwise by the test.
+    """
+
+    statistic: float
+    p_value: float
+
+    def significant(self, level: float = 0.05) -> bool:
+        return self.p_value <= level
+
+
+def _normal_sf(z: float) -> float:
+    """Survival function of the standard normal, via erfc."""
+    return 0.5 * math.erfc(z / math.sqrt(2.0))
+
+
+def two_proportion_z_test(
+    successes_a: int,
+    total_a: int,
+    successes_b: int,
+    total_b: int,
+    alternative: str = "two-sided",
+) -> TestResult:
+    """Two-proportion z-test with pooled variance.
+
+    Tests whether the success proportion of sample A differs from sample B
+    (e.g. % correct answers under HTA-GRE-DIV vs HTA-GRE-REL).
+
+    Args:
+        alternative: ``"two-sided"``, ``"greater"`` (A > B), or ``"less"``.
+
+    >>> round(two_proportion_z_test(80, 100, 60, 100).p_value, 4)
+    0.002
+    """
+    if min(total_a, total_b) <= 0:
+        raise ValueError("sample sizes must be positive")
+    if not 0 <= successes_a <= total_a or not 0 <= successes_b <= total_b:
+        raise ValueError("successes must lie within [0, total]")
+    p_a = successes_a / total_a
+    p_b = successes_b / total_b
+    pooled = (successes_a + successes_b) / (total_a + total_b)
+    variance = pooled * (1.0 - pooled) * (1.0 / total_a + 1.0 / total_b)
+    if variance == 0.0:
+        return TestResult(statistic=0.0, p_value=1.0)
+    z = (p_a - p_b) / math.sqrt(variance)
+    if alternative == "two-sided":
+        p = 2.0 * _normal_sf(abs(z))
+    elif alternative == "greater":
+        p = _normal_sf(z)
+    elif alternative == "less":
+        p = _normal_sf(-z)
+    else:
+        raise ValueError(f"unknown alternative {alternative!r}")
+    return TestResult(statistic=z, p_value=min(p, 1.0))
+
+
+def mann_whitney_u(
+    sample_a: Sequence[float],
+    sample_b: Sequence[float],
+    alternative: str = "two-sided",
+) -> TestResult:
+    """Mann-Whitney U test (normal approximation with tie correction).
+
+    Non-parametric test that one sample stochastically dominates the other;
+    the paper applies it to per-session completed-task counts and session
+    durations.  The normal approximation (with continuity correction) is
+    standard for the sample sizes involved (~20 sessions per strategy).
+
+    Returns the U statistic of sample A and the p-value.
+    """
+    a = np.asarray(sample_a, dtype=float)
+    b = np.asarray(sample_b, dtype=float)
+    if a.size == 0 or b.size == 0:
+        raise ValueError("both samples must be non-empty")
+    n_a, n_b = a.size, b.size
+    combined = np.concatenate([a, b])
+    order = np.argsort(combined, kind="stable")
+    ranks = np.empty_like(combined)
+    # Midranks for ties.
+    sorted_values = combined[order]
+    ranks_sorted = np.arange(1, combined.size + 1, dtype=float)
+    i = 0
+    while i < combined.size:
+        j = i
+        while j + 1 < combined.size and sorted_values[j + 1] == sorted_values[i]:
+            j += 1
+        if j > i:
+            ranks_sorted[i : j + 1] = (i + 1 + j + 1) / 2.0
+        i = j + 1
+    ranks[order] = ranks_sorted
+
+    rank_sum_a = float(ranks[:n_a].sum())
+    u_a = rank_sum_a - n_a * (n_a + 1) / 2.0
+
+    mean_u = n_a * n_b / 2.0
+    # Tie correction to the variance.
+    _, counts = np.unique(combined, return_counts=True)
+    tie_term = float(((counts**3 - counts).sum())) / (
+        (n_a + n_b) * (n_a + n_b - 1.0)
+    ) if (n_a + n_b) > 1 else 0.0
+    variance = n_a * n_b / 12.0 * ((n_a + n_b + 1.0) - tie_term)
+    if variance <= 0:
+        return TestResult(statistic=u_a, p_value=1.0)
+    sd = math.sqrt(variance)
+
+    def z_of(u: float) -> float:
+        # Continuity correction toward the mean.
+        return (u - mean_u - math.copysign(0.5, u - mean_u)) / sd if u != mean_u else 0.0
+
+    if alternative == "two-sided":
+        p = 2.0 * _normal_sf(abs(z_of(u_a)))
+    elif alternative == "greater":
+        p = _normal_sf(z_of(u_a))
+    elif alternative == "less":
+        p = _normal_sf(-z_of(u_a))
+    else:
+        raise ValueError(f"unknown alternative {alternative!r}")
+    return TestResult(statistic=u_a, p_value=min(p, 1.0))
+
+
+def bootstrap_mean_ci(
+    sample: Sequence[float],
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    rng: "int | np.random.Generator | None" = None,
+) -> tuple[float, float, float]:
+    """Percentile-bootstrap confidence interval for the mean.
+
+    Returns ``(mean, low, high)``.
+    """
+    data = np.asarray(sample, dtype=float)
+    if data.size == 0:
+        raise ValueError("sample must be non-empty")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    generator = ensure_rng(rng)
+    means = np.array([
+        data[generator.integers(0, data.size, size=data.size)].mean()
+        for _ in range(n_resamples)
+    ])
+    tail = (1.0 - confidence) / 2.0
+    return (
+        float(data.mean()),
+        float(np.quantile(means, tail)),
+        float(np.quantile(means, 1.0 - tail)),
+    )
+
+
+def cohens_h(proportion_a: float, proportion_b: float) -> float:
+    """Cohen's h effect size for a difference of two proportions.
+
+    ``h = 2 arcsin(sqrt(p_a)) - 2 arcsin(sqrt(p_b))``; conventional
+    benchmarks: |h| ~ 0.2 small, 0.5 medium, 0.8 large.  Complements the
+    z-test when reporting quality differences between strategies.
+    """
+    for name, p in (("proportion_a", proportion_a), ("proportion_b", proportion_b)):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1], got {p}")
+    return 2.0 * math.asin(math.sqrt(proportion_a)) - 2.0 * math.asin(
+        math.sqrt(proportion_b)
+    )
+
+
+def rank_biserial(sample_a: Sequence[float], sample_b: Sequence[float]) -> float:
+    """Rank-biserial correlation — the effect size companion to Mann-Whitney.
+
+    ``r = 2U / (n_a n_b) - 1`` in [-1, 1]; positive values mean sample A
+    tends to exceed sample B.
+    """
+    a = np.asarray(sample_a, dtype=float)
+    b = np.asarray(sample_b, dtype=float)
+    if a.size == 0 or b.size == 0:
+        raise ValueError("both samples must be non-empty")
+    u_a = mann_whitney_u(sample_a, sample_b).statistic
+    return 2.0 * u_a / (a.size * b.size) - 1.0

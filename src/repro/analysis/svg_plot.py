@@ -1,0 +1,177 @@
+"""Dependency-free SVG line charts — real figure files for the benches.
+
+The reproduction report can emit each regenerated figure as a standalone
+``.svg`` (axes, grid, legend, series lines with markers) without any
+plotting library.  The output is deliberately simple and deterministic so
+figures diff cleanly across runs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from pathlib import Path
+
+_COLORS = (
+    "#1f77b4",
+    "#d62728",
+    "#2ca02c",
+    "#9467bd",
+    "#ff7f0e",
+    "#8c564b",
+)
+
+_MARGIN_LEFT = 62.0
+_MARGIN_RIGHT = 18.0
+_MARGIN_TOP = 34.0
+_MARGIN_BOTTOM = 46.0
+
+
+def svg_line_chart(
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    width: int = 560,
+    height: int = 360,
+) -> str:
+    """Render named series against a shared x axis as an SVG document."""
+    if not series:
+        raise ValueError("need at least one series to plot")
+    xs = [float(x) for x in x_values]
+    if len(xs) < 2:
+        raise ValueError("need at least two x values")
+    for name, values in series.items():
+        if len(values) != len(xs):
+            raise ValueError(
+                f"series {name!r} has {len(values)} points for {len(xs)} x values"
+            )
+    if width < 160 or height < 120:
+        raise ValueError("chart area too small")
+
+    all_y = [float(v) for values in series.values() for v in values]
+    y_min, y_max = min(all_y), max(all_y)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = min(xs), max(xs)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    plot_w = width - _MARGIN_LEFT - _MARGIN_RIGHT
+    plot_h = height - _MARGIN_TOP - _MARGIN_BOTTOM
+
+    def sx(x: float) -> float:
+        return _MARGIN_LEFT + (x - x_min) / (x_max - x_min) * plot_w
+
+    def sy(y: float) -> float:
+        return _MARGIN_TOP + (1.0 - (y - y_min) / (y_max - y_min)) * plot_h
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="sans-serif" font-size="11">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{width / 2:.1f}" y="18" text-anchor="middle" '
+            f'font-size="13" font-weight="bold">{_escape(title)}</text>'
+        )
+
+    # Grid and tick labels (5 divisions each way).
+    for i in range(5):
+        fraction = i / 4.0
+        gx = _MARGIN_LEFT + fraction * plot_w
+        gy = _MARGIN_TOP + fraction * plot_h
+        parts.append(
+            f'<line x1="{gx:.1f}" y1="{_MARGIN_TOP}" x2="{gx:.1f}" '
+            f'y2="{_MARGIN_TOP + plot_h:.1f}" stroke="#e0e0e0"/>'
+        )
+        parts.append(
+            f'<line x1="{_MARGIN_LEFT}" y1="{gy:.1f}" '
+            f'x2="{_MARGIN_LEFT + plot_w:.1f}" y2="{gy:.1f}" stroke="#e0e0e0"/>'
+        )
+        x_tick = x_min + fraction * (x_max - x_min)
+        y_tick = y_max - fraction * (y_max - y_min)
+        parts.append(
+            f'<text x="{gx:.1f}" y="{_MARGIN_TOP + plot_h + 16:.1f}" '
+            f'text-anchor="middle">{_fmt(x_tick)}</text>'
+        )
+        parts.append(
+            f'<text x="{_MARGIN_LEFT - 6:.1f}" y="{gy + 4:.1f}" '
+            f'text-anchor="end">{_fmt(y_tick)}</text>'
+        )
+
+    # Axes.
+    parts.append(
+        f'<rect x="{_MARGIN_LEFT}" y="{_MARGIN_TOP}" width="{plot_w:.1f}" '
+        f'height="{plot_h:.1f}" fill="none" stroke="#444"/>'
+    )
+    if x_label:
+        parts.append(
+            f'<text x="{_MARGIN_LEFT + plot_w / 2:.1f}" '
+            f'y="{height - 10:.1f}" text-anchor="middle">{_escape(x_label)}</text>'
+        )
+    if y_label:
+        cx, cy = 14.0, _MARGIN_TOP + plot_h / 2
+        parts.append(
+            f'<text x="{cx:.1f}" y="{cy:.1f}" text-anchor="middle" '
+            f'transform="rotate(-90 {cx:.1f} {cy:.1f})">{_escape(y_label)}</text>'
+        )
+
+    # Series.
+    for color, (name, values) in zip(_COLORS, series.items()):
+        points = " ".join(
+            f"{sx(x):.1f},{sy(float(y)):.1f}" for x, y in zip(xs, values)
+        )
+        parts.append(
+            f'<polyline points="{points}" fill="none" stroke="{color}" '
+            f'stroke-width="1.8"/>'
+        )
+        for x, y in zip(xs, values):
+            parts.append(
+                f'<circle cx="{sx(x):.1f}" cy="{sy(float(y)):.1f}" r="2.6" '
+                f'fill="{color}"/>'
+            )
+
+    # Legend (top-right inside the plot).
+    legend_x = _MARGIN_LEFT + plot_w - 8
+    legend_y = _MARGIN_TOP + 8
+    for i, (color, name) in enumerate(zip(_COLORS, series)):
+        y = legend_y + i * 16
+        parts.append(
+            f'<line x1="{legend_x - 90:.1f}" y1="{y:.1f}" '
+            f'x2="{legend_x - 72:.1f}" y2="{y:.1f}" stroke="{color}" '
+            f'stroke-width="2.2"/>'
+        )
+        parts.append(
+            f'<text x="{legend_x - 66:.1f}" y="{y + 4:.1f}">{_escape(name)}</text>'
+        )
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg_chart(
+    path: "str | Path",
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    **kwargs,
+) -> Path:
+    """Render and write a chart; returns the written path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(svg_line_chart(x_values, series, **kwargs))
+    return target
+
+
+def _fmt(value: float) -> str:
+    if abs(value) >= 1000:
+        return f"{value:.0f}"
+    return f"{value:.3g}"
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )

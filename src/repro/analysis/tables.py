@@ -1,0 +1,58 @@
+"""ASCII reporting helpers: paper-style tables and series.
+
+The benchmark harness prints each reproduced figure as rows/series in the
+terminal (there is no plotting dependency); these helpers keep the output
+format consistent across benches and readable in CI logs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render rows as a fixed-width ASCII table.
+
+    >>> print(format_table(["a", "b"], [[1, 2.5]]))
+    a | b
+    --+----
+    1 | 2.5
+    """
+    text_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in text_rows)) if text_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    series: Mapping[str, Sequence[float]],
+    x_values: Sequence[object],
+    title: str = "",
+    precision: int = 3,
+) -> str:
+    """Render several named series against a shared x axis as a table."""
+    headers = [x_label, *series]
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append([x, *(round(float(values[i]), precision) for values in series.values())])
+    return format_table(headers, rows, title=title)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,256 @@
+"""Command-line interface: ``repro-hta`` (or ``python -m repro``).
+
+Subcommands:
+
+* ``solve`` — generate a synthetic instance and run a solver on it;
+* ``diagnose`` — lint a synthetic instance (degeneracy findings);
+* ``offline`` — run one of the offline sweeps (fig2a, fig2b, fig2c, fig3);
+* ``online`` — run the Fig. 5 online experiment and print curves + tests;
+* ``teams`` — team formation for collaborative tasks (future-work demo);
+* ``report`` — run every experiment and write a markdown report;
+* ``solvers`` — list registered solvers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .analysis.ascii_plot import ascii_plot
+from .analysis.tables import format_series, format_table
+from .core.solvers import get_solver, solver_names
+from .experiments.config import OfflineScale, OnlineScale
+from .experiments.offline import (
+    ROW_HEADERS,
+    build_offline_instance,
+    sweep_groups,
+    sweep_tasks,
+    sweep_workers,
+)
+from .experiments.online import run_online_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    return args.handler(args)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-hta",
+        description="Motivation-aware task assignment (ICDE 2018 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command")
+    parser.set_defaults(command=None)
+
+    p_solvers = sub.add_parser("solvers", help="list registered solvers")
+    p_solvers.set_defaults(handler=_cmd_solvers)
+
+    p_solve = sub.add_parser("solve", help="solve one synthetic instance")
+    p_solve.add_argument("--tasks", type=int, default=200)
+    p_solve.add_argument("--workers", type=int, default=10)
+    p_solve.add_argument("--x-max", type=int, default=5)
+    p_solve.add_argument("--tasks-per-group", type=int, default=20)
+    p_solve.add_argument("--solver", default="hta-gre", choices=solver_names())
+    p_solve.add_argument("--seed", type=int, default=0)
+    p_solve.set_defaults(handler=_cmd_solve)
+
+    p_diag = sub.add_parser("diagnose", help="lint a synthetic instance")
+    p_diag.add_argument("--tasks", type=int, default=200)
+    p_diag.add_argument("--workers", type=int, default=10)
+    p_diag.add_argument("--x-max", type=int, default=5)
+    p_diag.add_argument("--tasks-per-group", type=int, default=20)
+    p_diag.add_argument("--seed", type=int, default=0)
+    p_diag.set_defaults(handler=_cmd_diagnose)
+
+    p_off = sub.add_parser("offline", help="run an offline sweep")
+    p_off.add_argument(
+        "figure", choices=["fig2a", "fig2b", "fig2c", "fig3"],
+        help="which paper figure to regenerate",
+    )
+    p_off.add_argument("--seed", type=int, default=0)
+    p_off.add_argument("--repeats", type=int, default=None)
+    p_off.set_defaults(handler=_cmd_offline)
+
+    p_on = sub.add_parser("online", help="run the Fig. 5 online experiment")
+    p_on.add_argument("--sessions", type=int, default=None)
+    p_on.add_argument("--corpus-size", type=int, default=None)
+    p_on.add_argument("--seed", type=int, default=0)
+    p_on.add_argument(
+        "--plot", action="store_true", help="render ASCII charts of the curves"
+    )
+    p_on.set_defaults(handler=_cmd_online)
+
+    p_teams = sub.add_parser(
+        "teams", help="team formation for collaborative tasks (future-work demo)"
+    )
+    p_teams.add_argument("--tasks", type=int, default=3)
+    p_teams.add_argument("--team-size", type=int, default=3)
+    p_teams.add_argument("--workers", type=int, default=12)
+    p_teams.add_argument("--seed", type=int, default=0)
+    p_teams.set_defaults(handler=_cmd_teams)
+
+    p_report = sub.add_parser(
+        "report", help="run every experiment and write a markdown report"
+    )
+    p_report.add_argument("--out", default="reproduction_report.md")
+    p_report.add_argument("--db", default=None,
+                          help="also persist measurements to this SQLite file")
+    p_report.add_argument("--fast", action="store_true",
+                          help="reduced scale (seconds instead of minutes)")
+    p_report.add_argument("--figures-dir", default=None,
+                          help="also write each figure as an SVG into this directory")
+    p_report.add_argument("--seed", type=int, default=0)
+    p_report.set_defaults(handler=_cmd_report)
+    return parser
+
+
+def _cmd_solvers(args: argparse.Namespace) -> int:
+    for name in solver_names():
+        print(name)
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    instance = build_offline_instance(
+        args.tasks, args.tasks_per_group, args.workers, args.x_max, rng=args.seed
+    )
+    solver = get_solver(args.solver)
+    result = solver.solve(instance, rng=args.seed)
+    print(instance.describe())
+    print(f"solver    : {args.solver}")
+    print(f"objective : {result.objective:.4f}")
+    print(f"assigned  : {result.assignment.size()} tasks")
+    for phase, seconds in sorted(result.timings.items()):
+        print(f"time[{phase}] : {seconds * 1e3:.2f} ms")
+    return 0
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    from .validate import diagnose, has_blockers
+
+    instance = build_offline_instance(
+        args.tasks, args.tasks_per_group, args.workers, args.x_max, rng=args.seed
+    )
+    print(instance.describe())
+    findings = diagnose(instance)
+    if not findings:
+        print("no findings: the instance looks healthy")
+        return 0
+    for finding in findings:
+        print(f"[{finding.severity:7s}] {finding.code}: {finding.message}")
+    return 1 if has_blockers(findings) else 0
+
+
+def _cmd_offline(args: argparse.Namespace) -> int:
+    scale = OfflineScale()
+    repeats = args.repeats if args.repeats is not None else scale.n_repeats
+    if args.figure in ("fig2a", "fig2b"):
+        points = sweep_tasks(
+            scale.task_sweep, scale.tasks_per_group, scale.n_workers,
+            scale.x_max, n_repeats=repeats, rng=args.seed,
+        )
+    elif args.figure == "fig2c":
+        points = sweep_workers(
+            scale.worker_sweep, scale.n_tasks_for_worker_sweep,
+            scale.tasks_per_group, scale.x_max, n_repeats=repeats, rng=args.seed,
+        )
+    else:
+        points = sweep_groups(
+            scale.group_sweep, scale.n_tasks_for_group_sweep, scale.n_workers,
+            scale.x_max, n_repeats=repeats, rng=args.seed,
+        )
+    print(format_table(ROW_HEADERS, [p.row() for p in points], title=args.figure))
+    return 0
+
+
+def _cmd_online(args: argparse.Namespace) -> int:
+    scale = OnlineScale()
+    overrides = {}
+    if args.sessions is not None:
+        overrides["n_sessions"] = args.sessions
+    if args.corpus_size is not None:
+        overrides["corpus_size"] = args.corpus_size
+    if overrides:
+        from dataclasses import replace
+
+        scale = replace(scale, **overrides)
+    result = run_online_experiment(scale=scale, rng=args.seed)
+    for strategy, outcome in result.outcomes.items():
+        print(f"== {strategy} ==")
+        for key, value in outcome.summary.items():
+            print(f"  {key}: {value:.2f}")
+    minutes = list(range(0, 31, 5))
+    for metric in ("quality", "throughput", "retention"):
+        series = {
+            strategy: [getattr(o, metric).at(m) for m in minutes]
+            for strategy, o in result.outcomes.items()
+        }
+        print(format_series("minute", series, minutes, title=f"Fig.5 {metric}"))
+        if args.plot:
+            print(ascii_plot(series, title=f"Fig.5 {metric} (x = minutes)"))
+    print("significance tests:")
+    for name, test in result.significance.items():
+        print(f"  {name}: p={test.p_value:.4f}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .experiments.report import ReportConfig, generate_report
+
+    if args.fast:
+        config = ReportConfig.fast(
+            seed=args.seed, store_path=args.db, figures_dir=args.figures_dir
+        )
+    else:
+        config = ReportConfig(
+            seed=args.seed, store_path=args.db, figures_dir=args.figures_dir
+        )
+    text = generate_report(config)
+    from pathlib import Path
+
+    Path(args.out).write_text(text)
+    print(f"wrote {args.out} ({len(text.splitlines())} lines)")
+    if args.db:
+        print(f"measurements stored in {args.db}")
+    return 0
+
+
+def _cmd_teams(args: argparse.Namespace) -> int:
+    from .data import (
+        CrowdFlowerConfig,
+        generate_crowdflower_corpus,
+        generate_online_workers,
+    )
+    from .teams import (
+        TeamInstance,
+        collaborative_tasks_from_pool,
+        greedy_teams,
+        random_teams,
+    )
+
+    corpus = generate_crowdflower_corpus(
+        CrowdFlowerConfig(n_tasks=max(args.tasks * 10, 40)), rng=args.seed
+    )
+    workers = generate_online_workers(args.workers, rng=args.seed + 1)
+    tasks = collaborative_tasks_from_pool(
+        list(corpus.pool)[: args.tasks], args.team_size
+    )
+    instance = TeamInstance(tasks, workers)
+    greedy = greedy_teams(instance)
+    random_baseline = random_teams(instance, rng=args.seed)
+    print(f"greedy objective : {greedy.objective(instance):.4f}")
+    print(f"random objective : {random_baseline.objective(instance):.4f}")
+    for task_id, members in greedy.by_task.items():
+        print(f"  {task_id}: {', '.join(members)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

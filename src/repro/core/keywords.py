@@ -1,0 +1,110 @@
+"""Keyword vocabularies and boolean keyword vectors.
+
+The paper (Section II) represents every task and every worker as a boolean
+vector over a shared keyword set ``S = {s_1, ..., s_R}``.  A
+:class:`Vocabulary` fixes the ordering of keywords so that vectors built from
+keyword *names* are always comparable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+
+class Vocabulary:
+    """An ordered, immutable set of keywords.
+
+    Maps keyword names to vector positions and back.  Tasks and workers built
+    against the same vocabulary have aligned boolean vectors.
+
+    >>> vocab = Vocabulary(["audio", "english", "news"])
+    >>> vocab.encode(["news", "audio"]).tolist()
+    [True, False, True]
+    >>> vocab.decode(vocab.encode(["news", "audio"]))
+    ('audio', 'news')
+    """
+
+    __slots__ = ("_keywords", "_index")
+
+    def __init__(self, keywords: Iterable[str]):
+        words = tuple(keywords)
+        if not words:
+            raise ValueError("a vocabulary needs at least one keyword")
+        index: dict[str, int] = {}
+        for position, word in enumerate(words):
+            if not isinstance(word, str) or not word:
+                raise ValueError(f"keywords must be non-empty strings, got {word!r}")
+            if word in index:
+                raise ValueError(f"duplicate keyword in vocabulary: {word!r}")
+            index[word] = position
+        self._keywords = words
+        self._index = index
+
+    def __len__(self) -> int:
+        return len(self._keywords)
+
+    def __iter__(self):
+        return iter(self._keywords)
+
+    def __contains__(self, word: object) -> bool:
+        return word in self._index
+
+    def __repr__(self) -> str:
+        preview = ", ".join(self._keywords[:4])
+        suffix = ", ..." if len(self._keywords) > 4 else ""
+        return f"Vocabulary({len(self._keywords)} keywords: {preview}{suffix})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Vocabulary):
+            return NotImplemented
+        return self._keywords == other._keywords
+
+    def __hash__(self) -> int:
+        return hash(self._keywords)
+
+    @property
+    def keywords(self) -> tuple[str, ...]:
+        """The keywords, in vector order."""
+        return self._keywords
+
+    def position(self, word: str) -> int:
+        """Return the vector position of ``word``.
+
+        Raises :class:`KeyError` for unknown keywords.
+        """
+        return self._index[word]
+
+    def encode(self, words: Iterable[str]) -> np.ndarray:
+        """Build a boolean vector with True at each keyword in ``words``."""
+        vector = np.zeros(len(self._keywords), dtype=bool)
+        for word in words:
+            vector[self._index[word]] = True
+        return vector
+
+    def decode(self, vector: Sequence[bool] | np.ndarray) -> tuple[str, ...]:
+        """Return the keyword names present in a boolean ``vector``."""
+        array = np.asarray(vector, dtype=bool)
+        if array.shape != (len(self._keywords),):
+            raise ValueError(
+                f"vector length {array.shape} does not match vocabulary "
+                f"size {len(self._keywords)}"
+            )
+        return tuple(self._keywords[i] for i in np.flatnonzero(array))
+
+    def subset_vector(self, words: Iterable[str]) -> np.ndarray:
+        """Alias of :meth:`encode`, kept for symmetry with older call sites."""
+        return self.encode(words)
+
+
+def coerce_vector(vector: Sequence[bool] | np.ndarray, size: int) -> np.ndarray:
+    """Validate and normalize a boolean keyword vector of length ``size``."""
+    array = np.asarray(vector)
+    if array.dtype != bool:
+        if not np.isin(array, (0, 1)).all():
+            raise ValueError("keyword vectors must be boolean (0/1) valued")
+        array = array.astype(bool)
+    if array.shape != (size,):
+        raise ValueError(f"expected a vector of length {size}, got shape {array.shape}")
+    return array

@@ -1,0 +1,34 @@
+"""HTA solvers: the paper's algorithms, baselines, and the exact oracle."""
+
+from .base import Solver, SolveResult, get_solver, register_solver, solver_names
+from .baselines import (
+    HTAGreDivSolver,
+    HTAGreRelSolver,
+    RandomSolver,
+    override_weights,
+)
+from .exact import ExactSolver
+from .greedy_marginal import GreedyMarginalSolver
+from .hta_app import HTAAppSolver
+from .local_search import LocalSearchSolver
+from .hta_gre import HTAGreSolver
+from .pipeline import PipelineOutput, run_qap_pipeline
+
+__all__ = [
+    "ExactSolver",
+    "GreedyMarginalSolver",
+    "HTAAppSolver",
+    "HTAGreDivSolver",
+    "HTAGreRelSolver",
+    "HTAGreSolver",
+    "LocalSearchSolver",
+    "PipelineOutput",
+    "RandomSolver",
+    "SolveResult",
+    "Solver",
+    "get_solver",
+    "override_weights",
+    "register_solver",
+    "run_qap_pipeline",
+    "solver_names",
+]

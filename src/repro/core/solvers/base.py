@@ -1,0 +1,101 @@
+"""Solver interface, result type, and registry.
+
+Every HTA solver consumes an :class:`~repro.core.instance.HTAInstance` and
+produces a :class:`SolveResult`: the assignment, its objective value, and a
+per-phase timing breakdown (the paper's Fig. 2a splits HTA-APP/HTA-GRE time
+into a *Matching* and an *Lsap* phase, so solvers record those explicitly).
+
+Solvers register under a short name (``"hta-app"``, ``"hta-gre"``, ...) so
+experiments and the CLI can select them by string.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...errors import UnknownSolverError
+from ..assignment import Assignment
+from ..instance import HTAInstance
+
+
+@dataclass(frozen=True)
+class SolveResult:
+    """Output of one solver run.
+
+    Attributes:
+        assignment: The task assignment (validates C1/C2).
+        objective: Total expected motivation (Problem 1 objective) of the
+            assignment, evaluated with Eq. 3 on the actual set sizes.
+        timings: Seconds spent per phase; keys used by the scalability
+            benches: ``"encode"``, ``"matching"``, ``"lsap"``, ``"decode"``,
+            and ``"total"``.
+        info: Free-form solver metadata (LSAP method used, swap draws, ...).
+    """
+
+    assignment: Assignment
+    objective: float
+    timings: dict[str, float] = field(default_factory=dict)
+    info: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def total_time(self) -> float:
+        return self.timings.get("total", sum(self.timings.values()))
+
+
+class Solver(abc.ABC):
+    """Base class for HTA solvers."""
+
+    #: Registry name; subclasses must override.
+    name: str = ""
+
+    @abc.abstractmethod
+    def solve(
+        self,
+        instance: HTAInstance,
+        rng: "int | np.random.Generator | None" = None,
+    ) -> SolveResult:
+        """Solve ``instance`` and return a validated assignment."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+_REGISTRY: dict[str, type[Solver]] = {}
+
+
+def register_solver(cls: type[Solver]) -> type[Solver]:
+    """Class decorator adding ``cls`` to the solver registry."""
+    if not cls.name:
+        raise ValueError(f"solver class {cls.__name__} must define a name")
+    if cls.name in _REGISTRY:
+        raise ValueError(f"solver name {cls.name!r} is already registered")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_solver(name: str, **kwargs) -> Solver:
+    """Instantiate a registered solver by name.
+
+    Keyword arguments are forwarded to the solver constructor.
+    """
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise UnknownSolverError(
+            f"unknown solver {name!r}; registered solvers: {known}"
+        ) from None
+    return cls(**kwargs)
+
+
+def solver_names() -> tuple[str, ...]:
+    """All registered solver names."""
+    return tuple(sorted(_REGISTRY))
+
+
+def iter_solvers() -> Iterator[type[Solver]]:
+    yield from _REGISTRY.values()

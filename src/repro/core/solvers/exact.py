@@ -1,0 +1,109 @@
+"""Exact HTA solver — the test oracle.
+
+Exhaustively enumerates every feasible assignment (all ways to hand each
+worker a subset of at most ``x_max`` still-unassigned tasks) and keeps the
+best.  Exponential; guarded to tiny instances.  Used by the test suite to
+pin down the approximation ratios of HTA-APP and HTA-GRE empirically.
+
+Two objective modes:
+
+* ``"hta"`` (default): Eq. 3 with the *actual* set sizes — Problem 1's
+  literal objective;
+* ``"qap"``: the MAXQAP-encoded objective, which scales relevance by
+  ``(x_max - 1)`` regardless of set size.  The two coincide whenever every
+  worker receives exactly ``x_max`` tasks (Eq. 8); the mode switch lets
+  tests exercise both readings.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from ...errors import InvalidInstanceError
+from ..assignment import Assignment
+from ..instance import HTAInstance
+from ..motivation import diversity_of_subset, relevance_of_subset
+from .base import Solver, SolveResult, register_solver
+
+#: Enumeration explodes combinatorially; this caps the search effort.
+MAX_EXACT_TASKS = 12
+MAX_EXACT_WORKERS = 4
+
+
+@register_solver
+class ExactSolver(Solver):
+    """Brute-force optimal HTA solver for tiny instances."""
+
+    name = "exact"
+
+    def __init__(self, objective: str = "hta"):
+        if objective not in ("hta", "qap"):
+            raise ValueError(f"objective must be 'hta' or 'qap', got {objective!r}")
+        self._objective_mode = objective
+
+    def solve(
+        self,
+        instance: HTAInstance,
+        rng: "int | np.random.Generator | None" = None,
+    ) -> SolveResult:
+        if instance.n_tasks > MAX_EXACT_TASKS:
+            raise InvalidInstanceError(
+                f"exact solver supports at most {MAX_EXACT_TASKS} tasks, "
+                f"got {instance.n_tasks}"
+            )
+        if instance.n_workers > MAX_EXACT_WORKERS:
+            raise InvalidInstanceError(
+                f"exact solver supports at most {MAX_EXACT_WORKERS} workers, "
+                f"got {instance.n_workers}"
+            )
+        diversity = instance.diversity
+        relevance = instance.relevance
+        alphas = instance.alphas()
+        betas = instance.betas()
+        x_max = instance.x_max
+        n_workers = instance.n_workers
+        use_qap = self._objective_mode == "qap"
+
+        best_value = -np.inf
+        best_groups: list[tuple[int, ...]] | None = None
+        all_tasks = tuple(range(instance.n_tasks))
+
+        def worker_score(q: int, subset: tuple[int, ...]) -> float:
+            if not subset:
+                return 0.0
+            div = diversity_of_subset(diversity, subset)
+            rel = relevance_of_subset(relevance[q], subset)
+            scale = (x_max - 1) if use_qap else (len(subset) - 1)
+            return 2.0 * alphas[q] * div + betas[q] * scale * rel
+
+        def recurse(q: int, remaining: tuple[int, ...], groups: list[tuple[int, ...]], score: float) -> None:
+            nonlocal best_value, best_groups
+            if q == n_workers:
+                if score > best_value:
+                    best_value = score
+                    best_groups = list(groups)
+                return
+            max_size = min(x_max, len(remaining))
+            for size in range(max_size + 1):
+                for subset in combinations(remaining, size):
+                    taken = set(subset)
+                    rest = tuple(t for t in remaining if t not in taken)
+                    groups.append(subset)
+                    recurse(q + 1, rest, groups, score + worker_score(q, subset))
+                    groups.pop()
+
+        recurse(0, all_tasks, [], 0.0)
+        assert best_groups is not None
+        assignment = Assignment.from_indices(
+            instance, [list(g) for g in best_groups]
+        )
+        assignment.validate(instance)
+        return SolveResult(
+            assignment=assignment,
+            objective=assignment.objective(instance),
+            timings={},
+            info={"solver": self.name, "objective_mode": self._objective_mode,
+                  "optimal_value": float(best_value)},
+        )

@@ -1,0 +1,215 @@
+"""Local-search improvement for HTA (an extension beyond the paper).
+
+Hill-climbs an initial assignment (by default HTA-GRE's output) under three
+move types until no move improves the objective:
+
+* **replace** — swap an assigned task with an unassigned one;
+* **exchange** — swap two tasks between two workers;
+* **steal** — move a task into another worker's free slot.
+
+Deltas are evaluated incrementally from the instance's diversity/relevance
+matrices, so one full pass costs ``O(|W| * x_max * |T|)``.  The result is
+never worse than the initial solution, which makes ``hta-local`` a natural
+upper reference for the ablation benches: it measures how much objective
+HTA-GRE leaves on the table in practice (typically very little — see
+``bench_ablation_local_search.py``).
+
+The HTA objective used here is Eq. 3 with the *actual* set sizes, matching
+:meth:`repro.core.assignment.Assignment.objective`.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ...errors import InvalidInstanceError
+from ...rng import ensure_rng
+from ..assignment import Assignment
+from ..instance import HTAInstance
+from .base import Solver, SolveResult, register_solver
+from .hta_gre import HTAGreSolver
+
+
+@register_solver
+class LocalSearchSolver(Solver):
+    """Hill-climbing HTA solver.
+
+    Args:
+        initial: Solver producing the starting assignment (HTA-GRE default;
+            pass ``repro.core.solvers.RandomSolver()`` to measure how much
+            the pipeline itself contributes).
+        max_passes: Safety cap on full improvement passes.
+    """
+
+    name = "hta-local"
+
+    def __init__(self, initial: Solver | None = None, max_passes: int = 50):
+        if max_passes < 1:
+            raise InvalidInstanceError(f"max_passes must be >= 1, got {max_passes}")
+        self._initial = initial or HTAGreSolver()
+        self._max_passes = max_passes
+
+    def solve(
+        self,
+        instance: HTAInstance,
+        rng: "int | np.random.Generator | None" = None,
+    ) -> SolveResult:
+        generator = ensure_rng(rng)
+        start = time.perf_counter()
+        seed_result = self._initial.solve(instance, generator)
+        groups = [list(g) for g in seed_result.assignment.indices(instance)]
+        state = _SearchState(instance, groups)
+
+        passes = 0
+        improved = True
+        while improved and passes < self._max_passes:
+            improved = state.improvement_pass()
+            passes += 1
+
+        assignment = Assignment.from_indices(instance, state.groups)
+        assignment.validate(instance)
+        elapsed = time.perf_counter() - start
+        return SolveResult(
+            assignment=assignment,
+            objective=assignment.objective(instance),
+            timings={**seed_result.timings, "local_search": elapsed, "total": elapsed},
+            info={
+                "solver": self.name,
+                "initial_solver": seed_result.info.get("solver", "unknown"),
+                "initial_objective": seed_result.objective,
+                "passes": passes,
+            },
+        )
+
+
+class _SearchState:
+    """Mutable assignment state with incremental delta evaluation."""
+
+    def __init__(self, instance: HTAInstance, groups: list[list[int]]):
+        self.instance = instance
+        self.groups = groups
+        self.diversity = instance.diversity
+        self.relevance = instance.relevance
+        self.alphas = instance.alphas()
+        self.betas = instance.betas()
+        assigned = {t for g in groups for t in g}
+        self.unassigned = [t for t in range(instance.n_tasks) if t not in assigned]
+
+    # -- scoring ---------------------------------------------------------
+
+    def worker_value(self, q: int, tasks: list[int]) -> float:
+        """Eq. 3 motivation of worker ``q`` for ``tasks``."""
+        if not tasks:
+            return 0.0
+        idx = np.asarray(tasks, dtype=np.intp)
+        diversity = 0.0
+        if idx.size > 1:
+            sub = self.diversity[np.ix_(idx, idx)]
+            diversity = float(np.triu(sub, k=1).sum())
+        rel_total = float(self.relevance[q, idx].sum())
+        return (
+            2.0 * self.alphas[q] * diversity
+            + self.betas[q] * (idx.size - 1) * rel_total
+        )
+
+    def replace_delta(self, q: int, position: int, new_task: int) -> float:
+        """Objective change from replacing ``groups[q][position]`` with
+        ``new_task`` (which must be unassigned)."""
+        tasks = self.groups[q]
+        old_task = tasks[position]
+        others = [t for i, t in enumerate(tasks) if i != position]
+        alpha, beta = self.alphas[q], self.betas[q]
+        div_delta = 0.0
+        if others:
+            idx = np.asarray(others, dtype=np.intp)
+            div_delta = float(
+                self.diversity[new_task, idx].sum()
+                - self.diversity[old_task, idx].sum()
+            )
+        rel_delta = float(
+            self.relevance[q, new_task] - self.relevance[q, old_task]
+        )
+        return 2.0 * alpha * div_delta + beta * (len(tasks) - 1) * rel_delta
+
+    # -- moves -----------------------------------------------------------
+
+    def improvement_pass(self) -> bool:
+        """One sweep over all moves; returns True if anything improved."""
+        improved = False
+        improved |= self._pass_replace()
+        improved |= self._pass_exchange()
+        improved |= self._pass_steal()
+        return improved
+
+    def _pass_replace(self) -> bool:
+        if not self.unassigned:
+            return False
+        improved = False
+        for q, tasks in enumerate(self.groups):
+            for position in range(len(tasks)):
+                best_delta, best_u = 0.0, -1
+                for u_index, candidate in enumerate(self.unassigned):
+                    delta = self.replace_delta(q, position, candidate)
+                    if delta > best_delta + 1e-12:
+                        best_delta, best_u = delta, u_index
+                if best_u >= 0:
+                    old = tasks[position]
+                    tasks[position] = self.unassigned[best_u]
+                    self.unassigned[best_u] = old
+                    improved = True
+        return improved
+
+    def _pass_exchange(self) -> bool:
+        improved = False
+        n_workers = len(self.groups)
+        for q_a in range(n_workers):
+            for q_b in range(q_a + 1, n_workers):
+                improved |= self._exchange_pair(q_a, q_b)
+        return improved
+
+    def _exchange_pair(self, q_a: int, q_b: int) -> bool:
+        improved = False
+        tasks_a, tasks_b = self.groups[q_a], self.groups[q_b]
+        base = self.worker_value(q_a, tasks_a) + self.worker_value(q_b, tasks_b)
+        for i in range(len(tasks_a)):
+            for j in range(len(tasks_b)):
+                tasks_a[i], tasks_b[j] = tasks_b[j], tasks_a[i]
+                value = self.worker_value(q_a, tasks_a) + self.worker_value(
+                    q_b, tasks_b
+                )
+                if value > base + 1e-12:
+                    base = value
+                    improved = True
+                else:
+                    tasks_a[i], tasks_b[j] = tasks_b[j], tasks_a[i]
+        return improved
+
+    def _pass_steal(self) -> bool:
+        x_max = self.instance.x_max
+        improved = False
+        for q_from, tasks_from in enumerate(self.groups):
+            for q_to, tasks_to in enumerate(self.groups):
+                if q_from == q_to or len(tasks_to) >= x_max:
+                    continue
+                i = 0
+                while i < len(tasks_from):
+                    task = tasks_from[i]
+                    before = self.worker_value(q_from, tasks_from) + self.worker_value(
+                        q_to, tasks_to
+                    )
+                    tasks_from.pop(i)
+                    tasks_to.append(task)
+                    after = self.worker_value(q_from, tasks_from) + self.worker_value(
+                        q_to, tasks_to
+                    )
+                    if after > before + 1e-12:
+                        improved = True
+                        if len(tasks_to) >= x_max:
+                            break
+                    else:
+                        tasks_to.pop()
+                        tasks_from.insert(i, task)
+                        i += 1
+        return improved

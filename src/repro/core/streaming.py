@@ -1,0 +1,233 @@
+"""Streaming task assignment (an extension from the paper's future work).
+
+The conclusion notes that extending HTA to richer settings "makes task
+assignment challenging as it needs to be streamed and will depend on the
+availability of workers".  :class:`StreamingAssigner` is that streaming
+shell around the batch solvers: tasks and workers arrive over continuous
+time, tasks are buffered, and a batch HTA solve fires when
+
+* the buffer reaches ``batch_size`` tasks, or
+* the oldest buffered task has waited ``max_wait`` seconds
+
+and at least one worker is available.  Buffered tasks older than ``ttl``
+are expired (dropped with a counter) so latency to requesters is bounded.
+
+The assigner is deliberately *not* a simulator — it is the production-style
+component a platform would run; the discrete-event simulator in
+:mod:`repro.crowd.platform` plays the surrounding world.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import InvalidInstanceError, SimulationError
+from ..rng import ensure_rng
+from .assignment import Assignment
+from .instance import HTAInstance
+from .keywords import Vocabulary
+from .task import Task, TaskPool
+from .worker import Worker, WorkerPool
+
+
+@dataclass(frozen=True)
+class StreamingConfig:
+    """Trigger and retention policy of the streaming assigner.
+
+    Attributes:
+        x_max: Per-worker capacity of each batch solve.
+        batch_size: Buffered-task count that triggers a solve.
+        max_wait: Seconds the oldest buffered task may wait before a solve
+            is forced (even with a part-filled buffer).
+        ttl: Seconds after which an unassigned buffered task expires
+            (``inf`` disables expiry).
+    """
+
+    x_max: int = 5
+    batch_size: int = 50
+    max_wait: float = 60.0
+    ttl: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.x_max < 1:
+            raise InvalidInstanceError(f"x_max must be >= 1, got {self.x_max}")
+        if self.batch_size < 1:
+            raise InvalidInstanceError(
+                f"batch_size must be >= 1, got {self.batch_size}"
+            )
+        if self.max_wait < 0:
+            raise InvalidInstanceError(f"max_wait must be >= 0, got {self.max_wait}")
+        if self.ttl <= 0:
+            raise InvalidInstanceError(f"ttl must be positive, got {self.ttl}")
+
+
+@dataclass
+class StreamingStats:
+    """Counters accumulated over the assigner's lifetime."""
+
+    tasks_received: int = 0
+    tasks_assigned: int = 0
+    tasks_expired: int = 0
+    solves: int = 0
+    total_wait: float = 0.0  # summed assignment latency of assigned tasks
+
+    @property
+    def mean_wait(self) -> float:
+        if self.tasks_assigned == 0:
+            return 0.0
+        return self.total_wait / self.tasks_assigned
+
+
+class StreamingAssigner:
+    """Buffered, trigger-driven wrapper around a batch HTA solver."""
+
+    def __init__(
+        self,
+        vocabulary: Vocabulary,
+        solver: "object | None" = None,
+        config: StreamingConfig | None = None,
+        rng: "int | np.random.Generator | None" = None,
+    ):
+        if solver is None:
+            from .solvers import HTAGreSolver
+
+            solver = HTAGreSolver()
+        self._vocabulary = vocabulary
+        self._solver = solver
+        self._config = config or StreamingConfig()
+        self._rng = ensure_rng(rng)
+        self._buffer: dict[str, Task] = {}
+        self._arrival_time: dict[str, float] = {}
+        self._workers: dict[str, Worker] = {}
+        self._clock = 0.0
+        self.stats = StreamingStats()
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def config(self) -> StreamingConfig:
+        return self._config
+
+    @property
+    def now(self) -> float:
+        return self._clock
+
+    def buffered_tasks(self) -> int:
+        return len(self._buffer)
+
+    def available_workers(self) -> int:
+        return len(self._workers)
+
+    def oldest_wait(self, now: float | None = None) -> float:
+        """Seconds the oldest buffered task has been waiting."""
+        if not self._arrival_time:
+            return 0.0
+        reference = self._advance(now)
+        return reference - min(self._arrival_time.values())
+
+    # -- streams --------------------------------------------------------------
+
+    def add_task(self, task: Task, now: float | None = None) -> None:
+        """A new task arrives on the stream."""
+        timestamp = self._advance(now)
+        if task.task_id in self._buffer:
+            raise SimulationError(f"task {task.task_id!r} is already buffered")
+        self._buffer[task.task_id] = task
+        self._arrival_time[task.task_id] = timestamp
+        self.stats.tasks_received += 1
+
+    def add_tasks(self, tasks: Iterable[Task], now: float | None = None) -> None:
+        timestamp = self._advance(now)
+        for task in tasks:
+            self.add_task(task, timestamp)
+
+    def worker_arrived(self, worker: Worker, now: float | None = None) -> None:
+        """A worker becomes available for assignment."""
+        self._advance(now)
+        if worker.worker_id in self._workers:
+            raise SimulationError(f"worker {worker.worker_id!r} is already available")
+        self._workers[worker.worker_id] = worker
+
+    def worker_departed(self, worker_id: str, now: float | None = None) -> None:
+        """A worker leaves (or is busy with a previous batch)."""
+        self._advance(now)
+        if self._workers.pop(worker_id, None) is None:
+            raise SimulationError(f"worker {worker_id!r} is not available")
+
+    def update_worker(self, worker: Worker) -> None:
+        """Refresh an available worker's weights (adaptive re-estimation)."""
+        if worker.worker_id not in self._workers:
+            raise SimulationError(f"worker {worker.worker_id!r} is not available")
+        self._workers[worker.worker_id] = worker
+
+    # -- triggering -------------------------------------------------------------
+
+    def due(self, now: float | None = None) -> bool:
+        """True when a batch solve should fire."""
+        reference = self._advance(now)
+        self._expire(reference)
+        if not self._buffer or not self._workers:
+            return False
+        if len(self._buffer) >= self._config.batch_size:
+            return True
+        return self.oldest_wait(reference) >= self._config.max_wait
+
+    def poll(self, now: float | None = None) -> Assignment | None:
+        """Fire a solve if one is due; returns its assignment."""
+        reference = self._advance(now)
+        if not self.due(reference):
+            return None
+        return self.assign(reference)
+
+    def assign(self, now: float | None = None) -> Assignment:
+        """Force a batch solve over the current buffer and workers.
+
+        Assigned tasks leave the buffer; workers stay available (the caller
+        decides when a worker is busy via :meth:`worker_departed`).
+        """
+        reference = self._advance(now)
+        self._expire(reference)
+        if not self._buffer:
+            raise SimulationError("nothing to assign: the task buffer is empty")
+        if not self._workers:
+            raise SimulationError("nothing to assign to: no workers available")
+        tasks = TaskPool(self._buffer.values(), self._vocabulary)
+        workers = WorkerPool(self._workers.values(), self._vocabulary)
+        instance = HTAInstance(tasks, workers, self._config.x_max)
+        result = self._solver.solve(instance, self._rng)
+        assignment = result.assignment
+        for task_id in assignment.assigned_task_ids():
+            del self._buffer[task_id]
+            self.stats.total_wait += reference - self._arrival_time.pop(task_id)
+            self.stats.tasks_assigned += 1
+        self.stats.solves += 1
+        return assignment
+
+    # -- internals -------------------------------------------------------------
+
+    def _advance(self, now: float | None) -> float:
+        if now is None:
+            return self._clock
+        if now < self._clock:
+            raise SimulationError(
+                f"time went backwards: {now} < {self._clock}"
+            )
+        self._clock = now
+        return now
+
+    def _expire(self, now: float) -> None:
+        if math.isinf(self._config.ttl):
+            return
+        dead = [
+            task_id
+            for task_id, arrived in self._arrival_time.items()
+            if now - arrived > self._config.ttl
+        ]
+        for task_id in dead:
+            del self._buffer[task_id]
+            del self._arrival_time[task_id]
+            self.stats.tasks_expired += 1

@@ -1,0 +1,201 @@
+"""Workers and their motivation weights.
+
+A :class:`Worker` carries a boolean keyword-interest vector (Section II) and
+the per-iteration motivation weights ``(alpha, beta)`` with
+``alpha + beta = 1`` (Eq. 3).  :class:`MotivationWeights` is a small validated
+value type so weights can never silently drift away from the simplex.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import InvalidInstanceError
+from .keywords import Vocabulary, coerce_vector
+
+_WEIGHT_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class MotivationWeights:
+    """The pair ``(alpha, beta)`` weighting diversity vs. relevance.
+
+    Invariants: both weights in ``[0, 1]`` and ``alpha + beta == 1``.
+
+    >>> MotivationWeights(0.25, 0.75).alpha
+    0.25
+    >>> MotivationWeights.diversity_only().beta
+    0.0
+    """
+
+    alpha: float
+    beta: float
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.alpha) and math.isfinite(self.beta)):
+            raise InvalidInstanceError("motivation weights must be finite")
+        if self.alpha < -_WEIGHT_TOLERANCE or self.beta < -_WEIGHT_TOLERANCE:
+            raise InvalidInstanceError(
+                f"motivation weights must be non-negative, got "
+                f"alpha={self.alpha}, beta={self.beta}"
+            )
+        if abs(self.alpha + self.beta - 1.0) > 1e-6:
+            raise InvalidInstanceError(
+                f"alpha + beta must equal 1, got {self.alpha + self.beta}"
+            )
+
+    @classmethod
+    def diversity_only(cls) -> "MotivationWeights":
+        """Weights of the HTA-GRE-DIV baseline (alpha=1, beta=0)."""
+        return cls(1.0, 0.0)
+
+    @classmethod
+    def relevance_only(cls) -> "MotivationWeights":
+        """Weights of the HTA-GRE-REL baseline (alpha=0, beta=1)."""
+        return cls(0.0, 1.0)
+
+    @classmethod
+    def balanced(cls) -> "MotivationWeights":
+        """The uniform prior used before any behaviour is observed."""
+        return cls(0.5, 0.5)
+
+    @classmethod
+    def from_gains(cls, diversity_gain: float, relevance_gain: float) -> "MotivationWeights":
+        """Normalize two non-negative average gains onto the simplex.
+
+        Falls back to :meth:`balanced` when both gains are (numerically) zero,
+        which happens for a worker who has not completed any task yet.
+        """
+        if diversity_gain < 0 or relevance_gain < 0:
+            raise InvalidInstanceError("gains must be non-negative")
+        total = diversity_gain + relevance_gain
+        if total <= _WEIGHT_TOLERANCE:
+            return cls.balanced()
+        return cls(diversity_gain / total, relevance_gain / total)
+
+
+@dataclass(frozen=True)
+class Worker:
+    """A crowd worker.
+
+    Attributes:
+        worker_id: Unique identifier within a pool.
+        vector: Boolean keyword-interest vector.
+        weights: Current estimate of the worker's (alpha, beta).
+    """
+
+    worker_id: str
+    vector: np.ndarray
+    weights: MotivationWeights = field(default_factory=MotivationWeights.balanced)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "vector", np.asarray(self.vector, dtype=bool))
+
+    @property
+    def alpha(self) -> float:
+        return self.weights.alpha
+
+    @property
+    def beta(self) -> float:
+        return self.weights.beta
+
+    def with_weights(self, weights: MotivationWeights) -> "Worker":
+        """A copy of this worker carrying new motivation weights."""
+        return Worker(self.worker_id, self.vector, weights)
+
+    def keywords(self, vocabulary: Vocabulary) -> tuple[str, ...]:
+        """Keyword names this worker declared interest in."""
+        return vocabulary.decode(self.vector)
+
+    def __hash__(self) -> int:
+        return hash(self.worker_id)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Worker):
+            return NotImplemented
+        return self.worker_id == other.worker_id
+
+
+class WorkerPool:
+    """The set of available workers ``W^i`` with a stacked interest matrix."""
+
+    def __init__(self, workers: Iterable[Worker], vocabulary: Vocabulary):
+        self._workers: tuple[Worker, ...] = tuple(workers)
+        self._vocabulary = vocabulary
+        if not self._workers:
+            raise InvalidInstanceError("a worker pool cannot be empty")
+        seen: dict[str, int] = {}
+        rows = []
+        for position, worker in enumerate(self._workers):
+            if worker.worker_id in seen:
+                raise InvalidInstanceError(
+                    f"duplicate worker id {worker.worker_id!r} in pool"
+                )
+            seen[worker.worker_id] = position
+            rows.append(coerce_vector(worker.vector, len(vocabulary)))
+        self._position = seen
+        self._matrix = np.vstack(rows)
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    def __iter__(self) -> Iterator[Worker]:
+        return iter(self._workers)
+
+    def __getitem__(self, position: int) -> Worker:
+        return self._workers[position]
+
+    def __contains__(self, worker: object) -> bool:
+        if isinstance(worker, Worker):
+            return worker.worker_id in self._position
+        return worker in self._position
+
+    def __repr__(self) -> str:
+        return f"WorkerPool({len(self._workers)} workers)"
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        return self._vocabulary
+
+    @property
+    def workers(self) -> tuple[Worker, ...]:
+        return self._workers
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """Boolean matrix of shape ``(n_workers, n_keywords)``."""
+        return self._matrix
+
+    @property
+    def alphas(self) -> np.ndarray:
+        """Vector of per-worker alpha weights, in pool order."""
+        return np.array([w.alpha for w in self._workers])
+
+    @property
+    def betas(self) -> np.ndarray:
+        """Vector of per-worker beta weights, in pool order."""
+        return np.array([w.beta for w in self._workers])
+
+    def position(self, worker_id: str) -> int:
+        try:
+            return self._position[worker_id]
+        except KeyError:
+            raise KeyError(f"worker {worker_id!r} is not in this pool") from None
+
+    def by_id(self, worker_id: str) -> Worker:
+        return self._workers[self.position(worker_id)]
+
+    def with_updated(self, updated: Iterable[Worker]) -> "WorkerPool":
+        """A new pool replacing workers by id with updated copies."""
+        replacements = {w.worker_id: w for w in updated}
+        unknown = set(replacements) - set(self._position)
+        if unknown:
+            raise InvalidInstanceError(f"unknown worker ids: {sorted(unknown)}")
+        return WorkerPool(
+            (replacements.get(w.worker_id, w) for w in self._workers),
+            self._vocabulary,
+        )

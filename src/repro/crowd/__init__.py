@@ -1,0 +1,55 @@
+"""Crowd-platform simulator: the paper's online deployment as a substrate."""
+
+from .campaign import CampaignConfig, CampaignResult, run_campaign
+from .behavior import (
+    BehaviorParams,
+    LatentProfile,
+    WorkerBehavior,
+    sample_latent_profiles,
+)
+from .events import (
+    SessionEndReason,
+    SessionEnded,
+    TaskCompleted,
+    TasksAssigned,
+    WorkerArrived,
+)
+from .metrics import (
+    Curve,
+    earnings_summary,
+    quality_curve,
+    retention_curve,
+    session_summary,
+    throughput_curve,
+)
+from .platform import DeploymentResult, PlatformConfig, run_deployment
+from .service import ADAPTIVE_STRATEGIES, AssignmentService, ServiceConfig
+from .session import WorkSession
+
+__all__ = [
+    "ADAPTIVE_STRATEGIES",
+    "AssignmentService",
+    "BehaviorParams",
+    "CampaignConfig",
+    "CampaignResult",
+    "Curve",
+    "DeploymentResult",
+    "LatentProfile",
+    "PlatformConfig",
+    "ServiceConfig",
+    "SessionEndReason",
+    "SessionEnded",
+    "TaskCompleted",
+    "TasksAssigned",
+    "WorkSession",
+    "WorkerArrived",
+    "WorkerBehavior",
+    "earnings_summary",
+    "quality_curve",
+    "retention_curve",
+    "run_campaign",
+    "run_deployment",
+    "sample_latent_profiles",
+    "session_summary",
+    "throughput_curve",
+]

@@ -1,0 +1,251 @@
+"""Stochastic worker-behaviour model — the stand-in for live AMT workers.
+
+The paper's online findings (Fig. 5) rest on three behavioural regularities
+that organizational research motivates and the paper's data exhibits:
+
+1. **Diversity stimulates quality.**  Novel tasks keep workers engaged;
+   monotonous streaks breed boredom, and bored workers answer worse (the
+   HTA-GRE-REL quality drop after ~21 minutes).
+2. **Diversity costs time.**  A widely varied set of pending tasks makes
+   each pick slower ("too much diversity results in overhead in choosing
+   tasks"), and irrelevant tasks take longer than ones matching the
+   worker's skills — so pure-diversity assignment has the *worst*
+   throughput despite the best quality.
+3. **Mismatch drives churn.**  Workers whose latent preference (their true
+   alpha*/beta*) is ignored by the assignment abandon sessions earlier.
+
+:class:`WorkerBehavior` encodes exactly these mechanisms with interpretable
+parameters (:class:`BehaviorParams`); the Fig. 5 benches then measure —
+rather than assume — which assignment strategy wins on quality, throughput
+and retention.  Absolute numbers are not calibrated to the paper's; shapes
+are (see EXPERIMENTS.md).
+
+The model is also the source of the *observable* signal the adaptive
+estimator consumes: workers pick their next task by latent utility
+``alpha* x novelty + beta* x relevance`` (softmax), so their completion
+order reveals their latent weights to :class:`repro.core.adaptive.MotivationEstimator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.worker import MotivationWeights
+from ..rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class BehaviorParams:
+    """Tunable constants of the behaviour model.
+
+    Defaults are calibrated so that the three Fig. 5 shape findings hold
+    (quality: DIV > GRE > REL; throughput: GRE best, DIV worst; retention:
+    GRE best) without hard-coding any of them.
+    """
+
+    # --- accuracy model -------------------------------------------------
+    base_accuracy: float = 0.60
+    relevance_accuracy_gain: float = 0.07
+    novelty_accuracy_gain: float = 0.26
+    boredom_accuracy_penalty: float = 0.055
+    min_accuracy: float = 0.05
+    max_accuracy: float = 0.98
+
+    # --- timing model (seconds) ------------------------------------------
+    base_task_time: float = 34.0
+    relevance_speedup: float = 0.30  # time shrinks by this share at rel = 1
+    choice_overhead: float = 24.0  # extra seconds at pending-set diversity 1
+    boredom_slowdown: float = 0.40  # time multiplier per boredom unit
+    time_noise_sigma: float = 0.30  # lognormal dispersion
+
+    # --- boredom dynamics -------------------------------------------------
+    # The steady state is growth x (1 - novelty) / (1 - decay) and the time
+    # constant 1 / (1 - decay) tasks; the defaults give a ~30-task (~15 min)
+    # ramp, matching the paper's "quality starts to drop after 21 minutes".
+    boredom_growth: float = 0.22  # added per task, scaled by (1 - novelty)
+    boredom_decay: float = 0.95  # retained fraction per task
+    novelty_window: int = 5  # recent completions defining novelty
+
+    # --- practice (learning) effect -----------------------------------------
+    # Disabled by default (0.0) to keep the Fig. 5 calibration intact; when
+    # enabled, repeatedly working similar tasks builds familiarity that
+    # *raises* accuracy — the classic specialization-vs-variety tension
+    # (practice pulls quality up on monotone streams while boredom pulls it
+    # down).  See bench_ablation_practice.py.
+    practice_accuracy_gain: float = 0.0  # max accuracy bonus at full practice
+    practice_half_life: float = 8.0  # familiarity at which half the bonus applies
+
+    # --- abandonment ------------------------------------------------------
+    base_quit_hazard: float = 0.002  # per completed task
+    boredom_quit_hazard: float = 0.012  # x boredom
+    mismatch_quit_hazard: float = 0.140  # x preference mismatch
+    satisfaction_threshold: float = 0.55  # mismatch kicks in below this
+
+    # --- choice model -----------------------------------------------------
+    choice_temperature: float = 0.12  # softmax temperature over utilities
+
+
+@dataclass(frozen=True)
+class LatentProfile:
+    """A worker's ground-truth (unobservable) preference and skill.
+
+    Attributes:
+        weights: The latent (alpha*, beta*) the estimator tries to recover.
+        skill: Multiplier on the accuracy gains (worker competence spread).
+        patience: Multiplier shrinking all quit hazards (>1 = stays longer).
+        speed: Work-pace multiplier (>1 = faster); real crowds spread over
+            several-fold speed differences, which decorrelates per-session
+            completion counts from session duration.
+    """
+
+    weights: MotivationWeights
+    skill: float = 1.0
+    patience: float = 1.0
+    speed: float = 1.0
+
+
+def sample_latent_profiles(
+    n_workers: int,
+    rng: "int | np.random.Generator | None" = None,
+    alpha_concentration: tuple[float, float] = (2.0, 2.0),
+) -> list[LatentProfile]:
+    """Draw a latent profile per worker.
+
+    Latent alphas follow a Beta distribution centred on 0.5 — real crowds mix
+    diversity-seekers and relevance-seekers; skill and patience are mild
+    lognormal spreads.
+    """
+    generator = ensure_rng(rng)
+    profiles = []
+    for _ in range(n_workers):
+        alpha = float(generator.beta(*alpha_concentration))
+        profiles.append(
+            LatentProfile(
+                weights=MotivationWeights(alpha, 1.0 - alpha),
+                skill=float(np.clip(generator.lognormal(0.0, 0.15), 0.6, 1.6)),
+                patience=float(np.clip(generator.lognormal(0.0, 0.25), 0.4, 2.5)),
+                speed=float(np.clip(generator.lognormal(0.0, 0.45), 0.35, 3.0)),
+            )
+        )
+    return profiles
+
+
+class WorkerBehavior:
+    """Mutable behavioural state of one worker during a session.
+
+    The behaviour object is *pure decision logic*: it never looks tasks up
+    itself.  The simulator computes each candidate's novelty (mean distance
+    to the worker's recent completions) and relevance and passes them in, so
+    the model composes with any task representation.
+    """
+
+    def __init__(
+        self,
+        profile: LatentProfile,
+        params: BehaviorParams,
+        rng: np.random.Generator,
+    ):
+        self.profile = profile
+        self.params = params
+        self._rng = rng
+        self.boredom = 0.0
+        self.familiarity = 0.0
+
+    # -- perception --------------------------------------------------------
+
+    def utility(self, novelty: float, relevance: float) -> float:
+        """Latent attractiveness of a task to this worker."""
+        w = self.profile.weights
+        return w.alpha * novelty + w.beta * relevance
+
+    # -- decisions -----------------------------------------------------------
+
+    def choose_next(self, novelties: np.ndarray, relevances: np.ndarray) -> int:
+        """Pick the next task among pending candidates (softmax by utility).
+
+        Arguments are aligned arrays over the pending set; returns a position
+        into them.
+        """
+        if len(novelties) == 0:
+            raise ValueError("cannot choose from an empty pending set")
+        w = self.profile.weights
+        utilities = w.alpha * np.asarray(novelties) + w.beta * np.asarray(relevances)
+        scaled = utilities / max(self.params.choice_temperature, 1e-9)
+        scaled -= scaled.max()
+        probabilities = np.exp(scaled)
+        probabilities /= probabilities.sum()
+        return int(self._rng.choice(len(probabilities), p=probabilities))
+
+    def task_duration(self, relevance: float, pending_diversity: float) -> float:
+        """Seconds spent on one task.
+
+        Relevant tasks go faster (the worker is qualified); a diverse pending
+        display adds a choice overhead; boredom procrastinates.
+        """
+        p = self.params
+        work = p.base_task_time * (1.0 - p.relevance_speedup * relevance)
+        overhead = p.choice_overhead * pending_diversity
+        slowdown = 1.0 + p.boredom_slowdown * self.boredom
+        noise = float(self._rng.lognormal(0.0, p.time_noise_sigma))
+        pace = max(self.profile.speed, 1e-9)
+        return max(1.0, (work + overhead) * slowdown * noise / pace)
+
+    def answer_accuracy(self, novelty: float, relevance: float) -> float:
+        """Probability of answering one graded question correctly."""
+        p = self.params
+        practice = 0.0
+        if p.practice_accuracy_gain > 0.0:
+            practice = p.practice_accuracy_gain * self.familiarity / (
+                self.familiarity + p.practice_half_life
+            )
+        raw = (
+            p.base_accuracy
+            + self.profile.skill
+            * (p.relevance_accuracy_gain * relevance + p.novelty_accuracy_gain * novelty)
+            + practice
+            - p.boredom_accuracy_penalty * self.boredom
+        )
+        return float(np.clip(raw, p.min_accuracy, p.max_accuracy))
+
+    def quit_probability(self, mismatch: float) -> float:
+        """Per-completed-task probability of abandoning the session."""
+        p = self.params
+        hazard = (
+            p.base_quit_hazard
+            + p.boredom_quit_hazard * self.boredom
+            + p.mismatch_quit_hazard * mismatch
+        ) / max(self.profile.patience, 1e-9)
+        return float(np.clip(hazard, 0.0, 0.9))
+
+    def decides_to_quit(self, mismatch: float) -> bool:
+        return bool(self._rng.random() < self.quit_probability(mismatch))
+
+    # -- state transitions ---------------------------------------------------
+
+    def register_completion(self, novelty: float) -> None:
+        """Update boredom and familiarity after completing a task."""
+        p = self.params
+        self.boredom = self.boredom * p.boredom_decay + p.boredom_growth * (
+            1.0 - novelty
+        )
+        # Familiarity accrues on similar work and decays like boredom does.
+        self.familiarity = self.familiarity * p.boredom_decay + (1.0 - novelty)
+
+    def preference_mismatch(self, set_diversity: float, mean_relevance: float) -> float:
+        """How badly the pending display fails the worker's latent taste.
+
+        Satisfaction is the latent utility of the set,
+        ``alpha* x set_diversity + beta* x mean_relevance``; mismatch is the
+        normalized shortfall below :attr:`BehaviorParams.satisfaction_threshold`
+        (0 when the set satisfies the worker, 1 at total dissatisfaction).
+        A diversity-seeker facing a monotonous set, or a relevance-seeker
+        facing irrelevant tasks, scores high.
+        """
+        w = self.profile.weights
+        satisfaction = w.alpha * set_diversity + w.beta * mean_relevance
+        threshold = self.params.satisfaction_threshold
+        if threshold <= 0.0:
+            return 0.0
+        return float(np.clip((threshold - satisfaction) / threshold, 0.0, 1.0))

@@ -1,0 +1,175 @@
+"""Multi-wave campaigns: returning workers with persistent estimates.
+
+The paper's online experiment had 58 distinct workers completing 80 work
+sessions — i.e. many workers returned for several HITs.  A
+:class:`Campaign` runs a sequence of deployment *waves* over one shared
+corpus, where a configurable fraction of each wave's workers are returners:
+their alpha/beta estimates persist across sessions (the platform keeps its
+:class:`~repro.core.adaptive.MotivationEstimator` state), so the adaptive
+strategy warm-starts instead of re-running the random cold start.
+
+This is the setting where adaptivity compounds: by the second session the
+service already knows a returner's preferences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.adaptive import MotivationEstimator
+from ..core.task import TaskPool
+from ..core.worker import Worker, WorkerPool
+from ..data.workers import generate_online_workers
+from ..errors import SimulationError
+from ..rng import ensure_rng, spawn
+from .behavior import LatentProfile, sample_latent_profiles
+from .platform import DeploymentResult, PlatformConfig, run_deployment
+from .session import WorkSession
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Shape of a multi-wave campaign.
+
+    Attributes:
+        n_waves: Number of deployment waves (HIT batches).
+        workers_per_wave: Sessions per wave.
+        return_rate: Fraction of each wave (after the first) drawn from
+            previous participants instead of fresh arrivals.
+        platform: Per-wave platform configuration.
+    """
+
+    n_waves: int = 3
+    workers_per_wave: int = 8
+    return_rate: float = 0.5
+    platform: PlatformConfig = field(default_factory=PlatformConfig)
+
+    def __post_init__(self) -> None:
+        if self.n_waves < 1:
+            raise SimulationError(f"n_waves must be >= 1, got {self.n_waves}")
+        if self.workers_per_wave < 1:
+            raise SimulationError(
+                f"workers_per_wave must be >= 1, got {self.workers_per_wave}"
+            )
+        if not 0.0 <= self.return_rate <= 1.0:
+            raise SimulationError(
+                f"return_rate must be in [0, 1], got {self.return_rate}"
+            )
+
+
+@dataclass
+class CampaignResult:
+    """All waves' outcomes plus the shared estimator's final state."""
+
+    strategy: str
+    waves: list[DeploymentResult]
+    estimator: MotivationEstimator
+    returner_ids: set[str]
+
+    def all_sessions(self) -> list[WorkSession]:
+        return [s for wave in self.waves for s in wave.sessions]
+
+    def sessions_of_returners(self) -> list[WorkSession]:
+        """Sessions by workers on their second or later visit."""
+        seen: set[str] = set()
+        returning: list[WorkSession] = []
+        for wave in self.waves:
+            for session in wave.sessions:
+                if session.worker_id in seen:
+                    returning.append(session)
+            for session in wave.sessions:
+                seen.add(session.worker_id)
+        return returning
+
+    def n_distinct_workers(self) -> int:
+        return len({s.worker_id for s in self.all_sessions()})
+
+
+def run_campaign(
+    pool: TaskPool,
+    strategy: str,
+    config: CampaignConfig | None = None,
+    graded_questions: "dict[str, int] | None" = None,
+    rng: "int | np.random.Generator | None" = None,
+) -> CampaignResult:
+    """Run a multi-wave campaign of ``strategy`` over ``pool``.
+
+    Workers get globally unique ids (``c{wave}-w{q}`` for fresh arrivals);
+    returners keep their original id, latent profile, and — through the
+    shared estimator — their learned weights.  Each wave consumes tasks from
+    the same shrinking corpus (tasks displayed in earlier waves are gone).
+    """
+    cfg = config or CampaignConfig()
+    master = ensure_rng(rng)
+    estimator = MotivationEstimator()
+    remaining = pool
+    waves: list[DeploymentResult] = []
+    roster: list[tuple[Worker, LatentProfile]] = []
+    returner_ids: set[str] = set()
+
+    wave_rngs = spawn(master, cfg.n_waves)
+    for wave_index, wave_rng in enumerate(wave_rngs):
+        worker_rng, profile_rng, pick_rng, deploy_rng = spawn(
+            ensure_rng(wave_rng), 4
+        )
+        wave_workers: list[Worker] = []
+        wave_profiles: list[LatentProfile] = []
+
+        n_returning = 0
+        if wave_index > 0 and roster:
+            n_returning = min(
+                int(round(cfg.return_rate * cfg.workers_per_wave)), len(roster)
+            )
+            picks = pick_rng.choice(len(roster), size=n_returning, replace=False)
+            for i in picks:
+                worker, profile = roster[int(i)]
+                wave_workers.append(worker)
+                wave_profiles.append(profile)
+                returner_ids.add(worker.worker_id)
+
+        n_fresh = cfg.workers_per_wave - n_returning
+        if n_fresh > 0:
+            fresh_pool = generate_online_workers(
+                n_fresh, remaining.vocabulary, rng=worker_rng
+            )
+            fresh_profiles = sample_latent_profiles(n_fresh, profile_rng)
+            for q, (worker, profile) in enumerate(
+                zip(fresh_pool, fresh_profiles)
+            ):
+                renamed = Worker(
+                    f"c{wave_index}-{worker.worker_id}", worker.vector, worker.weights
+                )
+                wave_workers.append(renamed)
+                wave_profiles.append(profile)
+                roster.append((renamed, profile))
+
+        result = run_deployment(
+            remaining,
+            WorkerPool(wave_workers, remaining.vocabulary),
+            strategy,
+            profiles=wave_profiles,
+            graded_questions=graded_questions,
+            config=cfg.platform,
+            rng=deploy_rng,
+            estimator=estimator,
+        )
+        waves.append(result)
+
+        displayed: set[str] = set()
+        for wave_result_session in result.sessions:
+            for assignment_event in wave_result_session.assignments:
+                displayed.update(assignment_event.task_ids)
+                displayed.update(assignment_event.random_pad_ids)
+        survivors = [t for t in remaining if t.task_id not in displayed]
+        if not survivors:
+            break
+        remaining = TaskPool(survivors, remaining.vocabulary)
+
+    return CampaignResult(
+        strategy=strategy,
+        waves=waves,
+        estimator=estimator,
+        returner_ids=returner_ids,
+    )

@@ -1,0 +1,75 @@
+"""Event records of the crowd-platform simulation.
+
+Every observable occurrence in a deployment run is logged as one of these
+immutable records; the metric collectors (:mod:`repro.crowd.metrics`) and
+the tests consume the log rather than poking simulator internals.
+
+Times are in seconds.  ``session_time`` is relative to the worker's session
+start (the x-axis of every Fig. 5 plot); ``wall_time`` is global simulation
+time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class SessionEndReason(enum.Enum):
+    """Why a work session ended."""
+
+    TIME_CAP = "time_cap"  # 30-minute HIT limit reached
+    QUIT = "quit"  # worker abandoned (boredom / mismatch)
+    EXHAUSTED = "exhausted"  # no tasks left to assign
+
+
+@dataclass(frozen=True)
+class WorkerArrived:
+    """A worker entered a work session and declared keywords."""
+
+    wall_time: float
+    worker_id: str
+
+
+@dataclass(frozen=True)
+class TasksAssigned:
+    """The assignment service gave a worker a new set of tasks."""
+
+    wall_time: float
+    session_time: float
+    worker_id: str
+    iteration: int
+    task_ids: tuple[str, ...]
+    random_pad_ids: tuple[str, ...]
+    alpha: float
+    beta: float
+
+
+@dataclass(frozen=True)
+class TaskCompleted:
+    """A worker completed one task (all its questions answered)."""
+
+    wall_time: float
+    session_time: float
+    worker_id: str
+    task_id: str
+    duration: float
+    n_questions: int
+    n_graded: int
+    n_correct: int
+    accuracy_used: float
+    novelty: float = 1.0
+    relevance: float = 0.0
+
+
+@dataclass(frozen=True)
+class SessionEnded:
+    """A work session finished."""
+
+    wall_time: float
+    session_time: float
+    worker_id: str
+    reason: SessionEndReason
+
+
+Event = WorkerArrived | TasksAssigned | TaskCompleted | SessionEnded

@@ -1,0 +1,161 @@
+"""Deployment metrics: the three Fig. 5 performance indicators.
+
+All curves use *session-relative* time in minutes on the x-axis, exactly as
+the paper plots them:
+
+* **quality** (Fig. 5a): cumulative percentage of graded questions answered
+  correctly by elapsed session time;
+* **throughput** (Fig. 5b): cumulative number of completed tasks;
+* **retention** (Fig. 5c): percentage of sessions still alive after x
+  minutes (a survival curve over session durations).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from .session import WorkSession
+
+
+@dataclass(frozen=True)
+class Curve:
+    """A step series: ``values[i]`` holds on ``[times[i], times[i+1])``."""
+
+    times: np.ndarray  # minutes
+    values: np.ndarray
+
+    def at(self, minute: float) -> float:
+        """Value of the curve at ``minute`` (last value at or before it)."""
+        position = int(np.searchsorted(self.times, minute, side="right")) - 1
+        if position < 0:
+            return float(self.values[0]) if len(self.values) else 0.0
+        return float(self.values[position])
+
+    def final(self) -> float:
+        return float(self.values[-1]) if len(self.values) else 0.0
+
+
+def _grid(max_minutes: float, step: float) -> np.ndarray:
+    return np.arange(0.0, max_minutes + step, step)
+
+
+def quality_curve(
+    sessions: Sequence[WorkSession],
+    max_minutes: float = 30.0,
+    step: float = 1.0,
+) -> Curve:
+    """Cumulative % of correct answers by elapsed session time (Fig. 5a)."""
+    times = _grid(max_minutes, step)
+    completion_minutes: list[float] = []
+    graded: list[int] = []
+    correct: list[int] = []
+    for session in sessions:
+        for completion in session.completions:
+            completion_minutes.append(completion.session_time / 60.0)
+            graded.append(completion.n_graded)
+            correct.append(completion.n_correct)
+    order = np.argsort(completion_minutes) if completion_minutes else np.array([], int)
+    minutes = np.asarray(completion_minutes)[order] if completion_minutes else np.array([])
+    graded_cum = np.cumsum(np.asarray(graded)[order]) if completion_minutes else np.array([])
+    correct_cum = np.cumsum(np.asarray(correct)[order]) if completion_minutes else np.array([])
+    values = np.zeros_like(times)
+    for i, t in enumerate(times):
+        position = int(np.searchsorted(minutes, t, side="right")) - 1
+        if position >= 0 and graded_cum[position] > 0:
+            values[i] = 100.0 * correct_cum[position] / graded_cum[position]
+    return Curve(times, values)
+
+
+def throughput_curve(
+    sessions: Sequence[WorkSession],
+    max_minutes: float = 30.0,
+    step: float = 1.0,
+) -> Curve:
+    """Cumulative number of completed tasks by session time (Fig. 5b)."""
+    times = _grid(max_minutes, step)
+    minutes = np.sort(
+        [c.session_time / 60.0 for s in sessions for c in s.completions]
+    )
+    values = np.searchsorted(minutes, times, side="right").astype(float)
+    return Curve(times, values)
+
+
+def retention_curve(
+    sessions: Sequence[WorkSession],
+    max_minutes: float = 30.0,
+    step: float = 1.0,
+) -> Curve:
+    """% of sessions that lasted at least x minutes (Fig. 5c survival)."""
+    times = _grid(max_minutes, step)
+    durations = np.asarray([s.duration_minutes for s in sessions])
+    if len(durations) == 0:
+        return Curve(times, np.zeros_like(times))
+    values = np.array(
+        [100.0 * float((durations >= t).mean()) for t in times]
+    )
+    return Curve(times, values)
+
+
+def session_summary(sessions: Sequence[WorkSession]) -> dict[str, float]:
+    """The per-strategy aggregates the paper quotes in the text.
+
+    Returns mean completed tasks per session, mean session minutes, total
+    completed tasks, overall accuracy %, and the share of sessions lasting
+    over 18.2 minutes (the paper's HTA-GRE retention headline).
+    """
+    if not sessions:
+        return {
+            "n_sessions": 0.0,
+            "tasks_per_session": 0.0,
+            "mean_session_minutes": 0.0,
+            "total_completed": 0.0,
+            "accuracy_pct": float("nan"),
+            "retained_over_18_2_min_pct": 0.0,
+        }
+    graded = sum(s.graded_questions() for s in sessions)
+    correct = sum(s.correct_answers() for s in sessions)
+    durations = [s.duration_minutes for s in sessions]
+    return {
+        "n_sessions": float(len(sessions)),
+        "tasks_per_session": float(np.mean([s.n_completed for s in sessions])),
+        "mean_session_minutes": float(np.mean(durations)),
+        "total_completed": float(sum(s.n_completed for s in sessions)),
+        "accuracy_pct": 100.0 * correct / graded if graded else float("nan"),
+        "retained_over_18_2_min_pct": 100.0
+        * float(np.mean([d >= 18.2 for d in durations])),
+    }
+
+
+def earnings_summary(
+    sessions: Sequence[WorkSession],
+    reward_of: dict[str, float],
+    hit_reward: float = 0.10,
+) -> dict[str, float]:
+    """Requester-side cost accounting (Section V-C's payment setup).
+
+    The paper paid $0.10 per HIT plus a per-task reward (quoting an average
+    task reward of $0.064 for HTA-GRE sessions).  Returns total cost, mean
+    per-task reward, earnings per session, and — where ground truth exists —
+    the requester's cost per correct answer.
+    """
+    if hit_reward < 0:
+        raise ValueError(f"hit_reward must be >= 0, got {hit_reward}")
+    task_earnings = [s.total_reward(reward_of) for s in sessions]
+    n_completed = sum(s.n_completed for s in sessions)
+    total_correct = sum(s.correct_answers() for s in sessions)
+    total_cost = sum(task_earnings) + hit_reward * len(sessions)
+    return {
+        "total_cost": total_cost,
+        "mean_session_earnings": (
+            float(np.mean(task_earnings)) + hit_reward if sessions else 0.0
+        ),
+        "mean_task_reward": (
+            sum(task_earnings) / n_completed if n_completed else 0.0
+        ),
+        "cost_per_correct_answer": (
+            total_cost / total_correct if total_correct else float("inf")
+        ),
+    }

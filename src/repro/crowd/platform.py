@@ -1,0 +1,349 @@
+"""The crowd-platform discrete-event simulator (the online deployment).
+
+Reproduces the paper's Section V-C setup end to end: workers arrive, declare
+keywords, receive displays from the :class:`~repro.crowd.service.AssignmentService`,
+pick tasks according to their latent preferences, answer questions with an
+accuracy driven by novelty/relevance/boredom, occasionally abandon, and are
+cut off at the 30-minute HIT limit.
+
+The simulation is a single priority queue of task-completion events; all
+cross-worker coupling flows through the shared assignment service (workers
+compete for tasks from one pool and are batch-reassigned together), exactly
+like the real platform in Fig. 4.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.distance import pairwise_jaccard
+from ..core.task import TaskPool
+from ..core.worker import Worker, WorkerPool
+from ..errors import SimulationError
+from ..rng import ensure_rng, spawn
+from .behavior import BehaviorParams, LatentProfile, WorkerBehavior, sample_latent_profiles
+from .events import (
+    Event,
+    SessionEndReason,
+    SessionEnded,
+    TaskCompleted,
+    WorkerArrived,
+)
+from .service import AssignmentService, ServiceConfig
+from .session import WorkSession
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """Deployment knobs.
+
+    Attributes:
+        session_cap: Hard session limit in seconds (paper: 30 minutes).
+        mean_interarrival: Mean seconds between worker arrivals (exponential);
+            0 makes everyone arrive at t=0.
+        service: Assignment-service configuration.
+        behavior: Behaviour-model constants shared by all workers.
+    """
+
+    session_cap: float = 1800.0
+    mean_interarrival: float = 120.0
+    service: ServiceConfig = field(default_factory=ServiceConfig)
+    behavior: BehaviorParams = field(default_factory=BehaviorParams)
+
+    def __post_init__(self) -> None:
+        if self.session_cap <= 0:
+            raise ValueError(f"session_cap must be positive, got {self.session_cap}")
+        if self.mean_interarrival < 0:
+            raise ValueError("mean_interarrival must be >= 0")
+
+
+@dataclass
+class DeploymentResult:
+    """Everything observed during one deployment run."""
+
+    strategy: str
+    sessions: list[WorkSession]
+    events: list[Event]
+    config: PlatformConfig
+
+    def completed_sessions(self, min_iterations: int = 2) -> list[WorkSession]:
+        """Sessions that went through at least ``min_iterations`` assignments
+        (the paper filtered out sessions that never finished an iteration)."""
+        return [s for s in self.sessions if s.n_iterations >= min_iterations]
+
+    def total_completed_tasks(self) -> int:
+        return sum(s.n_completed for s in self.sessions)
+
+    def overall_accuracy(self) -> float | None:
+        graded = sum(s.graded_questions() for s in self.sessions)
+        if graded == 0:
+            return None
+        return sum(s.correct_answers() for s in self.sessions) / graded
+
+
+class _LiveWorker:
+    """Per-worker simulation state."""
+
+    def __init__(
+        self,
+        worker: Worker,
+        behavior: WorkerBehavior,
+        start_time: float,
+        rng: np.random.Generator,
+        relevance_ref: float = 1.0,
+    ):
+        self.worker = worker
+        self.behavior = behavior
+        self.start_time = start_time
+        self.rng = rng
+        # The best relevance this worker can hope for in the corpus; raw
+        # Jaccard relevances are perceived relative to it (a worker feels
+        # "fully qualified" for the tasks that match her best).
+        self.relevance_ref = max(relevance_ref, 1e-9)
+        self.session = WorkSession(worker.worker_id, start_time)
+        self.recent_vectors: list[np.ndarray] = []
+        self.current_task: str | None = None
+        self.current_novelty: float = 1.0
+        self.current_relevance: float = 0.0
+        self.ended = False
+
+    def session_time(self, wall_time: float) -> float:
+        return wall_time - self.start_time
+
+    def perceived_relevance(self, raw: np.ndarray | float) -> np.ndarray | float:
+        """Raw Jaccard relevance rescaled by this worker's best match."""
+        return np.clip(np.asarray(raw, dtype=float) / self.relevance_ref, 0.0, 1.0)
+
+
+def run_deployment(
+    pool: TaskPool,
+    workers: WorkerPool,
+    strategy: str,
+    profiles: Sequence[LatentProfile] | None = None,
+    graded_questions: Mapping[str, int] | None = None,
+    config: PlatformConfig | None = None,
+    rng: "int | np.random.Generator | None" = None,
+    estimator: "object | None" = None,
+) -> DeploymentResult:
+    """Simulate one deployment of ``strategy`` over ``pool`` with ``workers``.
+
+    Args:
+        pool: The task corpus (e.g. from
+            :func:`repro.data.crowdflower.generate_crowdflower_corpus`).
+        workers: The participating workers (their keyword vectors).
+        strategy: Assignment strategy: ``"hta-gre"``, ``"hta-gre-div"``,
+            ``"hta-gre-rel"``, or ``"random"``.
+        profiles: Latent behavioural profiles, one per worker (sampled if
+            omitted).
+        graded_questions: Task id -> number of ground-truth questions; by
+            default every question of every task is graded.
+        config: Platform configuration.
+        rng: Seed or generator; the run is fully deterministic given it.
+        estimator: Bring-your-own motivation estimator (e.g. one shared
+            across deployment waves so returning workers keep their learned
+            weights); a fresh one is created by default.
+    """
+    cfg = config or PlatformConfig()
+    master = ensure_rng(rng)
+    service_rng, profile_rng, *worker_rngs = spawn(master, 2 + len(workers))
+    if profiles is None:
+        profiles = sample_latent_profiles(len(workers), profile_rng)
+    if len(profiles) != len(workers):
+        raise SimulationError(
+            f"{len(profiles)} profiles for {len(workers)} workers"
+        )
+    if graded_questions is None:
+        graded_questions = {t.task_id: t.n_questions for t in pool}
+
+    service = AssignmentService(
+        pool, strategy=strategy, config=cfg.service, rng=service_rng,
+        estimator=estimator,
+    )
+    # Perception baseline: each worker's best achievable relevance in the
+    # corpus (raw Jaccard relevance rarely exceeds ~0.5 even for a perfect
+    # kind match, so behaviour responds to relative, not absolute, match).
+    raw_relevance = 1.0 - pairwise_jaccard(workers.matrix, pool.matrix)
+    relevance_refs = raw_relevance.max(axis=1)
+    events: list[Event] = []
+    live: dict[str, _LiveWorker] = {}
+    queue: list[tuple[float, int, str]] = []
+    tiebreak = itertools.count()
+
+    # --- arrivals -----------------------------------------------------------
+    arrival_time = 0.0
+    for worker, profile, wrng in zip(workers, profiles, worker_rngs):
+        state = _LiveWorker(
+            worker,
+            WorkerBehavior(profile, cfg.behavior, wrng),
+            arrival_time,
+            wrng,
+            relevance_ref=float(relevance_refs[workers.position(worker.worker_id)]),
+        )
+        live[worker.worker_id] = state
+        heapq.heappush(queue, (arrival_time, next(tiebreak), worker.worker_id))
+        if cfg.mean_interarrival > 0:
+            arrival_time += float(master.exponential(cfg.mean_interarrival))
+
+    started: set[str] = set()
+
+    # --- event loop -----------------------------------------------------------
+    while queue:
+        wall_time, _, worker_id = heapq.heappop(queue)
+        state = live[worker_id]
+        if state.ended:
+            continue
+
+        if worker_id not in started:
+            started.add(worker_id)
+            events.append(WorkerArrived(wall_time, worker_id))
+            try:
+                assigned = service.register_worker(state.worker, wall_time)
+            except SimulationError:
+                _end_session(state, service, events, wall_time, SessionEndReason.EXHAUSTED)
+                continue
+            events.append(assigned)
+            state.session.assignments.append(assigned)
+            if not _start_next_task(state, service, wall_time, cfg, queue, tiebreak):
+                _end_session(state, service, events, wall_time, SessionEndReason.EXHAUSTED)
+            continue
+
+        # A task just finished.
+        session_time = state.session_time(wall_time)
+        if session_time >= cfg.session_cap:
+            # The HIT timer expired mid-task; the in-flight task is lost.
+            _end_session(
+                state, service, events, state.start_time + cfg.session_cap,
+                SessionEndReason.TIME_CAP,
+            )
+            continue
+
+        task_id = state.current_task
+        assert task_id is not None
+        task = pool.by_id(task_id)
+        accuracy = state.behavior.answer_accuracy(
+            state.current_novelty, state.current_relevance
+        )
+        n_graded = min(graded_questions.get(task_id, 0), task.n_questions)
+        n_correct = int((state.rng.random(n_graded) < accuracy).sum()) if n_graded else 0
+        completion = TaskCompleted(
+            wall_time=wall_time,
+            session_time=session_time,
+            worker_id=worker_id,
+            task_id=task_id,
+            duration=wall_time - (state.session.completions[-1].wall_time if state.session.completions else state.start_time),
+            n_questions=task.n_questions,
+            n_graded=n_graded,
+            n_correct=n_correct,
+            accuracy_used=accuracy,
+            novelty=state.current_novelty,
+            relevance=state.current_relevance,
+        )
+        events.append(completion)
+        state.session.completions.append(completion)
+        service.observe_completion(worker_id, task_id)
+        state.behavior.register_completion(state.current_novelty)
+        state.recent_vectors.append(np.asarray(task.vector, dtype=bool))
+        state.current_task = None
+
+        reassigned = service.maybe_reassign(worker_id, wall_time, session_time)
+        if reassigned is not None:
+            events.append(reassigned)
+            state.session.assignments.append(reassigned)
+
+        # Abandonment decision against the *current* display.
+        display = service.display_of(worker_id)
+        pending = display.pending()
+        mismatch = _display_mismatch(display, pending, state)
+        if state.behavior.decides_to_quit(mismatch):
+            _end_session(state, service, events, wall_time, SessionEndReason.QUIT)
+            continue
+
+        if not _start_next_task(state, service, wall_time, cfg, queue, tiebreak):
+            _end_session(state, service, events, wall_time, SessionEndReason.EXHAUSTED)
+
+    sessions = [live[w.worker_id].session for w in workers]
+    return DeploymentResult(strategy=strategy, sessions=sessions, events=events, config=cfg)
+
+
+def _display_mismatch(display, pending: list[int], state: _LiveWorker) -> float:
+    if not pending:
+        return 1.0
+    idx = np.asarray(pending, dtype=np.intp)
+    if len(idx) > 1:
+        sub = display.diversity[np.ix_(idx, idx)]
+        set_diversity = float(sub[np.triu_indices(len(idx), 1)].mean())
+    else:
+        set_diversity = 0.0
+    mean_relevance = float(np.mean(state.perceived_relevance(display.relevance[idx])))
+    return state.behavior.preference_mismatch(set_diversity, mean_relevance)
+
+
+def _novelties(state: _LiveWorker, vectors: np.ndarray) -> np.ndarray:
+    """Mean distance of each candidate vector to the worker's recent work."""
+    window = state.behavior.params.novelty_window
+    recent = state.recent_vectors[-window:]
+    if not recent:
+        return np.ones(vectors.shape[0])
+    recent_matrix = np.vstack(recent)
+    return pairwise_jaccard(vectors, recent_matrix).mean(axis=1)
+
+
+def _start_next_task(
+    state: _LiveWorker,
+    service: AssignmentService,
+    wall_time: float,
+    cfg: PlatformConfig,
+    queue: list,
+    tiebreak,
+) -> bool:
+    """Choose and schedule the worker's next task; False if nothing pending."""
+    worker_id = state.worker.worker_id
+    display = service.display_of(worker_id)
+    pending = display.pending()
+    if not pending:
+        # Try to restock once (e.g. cold display fully consumed).
+        refresh = service.maybe_reassign(
+            worker_id, wall_time, state.session_time(wall_time)
+        )
+        if refresh is not None:
+            state.session.assignments.append(refresh)
+            display = service.display_of(worker_id)
+            pending = display.pending()
+        if not pending:
+            return False
+    idx = np.asarray(pending, dtype=np.intp)
+    novelties = _novelties(state, display.vectors[idx])
+    relevances = np.asarray(state.perceived_relevance(display.relevance[idx]))
+    choice = state.behavior.choose_next(novelties, relevances)
+    local = pending[choice]
+    if len(idx) > 1:
+        sub = display.diversity[np.ix_(idx, idx)]
+        pending_diversity = float(sub[np.triu_indices(len(idx), 1)].mean())
+    else:
+        pending_diversity = 0.0
+    duration = state.behavior.task_duration(float(relevances[choice]), pending_diversity)
+    state.current_task = display.task_ids[local]
+    state.current_novelty = float(novelties[choice])
+    state.current_relevance = float(relevances[choice])
+    heapq.heappush(queue, (wall_time + duration, next(tiebreak), worker_id))
+    return True
+
+
+def _end_session(
+    state: _LiveWorker,
+    service: AssignmentService,
+    events: list[Event],
+    wall_time: float,
+    reason: SessionEndReason,
+) -> None:
+    state.ended = True
+    session_time = state.session_time(wall_time)
+    state.session.end_session_time = session_time
+    state.session.end_reason = reason
+    events.append(SessionEnded(wall_time, session_time, state.worker.worker_id, reason))
+    service.unregister_worker(state.worker.worker_id)

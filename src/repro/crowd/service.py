@@ -1,0 +1,327 @@
+"""The assignment service (Fig. 4): the platform-side brain.
+
+Responsibilities, exactly as in the paper's workflow diagram:
+
+* a new worker arrives -> build her keyword vector, assign a first display
+  (random ``x_max`` tasks for the adaptive strategy's cold start; a proper
+  solve for the fixed-weight baselines, whose weights need no observations);
+* a worker completes a task -> record the marginal diversity/relevance gains
+  into the :class:`~repro.core.adaptive.MotivationEstimator`, and decide
+  whether a new assignment iteration must fire (enough completions since the
+  last one, or the worker is running out of pending tasks);
+* an iteration fires -> collect every active worker currently due for
+  reassignment (``W^i``), solve HTA on the remaining pool with the current
+  alpha/beta estimates, display ``x_max`` assigned tasks plus
+  ``n_random_pad`` random ones ("to avoid falling into a silo"), and drop
+  all displayed tasks from the pool ("once assigned, a task is dropped from
+  subsequent iterations").
+
+Strategy names mirror the paper: ``"hta-gre"`` (adaptive), ``"hta-gre-div"``,
+``"hta-gre-rel"``, plus ``"random"`` as a floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.adaptive import MotivationEstimator, observe_gains
+from ..core.assignment import Assignment
+from ..core.distance import pairwise_jaccard
+from ..core.instance import HTAInstance
+from ..core.solvers import get_solver
+from ..core.task import Task, TaskPool
+from ..core.worker import MotivationWeights, Worker, WorkerPool
+from ..errors import SimulationError
+from ..rng import ensure_rng
+from .events import TasksAssigned
+
+#: Strategies whose alpha/beta come from observation rather than being forced.
+ADAPTIVE_STRATEGIES = frozenset({"hta-gre", "hta-app"})
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Assignment-service knobs (paper values as defaults, Section V-C).
+
+    Attributes:
+        x_max: Tasks per worker per iteration (paper: 15).
+        n_random_pad: Extra random tasks displayed to avoid silos (paper: 5).
+        reassign_after: Completions since last assignment that trigger a new
+            iteration for a worker (gives the estimator "sufficient input").
+        min_pending: A worker falling below this many pending tasks also
+            triggers reassignment (keeps the display stocked).
+        candidate_cap: Max tasks offered to the solver per iteration; large
+            remaining pools are shortlisted uniformly at random, which keeps
+            the per-iteration solve within the online latency the paper
+            requires ("executed in the background while workers complete
+            tasks").  ``None`` disables shortlisting.
+    """
+
+    x_max: int = 15
+    n_random_pad: int = 5
+    reassign_after: int = 8
+    min_pending: int = 3
+    candidate_cap: int | None = 400
+
+    def __post_init__(self) -> None:
+        if self.x_max < 1:
+            raise ValueError(f"x_max must be >= 1, got {self.x_max}")
+        if self.n_random_pad < 0:
+            raise ValueError(f"n_random_pad must be >= 0, got {self.n_random_pad}")
+        if self.reassign_after < 1:
+            raise ValueError(f"reassign_after must be >= 1, got {self.reassign_after}")
+        if self.min_pending < 0:
+            raise ValueError(f"min_pending must be >= 0, got {self.min_pending}")
+
+
+@dataclass
+class _Display:
+    """What one worker currently sees, with local matrices for fast gains."""
+
+    task_ids: list[str]
+    vectors: np.ndarray  # (k, R) boolean rows of the displayed tasks
+    diversity: np.ndarray  # (k, k) local pairwise diversity
+    relevance: np.ndarray  # (k,) relevance of each displayed task
+    completed: list[int] = field(default_factory=list)  # local indices
+    iteration: int = 0
+    completed_since_assignment: int = 0
+
+    def pending(self) -> list[int]:
+        done = set(self.completed)
+        return [i for i in range(len(self.task_ids)) if i not in done]
+
+
+class AssignmentService:
+    """Shared assignment brain over a task pool and a set of live workers."""
+
+    def __init__(
+        self,
+        pool: TaskPool,
+        strategy: str = "hta-gre",
+        config: ServiceConfig | None = None,
+        estimator: MotivationEstimator | None = None,
+        rng: "int | np.random.Generator | None" = None,
+    ):
+        self._vocabulary = pool.vocabulary
+        self._remaining: dict[str, Task] = {t.task_id: t for t in pool}
+        self._strategy = strategy
+        self._solver = get_solver(strategy)
+        self._config = config or ServiceConfig()
+        self._estimator = estimator or MotivationEstimator()
+        self._rng = ensure_rng(rng)
+        self._workers: dict[str, Worker] = {}
+        self._displays: dict[str, _Display] = {}
+        self._iterations: dict[str, int] = {}
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def strategy(self) -> str:
+        return self._strategy
+
+    @property
+    def config(self) -> ServiceConfig:
+        return self._config
+
+    @property
+    def is_adaptive(self) -> bool:
+        return self._strategy in ADAPTIVE_STRATEGIES
+
+    def remaining_tasks(self) -> int:
+        """Tasks not yet displayed to anyone."""
+        return len(self._remaining)
+
+    def weights_of(self, worker_id: str) -> MotivationWeights:
+        """Current (alpha, beta) the service would use for this worker."""
+        if self._strategy == "hta-gre-div":
+            return MotivationWeights.diversity_only()
+        if self._strategy == "hta-gre-rel":
+            return MotivationWeights.relevance_only()
+        return self._estimator.weights_for(worker_id)
+
+    def display_of(self, worker_id: str) -> _Display:
+        try:
+            return self._displays[worker_id]
+        except KeyError:
+            raise SimulationError(f"worker {worker_id!r} has no display") from None
+
+    def pending_ids(self, worker_id: str) -> list[str]:
+        display = self.display_of(worker_id)
+        return [display.task_ids[i] for i in display.pending()]
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def register_worker(
+        self, worker: Worker, wall_time: float = 0.0
+    ) -> TasksAssigned:
+        """A new worker enters a session; give her the first display."""
+        if worker.worker_id in self._workers:
+            raise SimulationError(f"worker {worker.worker_id!r} already registered")
+        self._workers[worker.worker_id] = worker
+        self._iterations[worker.worker_id] = 0
+        if self.is_adaptive:
+            # Cold start: no observations yet, deal x_max random tasks.
+            assigned = self._draw_random(self._config.x_max)
+        else:
+            solved = self._solve_for([worker.worker_id])
+            assigned = solved.get(worker.worker_id, [])
+            if not assigned:  # pool too small for a solve; fall back to random
+                assigned = self._draw_random(self._config.x_max)
+        return self._install_display(worker.worker_id, assigned, wall_time, 0.0)
+
+    def unregister_worker(self, worker_id: str) -> None:
+        """Session over; displayed-but-pending tasks stay dropped (paper)."""
+        self._workers.pop(worker_id, None)
+        self._displays.pop(worker_id, None)
+        self._iterations.pop(worker_id, None)
+
+    def observe_completion(self, worker_id: str, task_id: str) -> None:
+        """Record a completion: estimator gains + display bookkeeping."""
+        display = self.display_of(worker_id)
+        try:
+            local = display.task_ids.index(task_id)
+        except ValueError:
+            raise SimulationError(
+                f"task {task_id!r} is not displayed to worker {worker_id!r}"
+            ) from None
+        if local in display.completed:
+            raise SimulationError(f"task {task_id!r} was already completed")
+        observation = observe_gains(
+            display.diversity,
+            display.relevance,
+            assigned=list(range(len(display.task_ids))),
+            completed_before=display.completed,
+            new_index=local,
+        )
+        self._estimator.record(worker_id, observation)
+        display.completed.append(local)
+        display.completed_since_assignment += 1
+
+    def needs_reassignment(self, worker_id: str) -> bool:
+        display = self.display_of(worker_id)
+        if self.remaining_tasks() == 0:
+            return False
+        return (
+            display.completed_since_assignment >= self._config.reassign_after
+            or len(display.pending()) < self._config.min_pending
+        )
+
+    def maybe_reassign(
+        self, worker_id: str, wall_time: float, session_time: float
+    ) -> TasksAssigned | None:
+        """Fire a new iteration if this worker is due; returns the event.
+
+        All currently-due workers are solved together (they form ``W^i``),
+        but only the triggering worker's event is returned; others receive
+        their new display silently and their own event is reported when the
+        simulator processes them (the simulator attributes per-worker
+        session times, which the service does not know).
+        """
+        if not self.needs_reassignment(worker_id):
+            return None
+        due = [w for w in self._workers if self.needs_reassignment(w)]
+        if worker_id not in due:
+            due.append(worker_id)
+        solved = self._solve_for(due)
+        event: TasksAssigned | None = None
+        for w in due:
+            assigned = solved.get(w, [])
+            if not assigned and self.remaining_tasks() > 0:
+                assigned = self._draw_random(self._config.x_max)
+            if not assigned:
+                continue
+            installed = self._install_display(
+                w, assigned, wall_time, session_time if w == worker_id else -1.0
+            )
+            if w == worker_id:
+                event = installed
+        return event
+
+    # -- internals -------------------------------------------------------------
+
+    def _draw_random(self, count: int) -> list[Task]:
+        """Draw up to ``count`` random tasks, removing them from the pool."""
+        available = list(self._remaining.values())
+        if not available:
+            return []
+        take = min(count, len(available))
+        picks = self._rng.choice(len(available), size=take, replace=False)
+        drawn = [available[int(i)] for i in picks]
+        for task in drawn:
+            del self._remaining[task.task_id]
+        return drawn
+
+    def _candidates(self) -> list[Task]:
+        """The solver's task pool, shortlisted if very large."""
+        available = list(self._remaining.values())
+        cap = self._config.candidate_cap
+        if cap is not None and len(available) > cap:
+            picks = self._rng.choice(len(available), size=cap, replace=False)
+            available = [available[int(i)] for i in picks]
+        return available
+
+    def _solve_for(self, worker_ids: list[str]) -> dict[str, list[Task]]:
+        """Solve HTA for ``worker_ids`` over the remaining pool."""
+        candidates = self._candidates()
+        if not candidates or not worker_ids:
+            return {}
+        tasks = TaskPool(candidates, self._vocabulary)
+        workers = WorkerPool(
+            (
+                self._workers[w].with_weights(self.weights_of(w))
+                for w in worker_ids
+            ),
+            self._vocabulary,
+        )
+        instance = HTAInstance(tasks, workers, self._config.x_max)
+        result = self._solver.solve(instance, self._rng)
+        assignment: Assignment = result.assignment
+        out: dict[str, list[Task]] = {}
+        for w in worker_ids:
+            ids = assignment.tasks_of(w)
+            out[w] = [tasks.by_id(tid) for tid in ids]
+            for tid in ids:
+                self._remaining.pop(tid, None)
+        return out
+
+    def _install_display(
+        self,
+        worker_id: str,
+        assigned: list[Task],
+        wall_time: float,
+        session_time: float,
+    ) -> TasksAssigned:
+        pad = self._draw_random(self._config.n_random_pad)
+        shown = list(assigned) + pad
+        if not shown:
+            raise SimulationError(
+                f"no tasks left to display to worker {worker_id!r}"
+            )
+        vectors = np.vstack([t.vector for t in shown])
+        worker_vector = self._workers[worker_id].vector
+        diversity = pairwise_jaccard(vectors)
+        relevance = 1.0 - pairwise_jaccard(
+            vectors, worker_vector[None, :]
+        ).ravel()
+        iteration = self._iterations[worker_id]
+        self._iterations[worker_id] = iteration + 1
+        self._displays[worker_id] = _Display(
+            task_ids=[t.task_id for t in shown],
+            vectors=vectors,
+            diversity=diversity,
+            relevance=relevance,
+            iteration=iteration,
+        )
+        weights = self.weights_of(worker_id)
+        return TasksAssigned(
+            wall_time=wall_time,
+            session_time=session_time,
+            worker_id=worker_id,
+            iteration=iteration,
+            task_ids=tuple(t.task_id for t in assigned),
+            random_pad_ids=tuple(t.task_id for t in pad),
+            alpha=weights.alpha,
+            beta=weights.beta,
+        )

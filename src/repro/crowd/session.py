@@ -1,0 +1,68 @@
+"""Work sessions: one worker's run through one HIT.
+
+A :class:`WorkSession` aggregates the per-worker event stream into the
+quantities the paper reports per session — completed-task count, graded
+question accuracy, duration, and end reason.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .events import SessionEndReason, TaskCompleted, TasksAssigned
+
+
+@dataclass
+class WorkSession:
+    """One worker's work session.
+
+    Built incrementally by the simulator; treat as read-only afterwards.
+    """
+
+    worker_id: str
+    start_wall_time: float
+    completions: list[TaskCompleted] = field(default_factory=list)
+    assignments: list[TasksAssigned] = field(default_factory=list)
+    end_session_time: float | None = None
+    end_reason: SessionEndReason | None = None
+
+    @property
+    def n_completed(self) -> int:
+        """Number of completed tasks."""
+        return len(self.completions)
+
+    @property
+    def n_iterations(self) -> int:
+        """Number of assignment iterations the worker went through."""
+        return len(self.assignments)
+
+    @property
+    def duration(self) -> float:
+        """Session length in seconds (0 if never ended — shouldn't happen)."""
+        return self.end_session_time or 0.0
+
+    @property
+    def duration_minutes(self) -> float:
+        return self.duration / 60.0
+
+    def graded_questions(self) -> int:
+        return sum(c.n_graded for c in self.completions)
+
+    def correct_answers(self) -> int:
+        return sum(c.n_correct for c in self.completions)
+
+    def accuracy(self) -> float | None:
+        """Fraction of graded questions answered correctly (None if ungraded)."""
+        graded = self.graded_questions()
+        if graded == 0:
+            return None
+        return self.correct_answers() / graded
+
+    def total_reward(self, reward_of: dict[str, float]) -> float:
+        """Dollars earned, given a task-id -> reward map."""
+        return sum(reward_of.get(c.task_id, 0.0) for c in self.completions)
+
+    def completed_at_least_one_iteration(self) -> bool:
+        """The paper filtered sessions that never finished an iteration —
+        i.e. never received a *second* assignment."""
+        return self.n_iterations >= 2

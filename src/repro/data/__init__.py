@@ -1,0 +1,25 @@
+"""Synthetic workloads standing in for the paper's AMT/CrowdFlower corpora."""
+
+from .amt import AMTConfig, generate_amt_groups, generate_amt_pool
+from .crowdflower import (
+    CrowdFlowerConfig,
+    CrowdFlowerCorpus,
+    generate_crowdflower_corpus,
+)
+from .vocabulary import SHARED_KEYWORDS, THEMES, default_vocabulary, theme_names
+from .workers import generate_offline_workers, generate_online_workers
+
+__all__ = [
+    "AMTConfig",
+    "CrowdFlowerConfig",
+    "CrowdFlowerCorpus",
+    "SHARED_KEYWORDS",
+    "THEMES",
+    "default_vocabulary",
+    "generate_amt_groups",
+    "generate_amt_pool",
+    "generate_crowdflower_corpus",
+    "generate_offline_workers",
+    "generate_online_workers",
+    "theme_names",
+]

@@ -1,0 +1,151 @@
+"""Synthetic AMT-style task-group corpus (offline experiments, Section V-B).
+
+The paper crawled 152,221 AMT task groups, each carrying id, title, reward,
+requester, and keywords, and swept two knobs: the number of task groups and
+the number of tasks per group (``#groups x #tasks_per_group = |T|``).
+
+This generator reproduces the *structure* the experiments consume:
+
+* every group draws a theme and a small keyword set (theme signature plus a
+  couple of shared keywords), so tasks within a group are near-duplicates
+  (low pairwise diversity) while tasks across groups are far apart;
+* per-task keyword jitter (a keyword dropped or added with small
+  probability) keeps intra-group diversity non-zero, as on the real AMT
+  where HITs of one group differ slightly.
+
+The sweep of Fig. 3 ("effect of task diversity") varies #groups at fixed
+``|T|``: more groups = more diverse profit values, which is exactly what the
+generator controls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.keywords import Vocabulary
+from ..core.task import Task, TaskGroup, TaskPool
+from ..rng import ensure_rng
+from .vocabulary import SHARED_KEYWORDS, THEMES, default_vocabulary
+
+
+@dataclass(frozen=True)
+class AMTConfig:
+    """Knobs of the synthetic AMT corpus.
+
+    Attributes:
+        n_groups: Number of task groups.
+        tasks_per_group: Tasks in each group (the mean, under "powerlaw").
+        shared_keywords_per_group: Shared (cross-theme) keywords per group.
+        jitter: Probability that a task flips one of its group's keywords.
+        reward_range: Uniform micro-task reward range in dollars.
+        size_distribution: ``"uniform"`` gives every group exactly
+            ``tasks_per_group`` tasks (the paper's controlled sweeps);
+            ``"powerlaw"`` draws Zipf-like sizes with the same *total* task
+            count — the shape of the real AMT crawl, where a few requesters
+            post huge batches and most groups are tiny.
+    """
+
+    n_groups: int
+    tasks_per_group: int
+    shared_keywords_per_group: int = 2
+    jitter: float = 0.15
+    reward_range: tuple[float, float] = (0.01, 0.15)
+    size_distribution: str = "uniform"
+
+    def __post_init__(self) -> None:
+        if self.n_groups < 1 or self.tasks_per_group < 1:
+            raise ValueError("n_groups and tasks_per_group must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.size_distribution not in ("uniform", "powerlaw"):
+            raise ValueError(
+                f"size_distribution must be 'uniform' or 'powerlaw', "
+                f"got {self.size_distribution!r}"
+            )
+
+
+def generate_amt_pool(
+    config: AMTConfig,
+    vocabulary: Vocabulary | None = None,
+    rng: "int | np.random.Generator | None" = None,
+) -> TaskPool:
+    """Generate a task pool of ``n_groups * tasks_per_group`` tasks."""
+    groups = generate_amt_groups(config, vocabulary, rng)
+    vocab = vocabulary or default_vocabulary()
+    return TaskPool((task for group in groups for task in group), vocab)
+
+
+def generate_amt_groups(
+    config: AMTConfig,
+    vocabulary: Vocabulary | None = None,
+    rng: "int | np.random.Generator | None" = None,
+) -> list[TaskGroup]:
+    """Generate the corpus as explicit :class:`TaskGroup` objects."""
+    generator = ensure_rng(rng)
+    vocab = vocabulary or default_vocabulary()
+    theme_list = list(THEMES.items())
+    shared = [w for w in SHARED_KEYWORDS if w in vocab]
+    group_sizes = _draw_group_sizes(config, generator)
+
+    groups: list[TaskGroup] = []
+    for g in range(config.n_groups):
+        theme_name, theme_keywords = theme_list[
+            int(generator.integers(len(theme_list)))
+        ]
+        usable = [w for w in theme_keywords if w in vocab]
+        n_signature = int(generator.integers(2, len(usable) + 1)) if len(usable) > 2 else len(usable)
+        signature = list(
+            generator.choice(usable, size=n_signature, replace=False)
+        )
+        if shared and config.shared_keywords_per_group:
+            n_shared = min(config.shared_keywords_per_group, len(shared))
+            signature.extend(generator.choice(shared, size=n_shared, replace=False))
+        base_vector = vocab.encode(signature)
+        reward = float(generator.uniform(*config.reward_range))
+
+        tasks = []
+        for t in range(group_sizes[g]):
+            vector = base_vector.copy()
+            if config.jitter and generator.random() < config.jitter:
+                flip = int(generator.integers(len(vocab)))
+                vector[flip] = ~vector[flip]
+            tasks.append(
+                Task(
+                    task_id=f"g{g}-t{t}",
+                    vector=vector,
+                    group=f"group-{g}",
+                    title=f"{theme_name.replace('_', ' ')} #{g}.{t}",
+                    reward=round(reward, 2),
+                )
+            )
+        groups.append(TaskGroup(name=f"group-{g}", tasks=tuple(tasks)))
+    return groups
+
+
+def _draw_group_sizes(config: AMTConfig, rng: np.random.Generator) -> list[int]:
+    """Per-group task counts summing to ``n_groups * tasks_per_group``."""
+    total = config.n_groups * config.tasks_per_group
+    if config.size_distribution == "uniform":
+        return [config.tasks_per_group] * config.n_groups
+    # Zipf-like shares: group g gets a share proportional to 1 / rank, with
+    # ranks shuffled so group ids carry no size information; every group
+    # keeps at least one task and leftovers go to the largest groups.
+    ranks = rng.permutation(config.n_groups) + 1
+    shares = 1.0 / ranks
+    shares /= shares.sum()
+    sizes = np.maximum(1, np.floor(shares * total).astype(int))
+    deficit = total - int(sizes.sum())
+    order = np.argsort(-shares)
+    i = 0
+    while deficit != 0:
+        target = int(order[i % config.n_groups])
+        if deficit > 0:
+            sizes[target] += 1
+            deficit -= 1
+        elif sizes[target] > 1:
+            sizes[target] -= 1
+            deficit += 1
+        i += 1
+    return [int(s) for s in sizes]

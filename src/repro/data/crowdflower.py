@@ -1,0 +1,136 @@
+"""Synthetic CrowdFlower-style micro-task corpus (online experiment, Sec. V-C).
+
+The paper used 158,018 CrowdFlower micro-tasks of 22 kinds (tweet
+classification, web search, image transcription, sentiment analysis, entity
+resolution, news extraction, ...), each kind carrying descriptive keywords
+and a reward in $0.01-$0.12, with ground truth available for a sample of
+questions.
+
+This generator produces the equivalent: one kind per theme in
+:data:`repro.data.vocabulary.THEMES` (22 kinds), per-kind keyword vectors
+with light jitter, 1-3 questions per task, and a hidden ground-truth answer
+per question.  Ground truth is what the simulated worker's answer is graded
+against in the quality metric (Fig. 5a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.keywords import Vocabulary
+from ..core.task import Task, TaskPool
+from ..rng import ensure_rng
+from .vocabulary import SHARED_KEYWORDS, THEMES, default_vocabulary
+
+
+@dataclass(frozen=True)
+class CrowdFlowerConfig:
+    """Knobs of the synthetic CrowdFlower corpus.
+
+    Attributes:
+        n_tasks: Total micro-tasks to generate (spread over the 22 kinds).
+        max_questions: Max questions per task (uniform in 1..max).
+        ground_truth_fraction: Fraction of questions with known ground truth
+            (the paper graded a 1,137-question sample out of 4,473).
+        jitter: Per-task probability of flipping one keyword.
+        reward_range: Reward range in dollars ($0.01-$0.12 in the paper).
+    """
+
+    n_tasks: int
+    max_questions: int = 3
+    ground_truth_fraction: float = 0.25
+    jitter: float = 0.1
+    reward_range: tuple[float, float] = (0.01, 0.12)
+
+    def __post_init__(self) -> None:
+        if self.n_tasks < 1:
+            raise ValueError(f"n_tasks must be >= 1, got {self.n_tasks}")
+        if self.max_questions < 1:
+            raise ValueError(f"max_questions must be >= 1, got {self.max_questions}")
+        if not 0.0 <= self.ground_truth_fraction <= 1.0:
+            raise ValueError("ground_truth_fraction must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class CrowdFlowerCorpus:
+    """The generated corpus.
+
+    Attributes:
+        pool: All tasks as a :class:`TaskPool`.
+        kind_of_task: Task id -> kind (theme) name.
+        graded_questions: Task id -> number of its questions that have ground
+            truth (gradeable); the remaining questions are ungraded, as in
+            the paper where only a sample had ground truth.
+    """
+
+    pool: TaskPool
+    kind_of_task: dict[str, str]
+    graded_questions: dict[str, int]
+
+    @property
+    def n_kinds(self) -> int:
+        return len(set(self.kind_of_task.values()))
+
+    def total_questions(self) -> int:
+        return sum(task.n_questions for task in self.pool)
+
+    def total_graded(self) -> int:
+        return sum(self.graded_questions.values())
+
+
+def generate_crowdflower_corpus(
+    config: CrowdFlowerConfig,
+    vocabulary: Vocabulary | None = None,
+    rng: "int | np.random.Generator | None" = None,
+) -> CrowdFlowerCorpus:
+    """Generate the synthetic corpus."""
+    generator = ensure_rng(rng)
+    vocab = vocabulary or default_vocabulary()
+    kinds = list(THEMES.items())
+    shared = [w for w in SHARED_KEYWORDS if w in vocab]
+
+    # Pre-draw each kind's keyword signature once (all tasks of one kind on
+    # CrowdFlower share the same job-level keywords).
+    signatures: dict[str, np.ndarray] = {}
+    for kind_name, kind_keywords in kinds:
+        usable = [w for w in kind_keywords if w in vocab]
+        words = list(usable)
+        if shared:
+            n_shared = min(2, len(shared))
+            words.extend(generator.choice(shared, size=n_shared, replace=False))
+        signatures[kind_name] = vocab.encode(words)
+
+    tasks: list[Task] = []
+    kind_of_task: dict[str, str] = {}
+    graded: dict[str, int] = {}
+    for i in range(config.n_tasks):
+        kind_name = kinds[int(generator.integers(len(kinds)))][0]
+        vector = signatures[kind_name].copy()
+        if config.jitter and generator.random() < config.jitter:
+            flip = int(generator.integers(len(vocab)))
+            vector[flip] = ~vector[flip]
+        n_questions = int(generator.integers(1, config.max_questions + 1))
+        n_graded = int(
+            (generator.random(n_questions) < config.ground_truth_fraction).sum()
+        )
+        task_id = f"cf{i}"
+        tasks.append(
+            Task(
+                task_id=task_id,
+                vector=vector,
+                group=kind_name,
+                title=f"{kind_name.replace('_', ' ')} task {i}",
+                reward=round(float(generator.uniform(*config.reward_range)), 2),
+                n_questions=n_questions,
+            )
+        )
+        kind_of_task[task_id] = kind_name
+        graded[task_id] = n_graded
+
+    return CrowdFlowerCorpus(
+        pool=TaskPool(tasks, vocab),
+        kind_of_task=kind_of_task,
+        graded_questions=graded,
+    )

@@ -1,0 +1,69 @@
+"""Realistic keyword vocabularies for the synthetic workloads.
+
+The paper's examples cite keywords like "audio", "English", "news" (AMT) and
+"sentiment analysis", "English" (CrowdFlower).  We model the keyword space as
+a set of *themes* (task domains) each bringing a handful of signature
+keywords, plus a shared pool of qualification keywords that cut across
+themes — this reproduces the co-occurrence structure that makes intra-group
+diversity low and inter-group diversity high.
+"""
+
+from __future__ import annotations
+
+from ..core.keywords import Vocabulary
+
+#: Task-domain themes with their signature keywords (style of AMT/CF tags).
+THEMES: dict[str, tuple[str, ...]] = {
+    "audio_transcription": ("audio", "transcription", "listening", "recording"),
+    "video_tagging": ("video", "tagging", "street view", "annotation"),
+    "sentiment_analysis": ("sentiment analysis", "opinion", "tweets", "polarity"),
+    "image_labeling": ("image", "labeling", "photos", "categorize"),
+    "web_search": ("search", "web", "information finding", "query"),
+    "data_entry": ("data entry", "typing", "spreadsheet", "copy"),
+    "entity_resolution": ("entity resolution", "matching", "records", "dedup"),
+    "survey": ("survey", "questionnaire", "demographics", "feedback"),
+    "content_moderation": ("moderation", "adult content", "flagging", "review"),
+    "translation": ("translation", "bilingual", "localization", "proofreading"),
+    "ocr_verification": ("ocr", "receipts", "verification", "documents"),
+    "product_categorization": ("products", "e-commerce", "taxonomy", "shopping"),
+    "news_extraction": ("news", "articles", "extraction", "events"),
+    "map_validation": ("maps", "geography", "addresses", "validation"),
+    "speech_rating": ("speech", "pronunciation", "rating", "quality"),
+    "relevance_judgment": ("relevance", "ranking", "judgment", "pairs"),
+    "twitter_classification": ("twitter", "classification", "social media", "hashtags"),
+    "medical_coding": ("medical", "coding", "symptoms", "health"),
+    "handwriting": ("handwriting", "cursive", "digitization", "forms"),
+    "logo_design_feedback": ("logo", "design", "feedback", "aesthetics"),
+    "price_comparison": ("prices", "comparison", "retail", "offers"),
+    "text_summarization": ("summarization", "writing", "condense", "editing"),
+}
+
+#: Cross-cutting qualification keywords (language skills, generic abilities).
+SHARED_KEYWORDS: tuple[str, ...] = (
+    "english",
+    "spanish",
+    "french",
+    "attention to detail",
+    "fast",
+    "easy",
+    "fun",
+    "research",
+    "mobile friendly",
+    "qualification required",
+)
+
+
+def default_vocabulary() -> Vocabulary:
+    """The full keyword vocabulary: every theme keyword plus shared ones."""
+    words: dict[str, None] = {}
+    for theme_keywords in THEMES.values():
+        for word in theme_keywords:
+            words[word] = None  # themes may share a keyword; keep the first
+    for word in SHARED_KEYWORDS:
+        words[word] = None
+    return Vocabulary(words)
+
+
+def theme_names() -> tuple[str, ...]:
+    """The 22 task-kind names (matches the paper's 22 CrowdFlower kinds)."""
+    return tuple(THEMES)

@@ -1,0 +1,98 @@
+"""Synthetic workers.
+
+Two flavours, matching the paper's two experimental settings:
+
+* **offline workers** (Section V-B): five uniformly random interest keywords
+  and random ``(alpha, beta)`` — the paper simulates a *previous* iteration
+  having already estimated the weights;
+* **online workers** (Section V-C): the paper asked real workers to pick at
+  least six keywords; here each synthetic worker samples a couple of
+  favourite task kinds (themes) plus some shared keywords, which produces the
+  clustered interest profiles real workers exhibit.  Latent behavioural
+  parameters live in :mod:`repro.crowd.behavior`, not here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.keywords import Vocabulary
+from ..core.worker import MotivationWeights, Worker, WorkerPool
+from ..rng import ensure_rng
+from .vocabulary import SHARED_KEYWORDS, THEMES, default_vocabulary
+
+
+def generate_offline_workers(
+    n_workers: int,
+    vocabulary: Vocabulary | None = None,
+    n_keywords: int = 5,
+    rng: "int | np.random.Generator | None" = None,
+) -> WorkerPool:
+    """Workers with ``n_keywords`` uniform random keywords and random weights.
+
+    Mirrors the paper's offline setup: "for each worker, we use a
+    pseudo-random uniform generator to choose five keywords [and] pick a
+    random alpha and beta in [0, 1]".
+    """
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    generator = ensure_rng(rng)
+    vocab = vocabulary or default_vocabulary()
+    if n_keywords > len(vocab):
+        raise ValueError(
+            f"n_keywords={n_keywords} exceeds vocabulary size {len(vocab)}"
+        )
+    workers = []
+    for q in range(n_workers):
+        positions = generator.choice(len(vocab), size=n_keywords, replace=False)
+        vector = np.zeros(len(vocab), dtype=bool)
+        vector[positions] = True
+        alpha = float(generator.random())
+        workers.append(
+            Worker(
+                worker_id=f"w{q}",
+                vector=vector,
+                weights=MotivationWeights(alpha, 1.0 - alpha),
+            )
+        )
+    return WorkerPool(workers, vocab)
+
+
+def generate_online_workers(
+    n_workers: int,
+    vocabulary: Vocabulary | None = None,
+    n_favourite_kinds: int = 1,
+    min_keywords: int = 6,
+    rng: "int | np.random.Generator | None" = None,
+) -> WorkerPool:
+    """Workers with clustered interests, as elicited on the real platform.
+
+    Each worker picks ``n_favourite_kinds`` themes, adopts their signature
+    keywords, and tops up with shared keywords until reaching at least
+    ``min_keywords`` (the paper's sign-up form required six).
+    """
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    generator = ensure_rng(rng)
+    vocab = vocabulary or default_vocabulary()
+    theme_list = list(THEMES.values())
+    shared = [w for w in SHARED_KEYWORDS if w in vocab]
+
+    workers = []
+    for q in range(n_workers):
+        picks = generator.choice(
+            len(theme_list), size=min(n_favourite_kinds, len(theme_list)), replace=False
+        )
+        words = {w for p in picks for w in theme_list[p] if w in vocab}
+        extra = [w for w in shared if w not in words]
+        while len(words) < min_keywords and extra:
+            choice = extra.pop(int(generator.integers(len(extra))))
+            words.add(choice)
+        workers.append(
+            Worker(
+                worker_id=f"w{q}",
+                vector=vocab.encode(words),
+                weights=MotivationWeights.balanced(),
+            )
+        )
+    return WorkerPool(workers, vocab)

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised deliberately by the library derive from
+:class:`ReproError`, so callers can catch library failures without also
+catching programming errors (``TypeError``, ``KeyError``, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class InvalidInstanceError(ReproError):
+    """An HTA instance is malformed (bad sizes, weights, or constraints)."""
+
+
+class InvalidAssignmentError(ReproError):
+    """A task assignment violates the HTA constraints (C1 or C2)."""
+
+
+class NotAMetricError(ReproError):
+    """A distance function failed a metric-property check."""
+
+
+class InfeasibleProblemError(ReproError):
+    """A matching or assignment subproblem has no feasible solution."""
+
+
+class UnknownSolverError(ReproError):
+    """A solver name was not found in the solver registry."""
+
+
+class SimulationError(ReproError):
+    """The crowd-platform simulation reached an inconsistent state."""

@@ -1,0 +1,43 @@
+"""Experiment drivers reproducing every figure of the paper's evaluation."""
+
+from .config import OfflineScale, OnlineScale, PAPER_FIG5_REFERENCE
+from .offline import (
+    DEFAULT_SOLVERS,
+    OfflinePoint,
+    ROW_HEADERS,
+    build_offline_instance,
+    measure_point,
+    points_by_solver,
+    sweep_groups,
+    sweep_tasks,
+    sweep_workers,
+)
+from .online import (
+    DEFAULT_STRATEGIES,
+    OnlineExperimentResult,
+    StrategyOutcome,
+    run_online_experiment,
+    select_sessions,
+    significance_tests,
+)
+
+__all__ = [
+    "DEFAULT_SOLVERS",
+    "DEFAULT_STRATEGIES",
+    "OfflinePoint",
+    "OfflineScale",
+    "OnlineExperimentResult",
+    "OnlineScale",
+    "PAPER_FIG5_REFERENCE",
+    "ROW_HEADERS",
+    "StrategyOutcome",
+    "build_offline_instance",
+    "measure_point",
+    "points_by_solver",
+    "run_online_experiment",
+    "select_sessions",
+    "significance_tests",
+    "sweep_groups",
+    "sweep_tasks",
+    "sweep_workers",
+]

@@ -1,0 +1,72 @@
+"""Experiment configurations.
+
+Each figure's paper-scale parameters and our laptop-scale defaults live
+here, so benches, examples, and the CLI share one source of truth.  The
+scale-down factors are documented per experiment in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class OfflineScale:
+    """Scaling of the offline experiments (Figs. 2-3).
+
+    The paper ran Java on a 2x Xeon server with |T| up to 10,000 and an
+    O(|T|^3) Hungarian inner loop; pure Python is roughly 30-100x slower per
+    operation, so the default sweep divides task counts by 10 while keeping
+    every ratio (tasks per group, workers per task, x_max fraction) intact.
+    """
+
+    #: Fig. 2a/2b sweep: |T| values (paper: 4000..10000 step 1000).
+    task_sweep: tuple[int, ...] = (400, 500, 600, 700, 800, 900, 1000)
+    #: Tasks per task group (paper: 200 -> 20 at 1/10 scale).
+    tasks_per_group: int = 20
+    #: Fig. 2a/2b worker count (paper: 200 -> 20).
+    n_workers: int = 20
+    #: Per-worker capacity (paper: 20 -> 5, keeping |W| x x_max < |T|).
+    x_max: int = 5
+    #: Fig. 2c sweep: |W| values (paper: 30..350, |T| = 8000 -> 800).
+    worker_sweep: tuple[int, ...] = (6, 12, 20, 28, 36, 50, 70)
+    n_tasks_for_worker_sweep: int = 800
+    #: Fig. 3 sweep: #task groups at fixed |T| (paper: 10..10000, |T|=10000).
+    group_sweep: tuple[int, ...] = (4, 10, 30, 100, 300, 600)
+    n_tasks_for_group_sweep: int = 600
+    #: Repetitions averaged per point (paper: 10).
+    n_repeats: int = 3
+
+
+@dataclass(frozen=True)
+class OnlineScale:
+    """Scaling of the online experiment (Fig. 5).
+
+    Paper: 20 selected work sessions per strategy (out of 95 total), 158,018
+    tasks, 30-minute sessions, Xmax=15 plus 5 random tasks.  We keep the
+    session parameters identical and shrink the corpus (the experiment
+    consumes only a few thousand tasks).
+    """
+
+    n_sessions: int = 20
+    #: Extra sessions run so the top-``n_sessions`` selection (paper's
+    #: methodology) has something to select from.
+    n_extra_sessions: int = 4
+    corpus_size: int = 4000
+    session_cap_minutes: float = 30.0
+    workers_per_batch: int = 8
+    mean_interarrival: float = 60.0
+
+
+#: Paper-reported reference values (for EXPERIMENTS.md comparisons).
+PAPER_FIG5_REFERENCE: dict[str, dict[str, float]] = {
+    "hta-gre": {
+        "accuracy_pct": 75.5,
+        "total_completed": 734.0,
+        "tasks_per_session": 36.7,
+        "mean_session_minutes": 22.3,
+        "retained_over_18_2_min_pct": 85.0,
+    },
+    "hta-gre-div": {"accuracy_pct": 81.9, "total_completed": 636.0},
+    "hta-gre-rel": {"accuracy_pct": 65.0, "total_completed": 666.0},
+}

@@ -1,0 +1,188 @@
+"""Online deployment experiment (Section V-C; Figs. 5a, 5b, 5c).
+
+Runs the full crowd-platform simulation for each strategy, applies the
+paper's session filtering/selection methodology, and produces the three
+Fig. 5 curves plus the significance tests the paper quotes.
+
+Methodology mirrored from the paper:
+
+* sessions that never completed a full iteration (fewer than two
+  assignments) are filtered out;
+* the ``n_sessions`` sessions with the *highest number of completed tasks*
+  are selected per strategy ("to make our strategies comparable");
+* quality is compared with a two-proportion z-test on graded questions,
+  throughput and retention with Mann-Whitney U tests on per-session values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.stats import TestResult, mann_whitney_u, two_proportion_z_test
+from ..crowd.behavior import BehaviorParams, sample_latent_profiles
+from ..crowd.metrics import (
+    Curve,
+    quality_curve,
+    retention_curve,
+    session_summary,
+    throughput_curve,
+)
+from ..crowd.platform import PlatformConfig, run_deployment
+from ..crowd.service import ServiceConfig
+from ..crowd.session import WorkSession
+from ..data.crowdflower import CrowdFlowerConfig, generate_crowdflower_corpus
+from ..data.workers import generate_online_workers
+from ..rng import ensure_rng, spawn
+from .config import OnlineScale
+
+DEFAULT_STRATEGIES = ("hta-gre", "hta-gre-rel", "hta-gre-div")
+
+
+@dataclass(frozen=True)
+class StrategyOutcome:
+    """Everything measured for one strategy."""
+
+    strategy: str
+    sessions: list[WorkSession]
+    quality: Curve
+    throughput: Curve
+    retention: Curve
+    summary: dict[str, float]
+
+
+@dataclass(frozen=True)
+class OnlineExperimentResult:
+    """Per-strategy outcomes plus the paper's significance tests."""
+
+    outcomes: dict[str, StrategyOutcome]
+    significance: dict[str, TestResult]
+
+    def outcome(self, strategy: str) -> StrategyOutcome:
+        return self.outcomes[strategy]
+
+
+def run_online_experiment(
+    strategies: tuple[str, ...] = DEFAULT_STRATEGIES,
+    scale: OnlineScale | None = None,
+    behavior: BehaviorParams | None = None,
+    rng: "int | np.random.Generator | None" = None,
+) -> OnlineExperimentResult:
+    """Run the Fig. 5 experiment end to end.
+
+    Every strategy sees the *same* corpus, worker population, and latent
+    behavioural profiles (paired design); only the assignment strategy —
+    and hence the tasks shown — differs.
+    """
+    cfg = scale or OnlineScale()
+    master = ensure_rng(rng)
+    corpus_rng, worker_rng, profile_rng, *deployment_rngs = spawn(
+        master, 3 + len(strategies)
+    )
+    corpus = generate_crowdflower_corpus(
+        CrowdFlowerConfig(n_tasks=cfg.corpus_size), rng=corpus_rng
+    )
+
+    total_sessions = cfg.n_sessions + cfg.n_extra_sessions
+    n_batches = -(-total_sessions // cfg.workers_per_batch)  # ceil division
+
+    outcomes: dict[str, StrategyOutcome] = {}
+    for strategy, strategy_rng in zip(strategies, deployment_rngs):
+        batch_rngs = spawn(ensure_rng(strategy_rng), n_batches)
+        sessions: list[WorkSession] = []
+        produced = 0
+        for batch, batch_rng in enumerate(batch_rngs):
+            n_in_batch = min(cfg.workers_per_batch, total_sessions - produced)
+            if n_in_batch <= 0:
+                break
+            # Same worker population and profiles across strategies: both
+            # generators are seeded identically per batch index.
+            workers = generate_online_workers(
+                n_in_batch, rng=np.random.default_rng(1000 + batch)
+            )
+            profiles = sample_latent_profiles(
+                n_in_batch, rng=np.random.default_rng(2000 + batch)
+            )
+            platform_config = PlatformConfig(
+                session_cap=cfg.session_cap_minutes * 60.0,
+                mean_interarrival=cfg.mean_interarrival,
+                service=ServiceConfig(),
+                behavior=behavior or BehaviorParams(),
+            )
+            result = run_deployment(
+                corpus.pool,
+                workers,
+                strategy,
+                profiles=profiles,
+                graded_questions=corpus.graded_questions,
+                config=platform_config,
+                rng=batch_rng,
+            )
+            sessions.extend(result.sessions)
+            produced += n_in_batch
+
+        selected = select_sessions(sessions, cfg.n_sessions)
+        max_minutes = cfg.session_cap_minutes
+        outcomes[strategy] = StrategyOutcome(
+            strategy=strategy,
+            sessions=selected,
+            quality=quality_curve(selected, max_minutes),
+            throughput=throughput_curve(selected, max_minutes),
+            retention=retention_curve(selected, max_minutes),
+            summary=session_summary(selected),
+        )
+
+    return OnlineExperimentResult(
+        outcomes=outcomes,
+        significance=significance_tests(outcomes),
+    )
+
+
+def select_sessions(sessions: list[WorkSession], n_keep: int) -> list[WorkSession]:
+    """The paper's selection: drop sub-iteration sessions, keep the
+    ``n_keep`` sessions with the most completed tasks."""
+    eligible = [s for s in sessions if s.n_iterations >= 2]
+    if not eligible:  # degenerate corpus/config; fall back to everything
+        eligible = list(sessions)
+    eligible.sort(key=lambda s: s.n_completed, reverse=True)
+    return eligible[:n_keep]
+
+
+def significance_tests(
+    outcomes: dict[str, StrategyOutcome]
+) -> dict[str, TestResult]:
+    """The pairwise tests the paper reports (where both strategies ran)."""
+    tests: dict[str, TestResult] = {}
+
+    def graded(strategy: str) -> tuple[int, int]:
+        sessions = outcomes[strategy].sessions
+        return (
+            sum(s.correct_answers() for s in sessions),
+            sum(s.graded_questions() for s in sessions),
+        )
+
+    pairs_quality = [("hta-gre-div", "hta-gre"), ("hta-gre", "hta-gre-rel")]
+    for a, b in pairs_quality:
+        if a in outcomes and b in outcomes:
+            correct_a, total_a = graded(a)
+            correct_b, total_b = graded(b)
+            if total_a and total_b:
+                tests[f"quality:{a}>{b}"] = two_proportion_z_test(
+                    correct_a, total_a, correct_b, total_b, alternative="greater"
+                )
+
+    if "hta-gre" in outcomes and "hta-gre-div" in outcomes:
+        tests["throughput:hta-gre>hta-gre-div"] = mann_whitney_u(
+            [s.n_completed for s in outcomes["hta-gre"].sessions],
+            [s.n_completed for s in outcomes["hta-gre-div"].sessions],
+            alternative="greater",
+        )
+    for other in ("hta-gre-rel", "hta-gre-div"):
+        if "hta-gre" in outcomes and other in outcomes:
+            tests[f"retention:hta-gre>{other}"] = mann_whitney_u(
+                [s.duration_minutes for s in outcomes["hta-gre"].sessions],
+                [s.duration_minutes for s in outcomes[other].sessions],
+                alternative="greater",
+            )
+    return tests

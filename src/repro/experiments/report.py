@@ -1,0 +1,212 @@
+"""One-shot reproduction report.
+
+:func:`generate_report` runs every experiment of the paper's evaluation at
+a configurable scale, optionally persists the measurements into a
+:class:`~repro.storage.ResultsStore`, and renders a single markdown
+document mirroring EXPERIMENTS.md's paper-vs-measured structure — but with
+*your machine's* numbers.  Exposed on the CLI as ``repro-hta report``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+from ..analysis.svg_plot import save_svg_chart
+from ..analysis.tables import format_series, format_table
+from ..storage import ResultsStore
+from .config import OfflineScale, OnlineScale, PAPER_FIG5_REFERENCE
+from .offline import ROW_HEADERS, points_by_solver, sweep_groups, sweep_tasks, sweep_workers
+from .online import run_online_experiment
+
+#: Reduced sweeps for ``--fast`` runs (seconds instead of minutes).
+FAST_OFFLINE = OfflineScale(
+    task_sweep=(100, 200),
+    tasks_per_group=20,
+    n_workers=6,
+    x_max=3,
+    worker_sweep=(3, 6),
+    n_tasks_for_worker_sweep=120,
+    group_sweep=(2, 10),
+    n_tasks_for_group_sweep=120,
+    n_repeats=1,
+)
+
+FAST_ONLINE = OnlineScale(
+    n_sessions=6,
+    n_extra_sessions=2,
+    corpus_size=800,
+    session_cap_minutes=10.0,
+    workers_per_batch=4,
+    mean_interarrival=30.0,
+)
+
+
+@dataclass(frozen=True)
+class ReportConfig:
+    """What to run and where to put it."""
+
+    offline: OfflineScale = OfflineScale()
+    online: OnlineScale = OnlineScale()
+    seed: int = 0
+    store_path: "str | Path | None" = None
+    figures_dir: "str | Path | None" = None
+
+    @classmethod
+    def fast(cls, seed: int = 0, store_path=None, figures_dir=None) -> "ReportConfig":
+        return cls(
+            offline=FAST_OFFLINE, online=FAST_ONLINE, seed=seed,
+            store_path=store_path, figures_dir=figures_dir,
+        )
+
+
+def generate_report(config: ReportConfig | None = None) -> str:
+    """Run every experiment and return the markdown report."""
+    cfg = config or ReportConfig()
+    sections = ["# Reproduction report", ""]
+    store = ResultsStore(cfg.store_path) if cfg.store_path else None
+    try:
+        sections.extend(_offline_sections(cfg, store))
+        sections.extend(_online_sections(cfg, store))
+    finally:
+        if store is not None:
+            store.close()
+    return "\n".join(sections)
+
+
+def _offline_sections(cfg: ReportConfig, store: ResultsStore | None) -> list[str]:
+    scale = cfg.offline
+    sweeps = {
+        "fig2a/fig2b (|T| sweep)": sweep_tasks(
+            scale.task_sweep, scale.tasks_per_group, scale.n_workers,
+            scale.x_max, n_repeats=scale.n_repeats, rng=cfg.seed,
+        ),
+        "fig2c (|W| sweep)": sweep_workers(
+            scale.worker_sweep, scale.n_tasks_for_worker_sweep,
+            scale.tasks_per_group, scale.x_max,
+            n_repeats=scale.n_repeats, rng=cfg.seed,
+        ),
+        "fig3 (#groups sweep)": sweep_groups(
+            scale.group_sweep, scale.n_tasks_for_group_sweep, scale.n_workers,
+            scale.x_max, n_repeats=scale.n_repeats, rng=cfg.seed,
+        ),
+    }
+    sections: list[str] = []
+    for title, points in sweeps.items():
+        sections.append(f"## {title}")
+        sections.append("")
+        sections.append("```")
+        sections.append(format_table(ROW_HEADERS, [p.row() for p in points]))
+        sections.append("```")
+        grouped = points_by_solver(points)
+        if "hta-app" in grouped and "hta-gre" in grouped:
+            speedups = [
+                f"{a.total_time / g.total_time:.1f}x"
+                for a, g in zip(grouped["hta-app"], grouped["hta-gre"])
+            ]
+            sections.append(f"- HTA-GRE speedup over HTA-APP: {', '.join(speedups)}")
+        if cfg.figures_dir is not None and grouped:
+            slug = title.split(" ")[0].replace("/", "-")
+            x_axis = [p.n_tasks for p in next(iter(grouped.values()))]
+            if "fig2c" in title:
+                x_axis = [p.n_workers for p in next(iter(grouped.values()))]
+            elif "fig3" in title:
+                x_axis = [p.n_groups for p in next(iter(grouped.values()))]
+            figure = save_svg_chart(
+                Path(cfg.figures_dir) / f"{slug}_time.svg",
+                x_axis,
+                {name: [p.total_time for p in pts] for name, pts in grouped.items()},
+                title=title,
+                x_label="sweep value",
+                y_label="response time (s)",
+            )
+            sections.append(f"- figure: `{figure}`")
+        sections.append("")
+        if store is not None:
+            run_id = store.start_run(title, {"seed": cfg.seed})
+            store.add_points(
+                run_id,
+                (
+                    (
+                        f"{p.solver}@T{p.n_tasks}W{p.n_workers}G{p.n_groups}",
+                        {
+                            "total_s": p.total_time,
+                            "matching_s": p.matching_time,
+                            "lsap_s": p.lsap_time,
+                            "objective": p.objective,
+                        },
+                    )
+                    for p in points
+                ),
+            )
+    return sections
+
+
+def _online_sections(cfg: ReportConfig, store: ResultsStore | None) -> list[str]:
+    result = run_online_experiment(scale=cfg.online, rng=cfg.seed)
+    sections = ["## fig5 (online deployment)", ""]
+    rows = []
+    for strategy, outcome in result.outcomes.items():
+        summary = outcome.summary
+        reference = PAPER_FIG5_REFERENCE.get(strategy, {})
+        rows.append(
+            [
+                strategy,
+                round(summary["accuracy_pct"], 1),
+                reference.get("accuracy_pct", "-"),
+                round(summary["total_completed"], 0),
+                reference.get("total_completed", "-"),
+                round(summary["retained_over_18_2_min_pct"], 0),
+            ]
+        )
+    sections.append("```")
+    sections.append(
+        format_table(
+            ["strategy", "acc%", "paper acc%", "total", "paper total", "ret18%"],
+            rows,
+        )
+    )
+    sections.append("```")
+    sections.append("")
+    minutes = [int(m) for m in range(0, int(cfg.online.session_cap_minutes) + 1,
+                                     max(1, int(cfg.online.session_cap_minutes) // 6))]
+    for metric in ("quality", "throughput", "retention"):
+        series = {
+            strategy: [getattr(o, metric).at(m) for m in minutes]
+            for strategy, o in result.outcomes.items()
+        }
+        sections.append("```")
+        sections.append(
+            format_series("minute", series, minutes, title=f"fig5 {metric}",
+                          precision=1)
+        )
+        sections.append("```")
+        sections.append("")
+    if cfg.figures_dir is not None:
+        for metric in ("quality", "throughput", "retention"):
+            series = {
+                strategy: [getattr(o, metric).at(m) for m in minutes]
+                for strategy, o in result.outcomes.items()
+            }
+            figure = save_svg_chart(
+                Path(cfg.figures_dir) / f"fig5_{metric}.svg",
+                minutes,
+                series,
+                title=f"fig5 {metric}",
+                x_label="minute",
+                y_label=metric,
+            )
+            sections.append(f"- figure: `{figure}`")
+        sections.append("")
+    sections.append("Significance tests:")
+    for name, test in result.significance.items():
+        sections.append(f"- {name}: statistic = {test.statistic:.2f}, "
+                        f"p = {test.p_value:.4f}")
+    sections.append("")
+    if store is not None:
+        run_id = store.start_run("fig5", {"seed": cfg.seed})
+        store.add_points(
+            run_id,
+            ((strategy, outcome.summary) for strategy, outcome in result.outcomes.items()),
+        )
+    return sections

@@ -1,0 +1,211 @@
+"""JSON serialization for the library's value objects.
+
+Round-trips vocabularies, task/worker pools, HTA instances, assignments,
+and deployment summaries to plain JSON so experiments can be checkpointed,
+diffed, and replayed across sessions.  Keyword vectors are stored as
+keyword-name lists (stable across vocabulary reorderings is *not*
+guaranteed — the vocabulary itself is part of the document).
+
+Top-level helpers: :func:`dump` / :func:`load` dispatch on a ``"kind"``
+discriminator, so one file format covers every object.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .core.assignment import Assignment
+from .core.distance import DistanceSpec
+from .core.instance import HTAInstance
+from .core.keywords import Vocabulary
+from .core.task import Task, TaskPool
+from .core.worker import MotivationWeights, Worker, WorkerPool
+from .errors import ReproError
+
+
+class SerializationError(ReproError):
+    """A document could not be encoded or decoded."""
+
+
+# ---------------------------------------------------------------------------
+# Encoders.
+# ---------------------------------------------------------------------------
+
+
+def vocabulary_to_dict(vocabulary: Vocabulary) -> dict[str, Any]:
+    return {"kind": "vocabulary", "keywords": list(vocabulary.keywords)}
+
+
+def task_to_dict(task: Task, vocabulary: Vocabulary) -> dict[str, Any]:
+    return {
+        "task_id": task.task_id,
+        "keywords": list(task.keywords(vocabulary)),
+        "group": task.group,
+        "title": task.title,
+        "reward": task.reward,
+        "n_questions": task.n_questions,
+    }
+
+
+def task_pool_to_dict(pool: TaskPool) -> dict[str, Any]:
+    return {
+        "kind": "task_pool",
+        "vocabulary": vocabulary_to_dict(pool.vocabulary),
+        "tasks": [task_to_dict(t, pool.vocabulary) for t in pool],
+    }
+
+
+def worker_to_dict(worker: Worker, vocabulary: Vocabulary) -> dict[str, Any]:
+    return {
+        "worker_id": worker.worker_id,
+        "keywords": list(worker.keywords(vocabulary)),
+        "alpha": worker.alpha,
+        "beta": worker.beta,
+    }
+
+
+def worker_pool_to_dict(pool: WorkerPool) -> dict[str, Any]:
+    return {
+        "kind": "worker_pool",
+        "vocabulary": vocabulary_to_dict(pool.vocabulary),
+        "workers": [worker_to_dict(w, pool.vocabulary) for w in pool],
+    }
+
+
+def instance_to_dict(instance: HTAInstance) -> dict[str, Any]:
+    return {
+        "kind": "hta_instance",
+        "x_max": instance.x_max,
+        "distance": instance.distance.name,
+        "tasks": task_pool_to_dict(instance.tasks),
+        "workers": worker_pool_to_dict(instance.workers),
+    }
+
+
+def assignment_to_dict(assignment: Assignment) -> dict[str, Any]:
+    return {
+        "kind": "assignment",
+        "by_worker": {w: list(ts) for w, ts in assignment.by_worker.items()},
+    }
+
+
+# ---------------------------------------------------------------------------
+# Decoders.
+# ---------------------------------------------------------------------------
+
+
+def vocabulary_from_dict(document: dict[str, Any]) -> Vocabulary:
+    _expect_kind(document, "vocabulary")
+    return Vocabulary(document["keywords"])
+
+
+def task_pool_from_dict(document: dict[str, Any]) -> TaskPool:
+    _expect_kind(document, "task_pool")
+    vocabulary = vocabulary_from_dict(document["vocabulary"])
+    tasks = []
+    for entry in document["tasks"]:
+        tasks.append(
+            Task(
+                task_id=entry["task_id"],
+                vector=vocabulary.encode(entry["keywords"]),
+                group=entry.get("group", ""),
+                title=entry.get("title", ""),
+                reward=entry.get("reward", 0.05),
+                n_questions=entry.get("n_questions", 1),
+            )
+        )
+    return TaskPool(tasks, vocabulary)
+
+
+def worker_pool_from_dict(document: dict[str, Any]) -> WorkerPool:
+    _expect_kind(document, "worker_pool")
+    vocabulary = vocabulary_from_dict(document["vocabulary"])
+    workers = []
+    for entry in document["workers"]:
+        workers.append(
+            Worker(
+                worker_id=entry["worker_id"],
+                vector=vocabulary.encode(entry["keywords"]),
+                weights=MotivationWeights(entry["alpha"], entry["beta"]),
+            )
+        )
+    return WorkerPool(workers, vocabulary)
+
+
+def instance_from_dict(document: dict[str, Any]) -> HTAInstance:
+    _expect_kind(document, "hta_instance")
+    return HTAInstance(
+        tasks=task_pool_from_dict(document["tasks"]),
+        workers=worker_pool_from_dict(document["workers"]),
+        x_max=document["x_max"],
+        distance=DistanceSpec(document.get("distance", "jaccard")),
+    )
+
+
+def assignment_from_dict(document: dict[str, Any]) -> Assignment:
+    _expect_kind(document, "assignment")
+    return Assignment(
+        {w: tuple(ts) for w, ts in document["by_worker"].items()}
+    )
+
+
+# ---------------------------------------------------------------------------
+# Top-level dispatch.
+# ---------------------------------------------------------------------------
+
+_ENCODERS = {
+    Vocabulary: vocabulary_to_dict,
+    TaskPool: task_pool_to_dict,
+    WorkerPool: worker_pool_to_dict,
+    HTAInstance: instance_to_dict,
+    Assignment: assignment_to_dict,
+}
+
+_DECODERS = {
+    "vocabulary": vocabulary_from_dict,
+    "task_pool": task_pool_from_dict,
+    "worker_pool": worker_pool_from_dict,
+    "hta_instance": instance_from_dict,
+    "assignment": assignment_from_dict,
+}
+
+
+def to_dict(obj: object) -> dict[str, Any]:
+    """Encode any supported object to a JSON-compatible dict."""
+    for cls, encoder in _ENCODERS.items():
+        if isinstance(obj, cls):
+            return encoder(obj)
+    raise SerializationError(f"cannot serialize objects of type {type(obj).__name__}")
+
+
+def from_dict(document: dict[str, Any]) -> object:
+    """Decode a dict produced by :func:`to_dict`."""
+    kind = document.get("kind")
+    decoder = _DECODERS.get(kind)
+    if decoder is None:
+        known = ", ".join(sorted(_DECODERS))
+        raise SerializationError(f"unknown document kind {kind!r}; known: {known}")
+    return decoder(document)
+
+
+def dump(obj: object, path: str | Path) -> None:
+    """Serialize ``obj`` to a JSON file."""
+    document = to_dict(obj)
+    Path(path).write_text(json.dumps(document, indent=2, sort_keys=True))
+
+
+def load(path: str | Path) -> object:
+    """Load an object previously written by :func:`dump`."""
+    try:
+        document = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON in {path}: {exc}") from exc
+    return from_dict(document)
+
+
+def _expect_kind(document: dict[str, Any], kind: str) -> None:
+    got = document.get("kind")
+    if got != kind:
+        raise SerializationError(f"expected a {kind!r} document, got {got!r}")

@@ -1,0 +1,36 @@
+"""Combinatorial matching substrate: greedy/exact matchings and LSAP solvers."""
+
+from .exact import exact_matching_weight, exact_max_weight_matching
+from .greedy import (
+    cover_map,
+    greedy_matching_dense,
+    greedy_matching_edges,
+    is_matching,
+    matching_weight,
+)
+from .lsap import (
+    LSAPSolution,
+    auction_lsap,
+    brute_force_lsap,
+    greedy_lsap,
+    hungarian,
+    lsap_methods,
+    solve_lsap,
+)
+
+__all__ = [
+    "LSAPSolution",
+    "auction_lsap",
+    "brute_force_lsap",
+    "cover_map",
+    "exact_matching_weight",
+    "exact_max_weight_matching",
+    "greedy_lsap",
+    "greedy_matching_dense",
+    "greedy_matching_edges",
+    "hungarian",
+    "is_matching",
+    "lsap_methods",
+    "matching_weight",
+    "solve_lsap",
+]

@@ -1,0 +1,85 @@
+"""Exact maximum-weight matching on small general graphs.
+
+Bitmask dynamic programming over vertex subsets: ``best[mask]`` is the
+maximum matching weight using only vertices in ``mask``.  Runs in
+``O(2^n * n)`` time and ``O(2^n)`` memory, so it is limited to ``n <= 20``.
+
+This is *not* used inside the HTA algorithms (they use the greedy
+1/2-approximation, which preserves their guarantees); it exists as the test
+oracle that pins down the greedy matcher's approximation ratio and the exact
+variant offered by :func:`repro.core.qap.build_matching` for tiny instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InvalidInstanceError
+
+MAX_EXACT_VERTICES = 20
+
+
+def exact_max_weight_matching(weights: np.ndarray) -> list[tuple[int, int]]:
+    """Maximum-weight matching of a dense symmetric weight matrix.
+
+    Only edges with positive weight are considered (an optimal matching never
+    needs a non-positive edge).  Returns vertex-disjoint ``(i, j)`` pairs with
+    ``i < j``.
+
+    >>> w = np.array([[0., 3., 1.], [3., 0., 2.], [1., 2., 0.]])
+    >>> exact_max_weight_matching(w)
+    [(0, 1)]
+    """
+    matrix = np.asarray(weights, dtype=float)
+    n = matrix.shape[0]
+    if matrix.shape != (n, n):
+        raise ValueError(f"expected a square matrix, got shape {matrix.shape}")
+    if n > MAX_EXACT_VERTICES:
+        raise InvalidInstanceError(
+            f"exact matching is limited to {MAX_EXACT_VERTICES} vertices, got {n}"
+        )
+    if n < 2:
+        return []
+
+    size = 1 << n
+    best = np.zeros(size, dtype=float)
+    choice = np.full(size, -1, dtype=np.int64)  # encoded edge i * n + j, or -1
+
+    for mask in range(1, size):
+        # Let v be the lowest set vertex; either v stays unmatched, or v pairs
+        # with some other set vertex u.
+        v = (mask & -mask).bit_length() - 1
+        rest = mask ^ (1 << v)
+        best[mask] = best[rest]
+        choice[mask] = -1
+        remaining = rest
+        while remaining:
+            u = (remaining & -remaining).bit_length() - 1
+            remaining ^= 1 << u
+            w = matrix[v, u]
+            if w > 0.0:
+                candidate = w + best[rest ^ (1 << u)]
+                if candidate > best[mask]:
+                    best[mask] = candidate
+                    choice[mask] = v * n + u
+
+    matching: list[tuple[int, int]] = []
+    mask = size - 1
+    while mask:
+        v = (mask & -mask).bit_length() - 1
+        if choice[mask] == -1:
+            mask ^= 1 << v
+            continue
+        encoded = int(choice[mask])
+        i, j = divmod(encoded, n)
+        matching.append((min(i, j), max(i, j)))
+        mask ^= (1 << i) | (1 << j)
+    matching.sort()
+    return matching
+
+
+def exact_matching_weight(weights: np.ndarray) -> float:
+    """Weight of the maximum-weight matching (no edge recovery)."""
+    matching = exact_max_weight_matching(weights)
+    matrix = np.asarray(weights, dtype=float)
+    return float(sum(matrix[i, j] for i, j in matching))

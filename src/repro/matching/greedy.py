@@ -1,0 +1,104 @@
+"""Greedy maximum-weight matching (the paper's GreedyMatching subroutine).
+
+Sorts edges by decreasing weight and repeatedly takes the heaviest edge whose
+endpoints are both free.  This is the classic 1/2-approximation for maximum
+weight matching [Drake & Hougardy 2003; Duan & Pettie 2014] that both
+HTA-APP (matching step on ``B``) and HTA-GRE (matching step *and* LSAP step)
+rely on.
+
+Two entry points:
+
+* :func:`greedy_matching_dense` — on a symmetric weight matrix (complete
+  graph), the shape used throughout HTA;
+* :func:`greedy_matching_edges` — on an explicit edge list, for sparse
+  graphs and for tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+Edge = tuple[int, int, float]
+
+
+def greedy_matching_dense(weights: np.ndarray) -> list[tuple[int, int]]:
+    """Greedy matching on the complete graph given by a symmetric matrix.
+
+    Edges with non-positive weight are skipped: leaving two vertices
+    unmatched is never worse than matching them at weight <= 0, and skipping
+    keeps the 1/2 bound while avoiding useless pairs.
+
+    Returns a list of ``(i, j)`` with ``i < j``, vertex-disjoint, ordered by
+    decreasing weight.
+
+    >>> w = np.array([[0., 3., 1.], [3., 0., 2.], [1., 2., 0.]])
+    >>> greedy_matching_dense(w)
+    [(0, 1)]
+    """
+    matrix = np.asarray(weights, dtype=float)
+    n = matrix.shape[0]
+    if matrix.shape != (n, n):
+        raise ValueError(f"expected a square matrix, got shape {matrix.shape}")
+    if n < 2:
+        return []
+    rows, cols = np.triu_indices(n, k=1)
+    edge_weights = matrix[rows, cols]
+    order = np.argsort(-edge_weights, kind="stable")
+    matched = np.zeros(n, dtype=bool)
+    matching: list[tuple[int, int]] = []
+    for e in order:
+        if edge_weights[e] <= 0.0:
+            break
+        i, j = int(rows[e]), int(cols[e])
+        if not matched[i] and not matched[j]:
+            matched[i] = matched[j] = True
+            matching.append((i, j))
+    return matching
+
+
+def greedy_matching_edges(edges: Iterable[Edge]) -> list[tuple[int, int]]:
+    """Greedy matching over an explicit ``(u, v, weight)`` edge list."""
+    cleaned: list[Edge] = []
+    for u, v, w in edges:
+        if u == v:
+            raise ValueError(f"self-loop on vertex {u} is not allowed")
+        cleaned.append((min(u, v), max(u, v), float(w)))
+    cleaned.sort(key=lambda e: -e[2])
+    matched: set[int] = set()
+    matching: list[tuple[int, int]] = []
+    for u, v, w in cleaned:
+        if w <= 0.0:
+            break
+        if u not in matched and v not in matched:
+            matched.add(u)
+            matched.add(v)
+            matching.append((u, v))
+    return matching
+
+
+def matching_weight(weights: np.ndarray, matching: Iterable[tuple[int, int]]) -> float:
+    """Total weight of ``matching`` under the dense weight matrix."""
+    matrix = np.asarray(weights, dtype=float)
+    return float(sum(matrix[i, j] for i, j in matching))
+
+
+def is_matching(matching: Iterable[tuple[int, int]]) -> bool:
+    """True if no vertex appears in more than one edge."""
+    seen: set[int] = set()
+    for i, j in matching:
+        if i in seen or j in seen or i == j:
+            return False
+        seen.add(i)
+        seen.add(j)
+    return True
+
+
+def cover_map(matching: Iterable[tuple[int, int]], n: int) -> np.ndarray:
+    """Partner array: ``partner[v]`` is v's match, or ``-1`` if unmatched."""
+    partner = np.full(n, -1, dtype=np.intp)
+    for i, j in matching:
+        partner[i] = j
+        partner[j] = i
+    return partner

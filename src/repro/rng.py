@@ -1,0 +1,38 @@
+"""Deterministic random-number handling.
+
+Every stochastic component of the library takes an explicit ``rng`` argument.
+This module provides one normalization helper so callers may pass a seed, a
+:class:`numpy.random.Generator`, or ``None`` (fresh entropy) interchangeably.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def ensure_rng(rng: "int | np.random.Generator | None" = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``rng``.
+
+    Accepts an existing generator (returned unchanged), an integer seed, or
+    ``None`` for OS entropy.
+
+    >>> gen = ensure_rng(42)
+    >>> ensure_rng(gen) is gen
+    True
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Split ``rng`` into ``n`` independent child generators.
+
+    Used by the simulator to give each worker/session its own stream so that
+    adding a worker does not perturb the randomness of the others.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn a negative number of generators: {n}")
+    return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(n)]

@@ -1,0 +1,21 @@
+"""Team formation for collaborative tasks — the paper's future-work plan."""
+
+from .algorithms import exact_teams, greedy_teams, random_teams
+from .model import (
+    CollaborativeTask,
+    TeamAssignment,
+    TeamInstance,
+    TeamWeights,
+    collaborative_tasks_from_pool,
+)
+
+__all__ = [
+    "CollaborativeTask",
+    "TeamAssignment",
+    "TeamInstance",
+    "TeamWeights",
+    "collaborative_tasks_from_pool",
+    "exact_teams",
+    "greedy_teams",
+    "random_teams",
+]

@@ -1,0 +1,142 @@
+"""Team-formation algorithms.
+
+Three solvers over :class:`~repro.teams.model.TeamInstance`:
+
+* :func:`greedy_teams` — seed each task with its best available worker,
+  then grow teams by best marginal motivation gain, processing (task,
+  worker) candidates globally by gain.  ``O(|tasks| * |workers|^2)``.
+* :func:`random_teams` — deal workers randomly (the sanity floor).
+* :func:`exact_teams` — exhaustive optimum for tiny instances (oracle).
+
+Team formation generalizes HTA's structure (disjoint groups, a set
+function per group) and inherits its hardness; no approximation factor is
+claimed for the greedy — the benchmark measures its gap against the oracle
+empirically.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from ..errors import InvalidInstanceError
+from ..rng import ensure_rng
+from .model import TeamAssignment, TeamInstance
+
+MAX_EXACT_WORKERS = 10
+MAX_EXACT_TASKS = 4
+
+
+def greedy_teams(
+    instance: TeamInstance,
+    rng: "int | np.random.Generator | None" = None,
+) -> TeamAssignment:
+    """Greedy marginal-gain team formation.
+
+    Repeatedly picks the (task, worker) pair with the highest marginal team-
+    motivation gain among tasks that still have open slots, breaking ties by
+    task order.  Deterministic given the instance (``rng`` accepted for
+    interface symmetry; unused).
+    """
+    n_tasks = len(instance.tasks)
+    open_slots = [t.team_size for t in instance.tasks]
+    teams: list[list[int]] = [[] for _ in range(n_tasks)]
+    available = set(range(len(instance.workers)))
+    current_value = [0.0] * n_tasks
+
+    total_slots = sum(open_slots)
+    for _ in range(total_slots):
+        best_gain = -np.inf
+        best_pair: tuple[int, int] | None = None
+        for task_index in range(n_tasks):
+            if open_slots[task_index] == 0:
+                continue
+            for worker_index in available:
+                candidate = teams[task_index] + [worker_index]
+                gain = (
+                    instance.team_motivation(task_index, candidate)
+                    - current_value[task_index]
+                )
+                if gain > best_gain:
+                    best_gain = gain
+                    best_pair = (task_index, worker_index)
+        assert best_pair is not None  # demand <= supply is validated upstream
+        task_index, worker_index = best_pair
+        teams[task_index].append(worker_index)
+        current_value[task_index] = instance.team_motivation(
+            task_index, teams[task_index]
+        )
+        open_slots[task_index] -= 1
+        available.remove(worker_index)
+
+    return _to_assignment(instance, teams)
+
+
+def random_teams(
+    instance: TeamInstance,
+    rng: "int | np.random.Generator | None" = None,
+) -> TeamAssignment:
+    """Deal workers to teams uniformly at random."""
+    generator = ensure_rng(rng)
+    order = list(generator.permutation(len(instance.workers)))
+    teams: list[list[int]] = []
+    cursor = 0
+    for task in instance.tasks:
+        teams.append([int(i) for i in order[cursor : cursor + task.team_size]])
+        cursor += task.team_size
+    return _to_assignment(instance, teams)
+
+
+def exact_teams(instance: TeamInstance) -> TeamAssignment:
+    """Exhaustive optimal team formation for tiny instances."""
+    if len(instance.workers) > MAX_EXACT_WORKERS:
+        raise InvalidInstanceError(
+            f"exact team formation supports at most {MAX_EXACT_WORKERS} "
+            f"workers, got {len(instance.workers)}"
+        )
+    if len(instance.tasks) > MAX_EXACT_TASKS:
+        raise InvalidInstanceError(
+            f"exact team formation supports at most {MAX_EXACT_TASKS} "
+            f"tasks, got {len(instance.tasks)}"
+        )
+
+    best_value = -np.inf
+    best_teams: list[list[int]] | None = None
+
+    def recurse(task_index: int, available: tuple[int, ...], teams, value):
+        nonlocal best_value, best_teams
+        if task_index == len(instance.tasks):
+            if value > best_value:
+                best_value = value
+                best_teams = [list(t) for t in teams]
+            return
+        size = instance.tasks[task_index].team_size
+        for members in combinations(available, size):
+            taken = set(members)
+            rest = tuple(w for w in available if w not in taken)
+            teams.append(list(members))
+            recurse(
+                task_index + 1,
+                rest,
+                teams,
+                value + instance.team_motivation(task_index, list(members)),
+            )
+            teams.pop()
+
+    recurse(0, tuple(range(len(instance.workers))), [], 0.0)
+    assert best_teams is not None
+    return _to_assignment(instance, best_teams)
+
+
+def _to_assignment(instance: TeamInstance, teams: list[list[int]]) -> TeamAssignment:
+    assignment = TeamAssignment(
+        {
+            task.task_id: tuple(
+                instance.workers[i].worker_id for i in members
+            )
+            for task, members in zip(instance.tasks, teams)
+        }
+    )
+    assignment.validate(instance)
+    return assignment

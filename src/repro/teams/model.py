@@ -1,0 +1,189 @@
+"""Collaborative tasks and team motivation (the paper's future work).
+
+The paper closes with: *"Our immediate plan is to extend this work to
+collaborative tasks where motivation factors such as social signaling
+matter.  Task assignment would have to account for the presence of other
+workers in forming the most motivated team to complete a task ... [which]
+will depend on the availability of workers with complementary skills."*
+
+This extension package realizes that plan as a concrete optimization
+problem.  A :class:`CollaborativeTask` needs a team of exactly ``team_size``
+workers; a team's motivation for a task combines three ingredients:
+
+* **relevance** — the mean individual relevance of members to the task
+  (the paper's beta factor, lifted to teams);
+* **coverage** — the fraction of the task's required keywords covered by
+  the *union* of member skills (complementary skills);
+* **affinity** — mean pairwise similarity between members (the social-
+  signaling proxy: teams that share vocabulary coordinate better).
+
+The weights of the three ingredients are a :class:`TeamWeights` simplex.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+from functools import cached_property
+
+import numpy as np
+
+from ..core.distance import pairwise_jaccard
+from ..core.keywords import Vocabulary
+from ..core.task import Task
+from ..core.worker import WorkerPool
+from ..errors import InvalidInstanceError
+
+
+@dataclass(frozen=True)
+class CollaborativeTask:
+    """A task requiring a team of ``team_size`` workers."""
+
+    task: Task
+    team_size: int
+
+    def __post_init__(self) -> None:
+        if self.team_size < 1:
+            raise InvalidInstanceError(
+                f"team_size must be >= 1, got {self.team_size} "
+                f"for task {self.task.task_id!r}"
+            )
+
+    @property
+    def task_id(self) -> str:
+        return self.task.task_id
+
+
+@dataclass(frozen=True)
+class TeamWeights:
+    """Simplex weights over (relevance, coverage, affinity)."""
+
+    relevance: float = 0.4
+    coverage: float = 0.4
+    affinity: float = 0.2
+
+    def __post_init__(self) -> None:
+        values = (self.relevance, self.coverage, self.affinity)
+        if any(not math.isfinite(v) or v < 0 for v in values):
+            raise InvalidInstanceError("team weights must be non-negative finite")
+        if abs(sum(values) - 1.0) > 1e-6:
+            raise InvalidInstanceError(
+                f"team weights must sum to 1, got {sum(values)}"
+            )
+
+
+@dataclass(frozen=True)
+class TeamInstance:
+    """A team-formation problem: collaborative tasks + a worker pool."""
+
+    tasks: tuple[CollaborativeTask, ...]
+    workers: WorkerPool
+    weights: TeamWeights = field(default_factory=TeamWeights)
+
+    def __post_init__(self) -> None:
+        if not self.tasks:
+            raise InvalidInstanceError("need at least one collaborative task")
+        ids = [t.task_id for t in self.tasks]
+        if len(set(ids)) != len(ids):
+            raise InvalidInstanceError("duplicate collaborative task ids")
+        demand = sum(t.team_size for t in self.tasks)
+        if demand > len(self.workers):
+            raise InvalidInstanceError(
+                f"tasks demand {demand} workers but only "
+                f"{len(self.workers)} are available"
+            )
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        return self.workers.vocabulary
+
+    @cached_property
+    def relevance(self) -> np.ndarray:
+        """Worker-task relevance, shape ``(n_workers, n_tasks)``."""
+        task_matrix = np.vstack([t.task.vector for t in self.tasks])
+        return 1.0 - pairwise_jaccard(self.workers.matrix, task_matrix)
+
+    @cached_property
+    def worker_similarity(self) -> np.ndarray:
+        """Pairwise worker similarity (1 - Jaccard distance)."""
+        return 1.0 - pairwise_jaccard(self.workers.matrix)
+
+    def coverage(self, task_index: int, member_indices: Sequence[int]) -> float:
+        """Fraction of the task's keywords covered by the member union."""
+        required = np.asarray(self.tasks[task_index].task.vector, dtype=bool)
+        n_required = int(required.sum())
+        if n_required == 0:
+            return 1.0
+        if not len(member_indices):
+            return 0.0
+        union = self.workers.matrix[np.asarray(member_indices, dtype=np.intp)].any(
+            axis=0
+        )
+        return float((union & required).sum() / n_required)
+
+    def team_motivation(self, task_index: int, member_indices: Sequence[int]) -> float:
+        """The team's expected motivation for the task (in [0, 1])."""
+        members = np.asarray(member_indices, dtype=np.intp)
+        if members.size == 0:
+            return 0.0
+        mean_relevance = float(self.relevance[members, task_index].mean())
+        coverage = self.coverage(task_index, members)
+        if members.size > 1:
+            sub = self.worker_similarity[np.ix_(members, members)]
+            affinity = float(sub[np.triu_indices(members.size, 1)].mean())
+        else:
+            affinity = 1.0  # a lone worker trivially coordinates with itself
+        w = self.weights
+        return (
+            w.relevance * mean_relevance
+            + w.coverage * coverage
+            + w.affinity * affinity
+        )
+
+
+@dataclass(frozen=True)
+class TeamAssignment:
+    """Teams per collaborative task (worker ids)."""
+
+    by_task: dict[str, tuple[str, ...]]
+
+    def validate(self, instance: TeamInstance) -> None:
+        """Check team sizes and worker disjointness."""
+        sizes = {t.task_id: t.team_size for t in instance.tasks}
+        unknown = set(self.by_task) - set(sizes)
+        if unknown:
+            raise InvalidInstanceError(f"unknown task ids: {sorted(unknown)}")
+        seen: dict[str, str] = {}
+        for task_id, members in self.by_task.items():
+            if len(members) != sizes[task_id]:
+                raise InvalidInstanceError(
+                    f"task {task_id!r} needs {sizes[task_id]} members, "
+                    f"got {len(members)}"
+                )
+            for worker_id in members:
+                if worker_id not in instance.workers:
+                    raise InvalidInstanceError(f"unknown worker {worker_id!r}")
+                if worker_id in seen:
+                    raise InvalidInstanceError(
+                        f"worker {worker_id!r} is on two teams "
+                        f"({seen[worker_id]!r} and {task_id!r})"
+                    )
+                seen[worker_id] = task_id
+
+    def objective(self, instance: TeamInstance) -> float:
+        """Total team motivation across tasks."""
+        total = 0.0
+        index_of = {t.task_id: i for i, t in enumerate(instance.tasks)}
+        for task_id, members in self.by_task.items():
+            member_idx = [instance.workers.position(w) for w in members]
+            total += instance.team_motivation(index_of[task_id], member_idx)
+        return total
+
+
+def collaborative_tasks_from_pool(
+    tasks: Iterable[Task],
+    team_size: int,
+) -> tuple[CollaborativeTask, ...]:
+    """Wrap plain tasks into uniform-size collaborative tasks."""
+    return tuple(CollaborativeTask(task, team_size) for task in tasks)

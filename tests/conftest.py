@@ -1,0 +1,100 @@
+"""Shared fixtures: small vocabularies, random instances, and the paper's
+Table I / Fig. 1 worked example."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    HTAInstance,
+    MotivationWeights,
+    Task,
+    TaskPool,
+    Vocabulary,
+    Worker,
+    WorkerPool,
+)
+
+
+@pytest.fixture
+def vocab() -> Vocabulary:
+    return Vocabulary([f"kw{i}" for i in range(10)])
+
+
+@pytest.fixture
+def small_instance(vocab) -> HTAInstance:
+    """A deterministic 12-task / 3-worker instance."""
+    rng = np.random.default_rng(42)
+    tasks = TaskPool(
+        [Task(f"t{i}", rng.random(10) < 0.4) for i in range(12)], vocab
+    )
+    workers = WorkerPool(
+        [
+            Worker("w0", rng.random(10) < 0.4, MotivationWeights(0.3, 0.7)),
+            Worker("w1", rng.random(10) < 0.4, MotivationWeights(0.8, 0.2)),
+            Worker("w2", rng.random(10) < 0.4, MotivationWeights(0.5, 0.5)),
+        ],
+        vocab,
+    )
+    return HTAInstance(tasks, workers, x_max=3)
+
+
+def make_random_instance(
+    n_tasks: int,
+    n_workers: int,
+    x_max: int,
+    seed: int = 0,
+    n_keywords: int = 12,
+    density: float = 0.35,
+) -> HTAInstance:
+    """Random instance factory used across algorithm tests."""
+    rng = np.random.default_rng(seed)
+    vocabulary = Vocabulary([f"s{i}" for i in range(n_keywords)])
+    tasks = TaskPool(
+        [Task(f"t{i}", rng.random(n_keywords) < density) for i in range(n_tasks)],
+        vocabulary,
+    )
+    workers = []
+    for q in range(n_workers):
+        alpha = float(rng.random())
+        workers.append(
+            Worker(
+                f"w{q}",
+                rng.random(n_keywords) < density,
+                MotivationWeights(alpha, 1.0 - alpha),
+            )
+        )
+    return HTAInstance(tasks, WorkerPool(workers, vocabulary), x_max)
+
+
+@pytest.fixture
+def paper_example() -> HTAInstance:
+    """The instance of Table I / Example 1 (2 workers, 8 tasks, Xmax=3).
+
+    The paper gives ``rel(t, w)`` directly rather than keyword vectors, so we
+    construct vectors whose Jaccard relevances are irrelevant and instead
+    patch the relevance matrix to the published Table I numbers; alphas and
+    betas are those of Example 1.
+    """
+    vocabulary = Vocabulary([f"s{i}" for i in range(4)])
+    rng = np.random.default_rng(0)
+    tasks = TaskPool(
+        [Task(f"t{i + 1}", rng.random(4) < 0.5) for i in range(8)], vocabulary
+    )
+    workers = WorkerPool(
+        [
+            Worker("w1", rng.random(4) < 0.5, MotivationWeights(0.2, 0.8)),
+            Worker("w2", rng.random(4) < 0.5, MotivationWeights(0.6, 0.4)),
+        ],
+        vocabulary,
+    )
+    instance = HTAInstance(tasks, workers, x_max=3)
+    table_one = np.array(
+        [
+            [0.28, 0.25, 0.2, 0.43, 0.67, 0.4, 0.0, 0.4],
+            [0.3, 0.0, 0.2, 0.25, 0.25, 0.0, 0.0, 0.4],
+        ]
+    )
+    instance.__dict__["relevance"] = table_one
+    return instance

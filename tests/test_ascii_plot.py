@@ -1,0 +1,59 @@
+"""ASCII plot tests."""
+
+import pytest
+
+from repro.analysis.ascii_plot import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        chart = ascii_plot({"up": [0, 1, 2, 3]}, width=20, height=5)
+        lines = chart.splitlines()
+        assert any("*" in line for line in lines)
+        assert "up" in lines[-1]  # legend
+
+    def test_title_and_labels(self):
+        chart = ascii_plot(
+            {"s": [1, 2]}, width=12, height=4, title="My Chart", y_label="pct"
+        )
+        assert chart.splitlines()[0] == "My Chart"
+        assert "pct" in chart
+
+    def test_y_extremes_labelled(self):
+        chart = ascii_plot({"s": [5.0, 10.0]}, width=12, height=4)
+        assert "10" in chart
+        assert "5" in chart
+
+    def test_multiple_series_distinct_markers(self):
+        chart = ascii_plot(
+            {"a": [0, 1], "b": [1, 0]}, width=12, height=4
+        )
+        assert "*" in chart and "o" in chart
+
+    def test_flat_series_handled(self):
+        chart = ascii_plot({"flat": [3.0, 3.0, 3.0]}, width=12, height=4)
+        assert "flat" in chart
+
+    def test_errors(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ascii_plot({})
+        with pytest.raises(ValueError, match="lengths differ"):
+            ascii_plot({"a": [1, 2], "b": [1]})
+        with pytest.raises(ValueError, match="two points"):
+            ascii_plot({"a": [1]})
+        with pytest.raises(ValueError, match="too small"):
+            ascii_plot({"a": [1, 2]}, width=4, height=2)
+
+    def test_monotone_series_monotone_rows(self):
+        """An increasing series' markers should never move downward."""
+        chart = ascii_plot({"inc": [0, 1, 2, 3, 4, 5]}, width=30, height=8)
+        rows_of_markers = []
+        for row_index, line in enumerate(chart.splitlines()):
+            if "*" in line and "|" in line:
+                body = line.split("|", 1)[1]
+                for col, char in enumerate(body):
+                    if char == "*":
+                        rows_of_markers.append((col, row_index))
+        rows_of_markers.sort()
+        rows = [r for _, r in rows_of_markers]
+        assert rows == sorted(rows, reverse=True)

@@ -1,0 +1,102 @@
+"""Assignment validation (C1/C2) and objective tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import Assignment, motivation
+from repro.core.assignment import Assignment
+from repro.errors import InvalidAssignmentError
+
+
+class TestFromIndices:
+    def test_builds_mapping(self, small_instance):
+        assignment = Assignment.from_indices(small_instance, [[0, 1], [2], []])
+        assert assignment.tasks_of("w0") == ("t0", "t1")
+        assert assignment.tasks_of("w1") == ("t2",)
+        assert assignment.tasks_of("w2") == ()
+
+    def test_wrong_number_of_lists_rejected(self, small_instance):
+        with pytest.raises(InvalidAssignmentError, match="index lists"):
+            Assignment.from_indices(small_instance, [[0], [1]])
+
+    def test_indices_round_trip(self, small_instance):
+        assignment = Assignment.from_indices(small_instance, [[0, 5], [2], [7, 8, 9]])
+        assert assignment.indices(small_instance) == [[0, 5], [2], [7, 8, 9]]
+
+
+class TestValidation:
+    def test_valid_assignment_passes(self, small_instance):
+        Assignment.from_indices(small_instance, [[0, 1, 2], [3, 4], [5]]).validate(
+            small_instance
+        )
+
+    def test_c1_capacity_violation(self, small_instance):
+        assignment = Assignment.from_indices(small_instance, [[0, 1, 2, 3], [], []])
+        with pytest.raises(InvalidAssignmentError, match="C1"):
+            assignment.validate(small_instance)
+
+    def test_c2_disjointness_violation(self, small_instance):
+        assignment = Assignment({"w0": ("t0",), "w1": ("t0",), "w2": ()})
+        with pytest.raises(InvalidAssignmentError, match="C2"):
+            assignment.validate(small_instance)
+
+    def test_duplicate_within_worker_rejected(self, small_instance):
+        assignment = Assignment({"w0": ("t0", "t0"), "w1": (), "w2": ()})
+        with pytest.raises(InvalidAssignmentError, match="duplicate"):
+            assignment.validate(small_instance)
+
+    def test_unknown_worker_rejected(self, small_instance):
+        assignment = Assignment({"ghost": ("t0",)})
+        with pytest.raises(InvalidAssignmentError, match="unknown workers"):
+            assignment.validate(small_instance)
+
+    def test_unknown_task_rejected(self, small_instance):
+        assignment = Assignment({"w0": ("nope",), "w1": (), "w2": ()})
+        with pytest.raises(InvalidAssignmentError, match="unknown task"):
+            assignment.validate(small_instance)
+
+    def test_empty_assignment_is_valid(self, small_instance):
+        Assignment({}).validate(small_instance)
+
+
+class TestObjective:
+    def test_matches_motivation_sum(self, small_instance):
+        assignment = Assignment.from_indices(small_instance, [[0, 1, 2], [3, 4, 5], [6, 7]])
+        expected = 0.0
+        for q, worker in enumerate(small_instance.workers):
+            task_ids = assignment.tasks_of(worker.worker_id)
+            tasks = [small_instance.tasks.by_id(t) for t in task_ids]
+            expected += motivation(tasks, worker)
+        assert assignment.objective(small_instance) == pytest.approx(expected)
+
+    def test_empty_assignment_objective_zero(self, small_instance):
+        assert Assignment({}).objective(small_instance) == 0.0
+
+    def test_per_worker_motivation_sums_to_objective(self, small_instance):
+        assignment = Assignment.from_indices(small_instance, [[0, 1], [2, 3], [4, 5]])
+        per_worker = assignment.per_worker_motivation(small_instance)
+        assert sum(per_worker.values()) == pytest.approx(
+            assignment.objective(small_instance)
+        )
+
+    def test_objective_nonnegative(self, small_instance):
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            perm = rng.permutation(12)
+            groups = [perm[:3].tolist(), perm[3:6].tolist(), perm[6:9].tolist()]
+            assignment = Assignment.from_indices(small_instance, groups)
+            assert assignment.objective(small_instance) >= 0.0
+
+
+class TestAccessors:
+    def test_assigned_task_ids(self, small_instance):
+        assignment = Assignment.from_indices(small_instance, [[0], [1, 2], []])
+        assert assignment.assigned_task_ids() == {"t0", "t1", "t2"}
+
+    def test_size(self, small_instance):
+        assignment = Assignment.from_indices(small_instance, [[0], [1, 2], []])
+        assert assignment.size() == 3
+
+    def test_summary_mentions_counts(self, small_instance):
+        assignment = Assignment.from_indices(small_instance, [[0], [1], [2]])
+        assert "3 tasks" in assignment.summary()

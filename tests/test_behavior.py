@@ -1,0 +1,259 @@
+"""Worker-behaviour model tests: the mechanisms behind the Fig. 5 findings."""
+
+import numpy as np
+import pytest
+
+from repro.core import MotivationWeights
+from repro.crowd.behavior import (
+    BehaviorParams,
+    LatentProfile,
+    WorkerBehavior,
+    sample_latent_profiles,
+)
+
+
+def make_behavior(alpha=0.5, seed=0, **param_overrides) -> WorkerBehavior:
+    profile = LatentProfile(weights=MotivationWeights(alpha, 1.0 - alpha))
+    params = BehaviorParams(**param_overrides)
+    return WorkerBehavior(profile, params, np.random.default_rng(seed))
+
+
+class TestLatentProfiles:
+    def test_sample_count_and_simplex(self):
+        profiles = sample_latent_profiles(25, rng=0)
+        assert len(profiles) == 25
+        for p in profiles:
+            assert p.weights.alpha + p.weights.beta == pytest.approx(1.0)
+            assert 0.6 <= p.skill <= 1.6
+            assert 0.4 <= p.patience <= 2.5
+
+    def test_deterministic_given_seed(self):
+        a = sample_latent_profiles(5, rng=3)
+        b = sample_latent_profiles(5, rng=3)
+        assert [p.weights.alpha for p in a] == [p.weights.alpha for p in b]
+
+    def test_population_mixes_preferences(self):
+        profiles = sample_latent_profiles(200, rng=1)
+        alphas = np.array([p.weights.alpha for p in profiles])
+        assert (alphas > 0.5).any() and (alphas < 0.5).any()
+        assert 0.35 < alphas.mean() < 0.65
+
+
+class TestChoice:
+    def test_diversity_seeker_prefers_novel(self):
+        behavior = make_behavior(alpha=0.95, choice_temperature=0.01)
+        novelties = np.array([0.9, 0.1])
+        relevances = np.array([0.1, 0.9])
+        picks = [behavior.choose_next(novelties, relevances) for _ in range(20)]
+        assert picks.count(0) >= 18
+
+    def test_relevance_seeker_prefers_relevant(self):
+        behavior = make_behavior(alpha=0.05, choice_temperature=0.01)
+        novelties = np.array([0.9, 0.1])
+        relevances = np.array([0.1, 0.9])
+        picks = [behavior.choose_next(novelties, relevances) for _ in range(20)]
+        assert picks.count(1) >= 18
+
+    def test_empty_pending_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            make_behavior().choose_next(np.array([]), np.array([]))
+
+    def test_utility_linear_combination(self):
+        behavior = make_behavior(alpha=0.3)
+        assert behavior.utility(1.0, 0.0) == pytest.approx(0.3)
+        assert behavior.utility(0.0, 1.0) == pytest.approx(0.7)
+
+
+class TestBoredomDynamics:
+    def test_monotonous_work_builds_boredom(self):
+        behavior = make_behavior()
+        for _ in range(30):
+            behavior.register_completion(novelty=0.0)
+        assert behavior.boredom > 1.0
+
+    def test_novel_work_keeps_boredom_low(self):
+        behavior = make_behavior()
+        for _ in range(30):
+            behavior.register_completion(novelty=1.0)
+        assert behavior.boredom == pytest.approx(0.0)
+
+    def test_steady_state_formula(self):
+        params = BehaviorParams()
+        behavior = make_behavior()
+        for _ in range(500):
+            behavior.register_completion(novelty=0.2)
+        expected = params.boredom_growth * 0.8 / (1.0 - params.boredom_decay)
+        assert behavior.boredom == pytest.approx(expected, rel=0.05)
+
+    def test_boredom_recovers_with_novelty(self):
+        behavior = make_behavior()
+        for _ in range(30):
+            behavior.register_completion(novelty=0.0)
+        peak = behavior.boredom
+        for _ in range(30):
+            behavior.register_completion(novelty=1.0)
+        assert behavior.boredom < peak / 2
+
+
+class TestAccuracy:
+    def test_novelty_raises_accuracy(self):
+        behavior = make_behavior()
+        assert behavior.answer_accuracy(1.0, 0.5) > behavior.answer_accuracy(0.0, 0.5)
+
+    def test_relevance_raises_accuracy(self):
+        behavior = make_behavior()
+        assert behavior.answer_accuracy(0.5, 1.0) > behavior.answer_accuracy(0.5, 0.0)
+
+    def test_boredom_lowers_accuracy(self):
+        fresh = make_behavior()
+        bored = make_behavior()
+        for _ in range(60):
+            bored.register_completion(novelty=0.0)
+        assert bored.answer_accuracy(0.5, 0.5) < fresh.answer_accuracy(0.5, 0.5)
+
+    def test_accuracy_clipped(self):
+        behavior = make_behavior()
+        for _ in range(500):
+            behavior.register_completion(novelty=0.0)
+        params = behavior.params
+        acc = behavior.answer_accuracy(0.0, 0.0)
+        assert params.min_accuracy <= acc <= params.max_accuracy
+
+    def test_skill_scales_gains(self):
+        able = WorkerBehavior(
+            LatentProfile(MotivationWeights.balanced(), skill=1.5),
+            BehaviorParams(),
+            np.random.default_rng(0),
+        )
+        weak = WorkerBehavior(
+            LatentProfile(MotivationWeights.balanced(), skill=0.6),
+            BehaviorParams(),
+            np.random.default_rng(0),
+        )
+        assert able.answer_accuracy(1.0, 1.0) > weak.answer_accuracy(1.0, 1.0)
+
+
+class TestTiming:
+    def test_relevance_speeds_up(self):
+        durations_rel = [make_behavior(seed=s).task_duration(1.0, 0.5) for s in range(40)]
+        durations_irr = [make_behavior(seed=s).task_duration(0.0, 0.5) for s in range(40)]
+        assert np.mean(durations_rel) < np.mean(durations_irr)
+
+    def test_diverse_display_adds_choice_overhead(self):
+        fast = [make_behavior(seed=s).task_duration(0.5, 0.0) for s in range(40)]
+        slow = [make_behavior(seed=s).task_duration(0.5, 1.0) for s in range(40)]
+        assert np.mean(slow) > np.mean(fast)
+
+    def test_boredom_slows_down(self):
+        def mean_duration(bored: bool) -> float:
+            values = []
+            for s in range(40):
+                behavior = make_behavior(seed=s)
+                if bored:
+                    for _ in range(60):
+                        behavior.register_completion(novelty=0.0)
+                values.append(behavior.task_duration(0.5, 0.5))
+            return float(np.mean(values))
+
+        assert mean_duration(True) > mean_duration(False)
+
+    def test_duration_positive(self):
+        for s in range(20):
+            assert make_behavior(seed=s).task_duration(1.0, 0.0) >= 1.0
+
+
+class TestQuitting:
+    def test_mismatch_raises_hazard(self):
+        behavior = make_behavior()
+        assert behavior.quit_probability(1.0) > behavior.quit_probability(0.0)
+
+    def test_boredom_raises_hazard(self):
+        fresh = make_behavior()
+        bored = make_behavior()
+        for _ in range(60):
+            bored.register_completion(novelty=0.0)
+        assert bored.quit_probability(0.0) > fresh.quit_probability(0.0)
+
+    def test_patience_lowers_hazard(self):
+        patient = WorkerBehavior(
+            LatentProfile(MotivationWeights.balanced(), patience=2.0),
+            BehaviorParams(),
+            np.random.default_rng(0),
+        )
+        restless = WorkerBehavior(
+            LatentProfile(MotivationWeights.balanced(), patience=0.5),
+            BehaviorParams(),
+            np.random.default_rng(0),
+        )
+        assert patient.quit_probability(0.5) < restless.quit_probability(0.5)
+
+    def test_probability_bounded(self):
+        behavior = make_behavior()
+        for _ in range(1000):
+            behavior.register_completion(novelty=0.0)
+        assert 0.0 <= behavior.quit_probability(1.0) <= 0.9
+
+
+class TestMismatch:
+    def test_satisfied_worker_has_zero_mismatch(self):
+        behavior = make_behavior(alpha=0.5)
+        assert behavior.preference_mismatch(0.9, 0.9) == 0.0
+
+    def test_diversity_seeker_hates_monotony(self):
+        seeker = make_behavior(alpha=0.9)
+        assert seeker.preference_mismatch(0.0, 1.0) > 0.0
+
+    def test_relevance_seeker_hates_irrelevance(self):
+        seeker = make_behavior(alpha=0.1)
+        assert seeker.preference_mismatch(1.0, 0.0) > 0.0
+
+    def test_mismatch_in_unit_interval(self):
+        behavior = make_behavior(alpha=0.7)
+        for div in (0.0, 0.5, 1.0):
+            for rel in (0.0, 0.5, 1.0):
+                assert 0.0 <= behavior.preference_mismatch(div, rel) <= 1.0
+
+
+class TestPracticeEffect:
+    def test_disabled_by_default(self):
+        fresh = make_behavior()
+        practiced = make_behavior()
+        for _ in range(40):
+            practiced.register_completion(novelty=0.0)
+        # With the default gain of 0, practice changes nothing except via
+        # boredom (which lowers accuracy).
+        assert practiced.answer_accuracy(0.5, 0.5) < fresh.answer_accuracy(0.5, 0.5)
+
+    def test_practice_raises_accuracy_on_monotone_work(self):
+        params = dict(practice_accuracy_gain=0.3, boredom_accuracy_penalty=0.0)
+        fresh = make_behavior(**params)
+        practiced = make_behavior(**params)
+        for _ in range(40):
+            practiced.register_completion(novelty=0.0)
+        assert practiced.answer_accuracy(0.2, 0.5) > fresh.answer_accuracy(0.2, 0.5)
+
+    def test_practice_saturates(self):
+        params = dict(practice_accuracy_gain=0.3, boredom_accuracy_penalty=0.0)
+        behavior = make_behavior(**params)
+        for _ in range(500):
+            behavior.register_completion(novelty=0.0)
+        bonus_limit = behavior.params.practice_accuracy_gain
+        gain = behavior.answer_accuracy(0.2, 0.5) - make_behavior(**params).answer_accuracy(0.2, 0.5)
+        assert gain <= bonus_limit + 1e-9
+
+    def test_varied_work_builds_little_familiarity(self):
+        behavior = make_behavior(practice_accuracy_gain=0.3)
+        for _ in range(40):
+            behavior.register_completion(novelty=1.0)
+        assert behavior.familiarity == pytest.approx(0.0)
+
+    def test_practice_opposes_boredom(self):
+        """On monotone work, practice pushes accuracy up while boredom pushes
+        it down; with a strong enough gain, the net late-session accuracy
+        exceeds the no-practice counterfactual."""
+        with_practice = make_behavior(practice_accuracy_gain=0.4)
+        without = make_behavior()
+        for _ in range(60):
+            with_practice.register_completion(novelty=0.1)
+            without.register_completion(novelty=0.1)
+        assert with_practice.answer_accuracy(0.1, 0.8) > without.answer_accuracy(0.1, 0.8)

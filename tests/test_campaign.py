@@ -1,0 +1,99 @@
+"""Multi-wave campaign tests."""
+
+import pytest
+
+from repro.crowd import PlatformConfig, ServiceConfig
+from repro.crowd.campaign import CampaignConfig, CampaignResult, run_campaign
+from repro.data import CrowdFlowerConfig, generate_crowdflower_corpus
+from repro.errors import SimulationError
+
+FAST_PLATFORM = PlatformConfig(
+    session_cap=420.0,
+    mean_interarrival=20.0,
+    service=ServiceConfig(x_max=5, n_random_pad=2, reassign_after=3, min_pending=2),
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_crowdflower_corpus(CrowdFlowerConfig(n_tasks=1200), rng=0)
+
+
+@pytest.fixture(scope="module")
+def campaign(corpus) -> CampaignResult:
+    config = CampaignConfig(
+        n_waves=3, workers_per_wave=5, return_rate=0.6, platform=FAST_PLATFORM
+    )
+    return run_campaign(
+        corpus.pool, "hta-gre", config, corpus.graded_questions, rng=4
+    )
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"n_waves": 0}, {"workers_per_wave": 0}, {"return_rate": 1.5}],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(SimulationError):
+            CampaignConfig(**kwargs)
+
+
+class TestCampaignStructure:
+    def test_wave_and_session_counts(self, campaign):
+        assert len(campaign.waves) == 3
+        assert len(campaign.all_sessions()) == 15
+
+    def test_returners_exist_and_are_fewer_than_sessions(self, campaign):
+        distinct = campaign.n_distinct_workers()
+        total = len(campaign.all_sessions())
+        assert distinct < total  # some workers returned (paper: 58 vs 80)
+        assert len(campaign.sessions_of_returners()) == total - distinct
+
+    def test_returner_ids_consistent(self, campaign):
+        returning_sessions = {s.worker_id for s in campaign.sessions_of_returners()}
+        assert returning_sessions <= campaign.returner_ids | returning_sessions
+
+    def test_tasks_never_redisplayed_across_waves(self, campaign):
+        from repro.crowd.events import TasksAssigned
+
+        seen: set[str] = set()
+        for wave in campaign.waves:
+            for event in wave.events:
+                if isinstance(event, TasksAssigned):
+                    shown = set(event.task_ids) | set(event.random_pad_ids)
+                    assert not (shown & seen)
+                    seen |= shown
+
+    def test_estimator_knows_returners(self, campaign):
+        for worker_id in campaign.returner_ids:
+            # The shared estimator accumulated observations across sessions.
+            assert campaign.estimator.observation_count(worker_id) > 0
+
+    def test_deterministic_given_seed(self, corpus):
+        config = CampaignConfig(
+            n_waves=2, workers_per_wave=4, return_rate=0.5, platform=FAST_PLATFORM
+        )
+        a = run_campaign(corpus.pool, "hta-gre", config, corpus.graded_questions, rng=9)
+        b = run_campaign(corpus.pool, "hta-gre", config, corpus.graded_questions, rng=9)
+        assert [s.n_completed for s in a.all_sessions()] == [
+            s.n_completed for s in b.all_sessions()
+        ]
+
+
+class TestWarmStart:
+    def test_returners_skip_cold_start_effects(self, corpus):
+        """A returner's first assignment in a later wave uses learned weights
+        (non-balanced alpha is possible), while fresh workers start at the
+        prior through the random cold start."""
+        config = CampaignConfig(
+            n_waves=2, workers_per_wave=4, return_rate=1.0, platform=FAST_PLATFORM
+        )
+        result = run_campaign(
+            corpus.pool, "hta-gre", config, corpus.graded_questions, rng=2
+        )
+        # All wave-2 workers are returners: the estimator has prior history.
+        second_wave_ids = {s.worker_id for s in result.waves[1].sessions}
+        assert second_wave_ids <= result.returner_ids
+        for worker_id in second_wave_ids:
+            assert result.estimator.observation_count(worker_id) > 0

@@ -1,0 +1,83 @@
+"""CLI tests (argument parsing and end-to-end subcommands)."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.solvers import solver_names
+
+
+class TestSolversCommand:
+    def test_lists_all_solvers(self, capsys):
+        assert main(["solvers"]) == 0
+        out = capsys.readouterr().out.split()
+        assert set(out) == set(solver_names())
+
+
+class TestSolveCommand:
+    def test_runs_and_reports(self, capsys):
+        code = main(
+            ["solve", "--tasks", "60", "--workers", "3", "--x-max", "4", "--seed", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "objective" in out
+        assert "assigned  : 12 tasks" in out
+
+    def test_solver_choice_validated(self):
+        with pytest.raises(SystemExit):
+            main(["solve", "--solver", "bogus"])
+
+
+class TestOfflineCommand:
+    def test_fig3_small(self, capsys, monkeypatch):
+        # Shrink the sweep so the test stays fast.
+        from repro.experiments import config as config_module
+
+        monkeypatch.setattr(
+            config_module.OfflineScale, "group_sweep", (2, 4), raising=False
+        )
+        monkeypatch.setattr(
+            config_module.OfflineScale, "n_tasks_for_group_sweep", 40, raising=False
+        )
+        monkeypatch.setattr(config_module.OfflineScale, "n_workers", 3, raising=False)
+        monkeypatch.setattr(config_module.OfflineScale, "x_max", 3, raising=False)
+        code = main(["offline", "fig3", "--repeats", "1", "--seed", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out
+        assert "hta-gre" in out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["offline", "fig9"])
+
+
+class TestNoCommand:
+    def test_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "repro-hta" in capsys.readouterr().out
+
+
+class TestTeamsCommand:
+    def test_runs_and_prints_objectives(self, capsys):
+        code = main(["teams", "--tasks", "2", "--team-size", "2",
+                     "--workers", "8", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "greedy objective" in out
+        assert "random objective" in out
+
+
+class TestDiagnoseCommand:
+    def test_reports_findings(self, capsys):
+        code = main(["diagnose", "--tasks", "60", "--workers", "3",
+                     "--x-max", "4", "--seed", "0"])
+        out = capsys.readouterr().out
+        assert "HTAInstance" in out
+        assert code in (0, 1)
+
+    def test_xmax_one_exits_nonzero(self, capsys):
+        code = main(["diagnose", "--tasks", "60", "--workers", "3",
+                     "--x-max", "1", "--seed", "0"])
+        assert code == 1
+        assert "xmax-one" in capsys.readouterr().out

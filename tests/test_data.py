@@ -1,0 +1,186 @@
+"""Synthetic workload generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.distance import pairwise_jaccard
+from repro.data import (
+    AMTConfig,
+    CrowdFlowerConfig,
+    default_vocabulary,
+    generate_amt_groups,
+    generate_amt_pool,
+    generate_crowdflower_corpus,
+    generate_offline_workers,
+    generate_online_workers,
+    theme_names,
+)
+
+
+class TestVocabulary:
+    def test_no_duplicates_across_themes(self):
+        vocab = default_vocabulary()
+        assert len(vocab) == len(set(vocab.keywords))
+
+    def test_twenty_two_kinds(self):
+        assert len(theme_names()) == 22
+
+
+class TestAMT:
+    def test_counts(self):
+        pool = generate_amt_pool(AMTConfig(n_groups=10, tasks_per_group=7), rng=0)
+        assert len(pool) == 70
+        assert len(pool.groups()) == 10
+
+    def test_groups_structure(self):
+        groups = generate_amt_groups(AMTConfig(n_groups=5, tasks_per_group=4), rng=1)
+        assert len(groups) == 5
+        assert all(len(g) == 4 for g in groups)
+
+    def test_rewards_in_range(self):
+        pool = generate_amt_pool(AMTConfig(n_groups=8, tasks_per_group=5), rng=2)
+        for task in pool:
+            assert 0.01 <= task.reward <= 0.15
+
+    def test_intra_group_diversity_below_global(self):
+        pool = generate_amt_pool(AMTConfig(n_groups=20, tasks_per_group=10), rng=3)
+        diversity = pairwise_jaccard(pool.matrix)
+        intra = []
+        for tasks in pool.groups().values():
+            idx = [pool.position(t.task_id) for t in tasks]
+            sub = diversity[np.ix_(idx, idx)]
+            intra.append(sub[np.triu_indices(len(idx), 1)].mean())
+        global_mean = diversity[np.triu_indices(len(pool), 1)].mean()
+        assert np.mean(intra) < global_mean / 3
+
+    def test_zero_jitter_gives_identical_group_vectors(self):
+        pool = generate_amt_pool(
+            AMTConfig(n_groups=3, tasks_per_group=5, jitter=0.0), rng=4
+        )
+        for tasks in pool.groups().values():
+            first = tasks[0].vector
+            assert all((t.vector == first).all() for t in tasks)
+
+    def test_deterministic_given_seed(self):
+        a = generate_amt_pool(AMTConfig(n_groups=4, tasks_per_group=3), rng=9)
+        b = generate_amt_pool(AMTConfig(n_groups=4, tasks_per_group=3), rng=9)
+        assert (a.matrix == b.matrix).all()
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"n_groups": 0, "tasks_per_group": 1}, {"n_groups": 1, "tasks_per_group": 0}, {"n_groups": 1, "tasks_per_group": 1, "jitter": 1.5}]
+    )
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(ValueError):
+            AMTConfig(**kwargs)
+
+
+class TestCrowdFlower:
+    def test_counts_and_kinds(self):
+        corpus = generate_crowdflower_corpus(CrowdFlowerConfig(n_tasks=500), rng=0)
+        assert len(corpus.pool) == 500
+        assert corpus.n_kinds == 22
+
+    def test_questions_and_ground_truth(self):
+        config = CrowdFlowerConfig(n_tasks=300, max_questions=3, ground_truth_fraction=0.5)
+        corpus = generate_crowdflower_corpus(config, rng=1)
+        for task in corpus.pool:
+            assert 1 <= task.n_questions <= 3
+            assert 0 <= corpus.graded_questions[task.task_id] <= task.n_questions
+        # Roughly half the questions graded.
+        ratio = corpus.total_graded() / corpus.total_questions()
+        assert 0.35 < ratio < 0.65
+
+    def test_rewards_in_paper_range(self):
+        corpus = generate_crowdflower_corpus(CrowdFlowerConfig(n_tasks=100), rng=2)
+        for task in corpus.pool:
+            assert 0.01 <= task.reward <= 0.12
+
+    def test_same_kind_tasks_similar(self):
+        corpus = generate_crowdflower_corpus(
+            CrowdFlowerConfig(n_tasks=200, jitter=0.0), rng=3
+        )
+        by_kind = corpus.pool.groups()
+        for tasks in by_kind.values():
+            first = tasks[0].vector
+            assert all((t.vector == first).all() for t in tasks)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            CrowdFlowerConfig(n_tasks=0)
+        with pytest.raises(ValueError):
+            CrowdFlowerConfig(n_tasks=1, ground_truth_fraction=2.0)
+        with pytest.raises(ValueError):
+            CrowdFlowerConfig(n_tasks=1, max_questions=0)
+
+
+class TestWorkers:
+    def test_offline_workers_have_five_keywords(self):
+        workers = generate_offline_workers(12, rng=0)
+        assert len(workers) == 12
+        assert (workers.matrix.sum(axis=1) == 5).all()
+
+    def test_offline_weights_random_on_simplex(self):
+        workers = generate_offline_workers(50, rng=1)
+        alphas = workers.alphas
+        assert (alphas >= 0).all() and (alphas <= 1).all()
+        assert np.allclose(alphas + workers.betas, 1.0)
+        assert alphas.std() > 0.1  # actually random, not constant
+
+    def test_online_workers_have_min_keywords(self):
+        workers = generate_online_workers(15, rng=2)
+        assert (workers.matrix.sum(axis=1) >= 6).all()
+
+    def test_online_workers_interests_clustered(self):
+        """An online worker's keywords should include a full theme."""
+        from repro.data.vocabulary import THEMES
+
+        workers = generate_online_workers(10, rng=3)
+        vocab = workers.vocabulary
+        for worker in workers:
+            keywords = set(worker.keywords(vocab))
+            assert any(
+                set(theme) <= keywords for theme in THEMES.values()
+            ), f"worker {worker.worker_id} has no full theme"
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            generate_offline_workers(0)
+        with pytest.raises(ValueError):
+            generate_online_workers(0)
+
+    def test_too_many_keywords_rejected(self):
+        from repro.core import Vocabulary
+
+        with pytest.raises(ValueError, match="exceeds"):
+            generate_offline_workers(1, Vocabulary(["a", "b"]), n_keywords=5)
+
+
+class TestAMTPowerLaw:
+    def test_total_preserved(self):
+        config = AMTConfig(n_groups=20, tasks_per_group=10,
+                           size_distribution="powerlaw")
+        pool = generate_amt_pool(config, rng=0)
+        assert len(pool) == 200
+
+    def test_sizes_are_skewed(self):
+        config = AMTConfig(n_groups=30, tasks_per_group=10,
+                           size_distribution="powerlaw")
+        pool = generate_amt_pool(config, rng=1)
+        sizes = sorted(len(ts) for ts in pool.groups().values())
+        assert sizes[-1] > 3 * sizes[0]  # heavy head
+        assert min(sizes) >= 1
+
+    def test_all_groups_present(self):
+        config = AMTConfig(n_groups=15, tasks_per_group=8,
+                           size_distribution="powerlaw")
+        pool = generate_amt_pool(config, rng=2)
+        assert len(pool.groups()) == 15
+
+    def test_uniform_unchanged(self):
+        config = AMTConfig(n_groups=5, tasks_per_group=7)
+        pool = generate_amt_pool(config, rng=3)
+        assert all(len(ts) == 7 for ts in pool.groups().values())
+
+    def test_invalid_distribution_rejected(self):
+        with pytest.raises(ValueError, match="size_distribution"):
+            AMTConfig(n_groups=2, tasks_per_group=2, size_distribution="weird")

@@ -1,0 +1,34 @@
+"""Run the doctest examples embedded in public docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.analysis.stats
+import repro.analysis.tables
+import repro.core.distance
+import repro.core.keywords
+import repro.core.worker
+import repro.matching.exact
+import repro.matching.greedy
+import repro.matching.lsap
+import repro.rng
+
+MODULES = [
+    repro.analysis.stats,
+    repro.analysis.tables,
+    repro.core.distance,
+    repro.core.keywords,
+    repro.core.worker,
+    repro.matching.exact,
+    repro.matching.greedy,
+    repro.matching.lsap,
+    repro.rng,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failure(s) in {module.__name__}"
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"

@@ -1,0 +1,32 @@
+"""Exception hierarchy tests."""
+
+import pytest
+
+from repro.errors import (
+    InfeasibleProblemError,
+    InvalidAssignmentError,
+    InvalidInstanceError,
+    NotAMetricError,
+    ReproError,
+    SimulationError,
+    UnknownSolverError,
+)
+from repro.io import SerializationError
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [
+        InfeasibleProblemError,
+        InvalidAssignmentError,
+        InvalidInstanceError,
+        NotAMetricError,
+        SimulationError,
+        UnknownSolverError,
+        SerializationError,
+    ],
+)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+    with pytest.raises(ReproError):
+        raise exc("boom")

@@ -1,0 +1,165 @@
+"""Bayesian motivation-estimator tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import GainObservation, run_adaptive_loop
+from repro.core.estimators import BayesianMotivationEstimator, _erfinv
+from repro.core.solvers import RandomSolver
+from repro.errors import InvalidInstanceError
+
+from conftest import make_random_instance
+
+
+def obs(div, rel):
+    return GainObservation(diversity=div, relevance=rel)
+
+
+class TestPosterior:
+    def test_uniform_prior_cold_start(self):
+        estimator = BayesianMotivationEstimator()
+        weights = estimator.weights_for("w")
+        assert weights.alpha == pytest.approx(0.5)
+
+    def test_informative_prior(self):
+        estimator = BayesianMotivationEstimator(prior_alpha=8.0, prior_beta=2.0)
+        assert estimator.weights_for("w").alpha == pytest.approx(0.8)
+
+    def test_invalid_prior_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            BayesianMotivationEstimator(prior_alpha=0.0)
+
+    def test_diversity_votes_push_alpha_up(self):
+        estimator = BayesianMotivationEstimator()
+        for _ in range(20):
+            estimator.record("w", obs(1.0, 0.0))
+        assert estimator.weights_for("w").alpha > 0.9
+
+    def test_relevance_votes_push_alpha_down(self):
+        estimator = BayesianMotivationEstimator()
+        for _ in range(20):
+            estimator.record("w", obs(0.0, 1.0))
+        assert estimator.weights_for("w").alpha < 0.1
+
+    def test_fractional_votes(self):
+        estimator = BayesianMotivationEstimator()
+        for _ in range(50):
+            estimator.record("w", obs(0.75, 0.25))
+        assert estimator.weights_for("w").alpha == pytest.approx(0.75, abs=0.03)
+
+    def test_single_factor_observations_skipped(self):
+        """A None factor means "unobservable", not "zero": partial
+        observations must not vote (they reflect display composition, not
+        worker preference)."""
+        estimator = BayesianMotivationEstimator()
+        estimator.record("w", obs(0.8, None))
+        estimator.record("w", obs(None, 0.8))
+        assert estimator.observation_count("w") == 0
+        assert estimator.weights_for("w").alpha == pytest.approx(0.5)
+
+    def test_unobservable_completion_skipped(self):
+        estimator = BayesianMotivationEstimator()
+        estimator.record("w", obs(None, None))
+        estimator.record("w", obs(0.0, 0.0))
+        assert estimator.observation_count("w") == 0
+
+    def test_reset(self):
+        estimator = BayesianMotivationEstimator()
+        estimator.record("w", obs(1.0, 0.0))
+        estimator.reset("w")
+        assert estimator.weights_for("w").alpha == pytest.approx(0.5)
+
+
+class TestCredibleInterval:
+    def test_interval_contains_mean(self):
+        estimator = BayesianMotivationEstimator()
+        for _ in range(10):
+            estimator.record("w", obs(0.7, 0.3))
+        low, high = estimator.credible_interval("w")
+        assert low <= estimator.weights_for("w").alpha <= high
+
+    def test_interval_shrinks_with_data(self):
+        estimator = BayesianMotivationEstimator()
+        low0, high0 = estimator.credible_interval("w")
+        for _ in range(100):
+            estimator.record("w", obs(0.6, 0.4))
+        low1, high1 = estimator.credible_interval("w")
+        assert (high1 - low1) < (high0 - low0)
+
+    def test_interval_bounded(self):
+        estimator = BayesianMotivationEstimator()
+        low, high = estimator.credible_interval("w", mass=0.99)
+        assert 0.0 <= low <= high <= 1.0
+
+    def test_invalid_mass_rejected(self):
+        estimator = BayesianMotivationEstimator()
+        with pytest.raises(InvalidInstanceError, match="mass"):
+            estimator.credible_interval("w", mass=1.5)
+
+
+class TestThompsonSampling:
+    def test_samples_in_unit_interval_and_on_simplex(self):
+        estimator = BayesianMotivationEstimator()
+        estimator.record("w", obs(1.0, 0.0))
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            weights = estimator.sample_weights("w", rng)
+            assert 0.0 <= weights.alpha <= 1.0
+            assert weights.alpha + weights.beta == pytest.approx(1.0)
+
+    def test_samples_concentrate_with_evidence(self):
+        estimator = BayesianMotivationEstimator()
+        for _ in range(300):
+            estimator.record("w", obs(0.9, 0.1))
+        rng = np.random.default_rng(1)
+        draws = [estimator.sample_weights("w", rng).alpha for _ in range(200)]
+        assert np.std(draws) < 0.06
+        assert np.mean(draws) == pytest.approx(0.9, abs=0.05)
+
+
+class TestErfInv:
+    @pytest.mark.parametrize("x", [-0.9, -0.5, 0.0, 0.3, 0.9, 0.99])
+    def test_matches_scipy(self, x):
+        scipy_special = pytest.importorskip("scipy.special")
+        # Winitzki's approximation is ~1e-3 accurate in the bulk and ~1% in
+        # the tails — fine for credible-interval half-widths.
+        assert _erfinv(x) == pytest.approx(
+            float(scipy_special.erfinv(x)), abs=2e-3, rel=1e-2
+        )
+
+    def test_domain(self):
+        with pytest.raises(ValueError):
+            _erfinv(1.0)
+
+
+class TestDuckTyping:
+    def test_plugs_into_adaptive_loop(self):
+        instance = make_random_instance(30, 2, 3, seed=0)
+        estimator = BayesianMotivationEstimator()
+        trace = run_adaptive_loop(
+            instance.tasks, instance.workers, 3, RandomSolver(), 3,
+            estimator=estimator, rng=0,
+        )
+        assert trace.n_iterations == 3
+        for worker in instance.workers:
+            weights = estimator.weights_for(worker.worker_id)
+            assert weights.alpha + weights.beta == pytest.approx(1.0)
+
+    def test_plugs_into_assignment_service(self):
+        from repro.crowd.service import AssignmentService, ServiceConfig
+        from repro.data import CrowdFlowerConfig, generate_crowdflower_corpus, generate_online_workers
+
+        corpus = generate_crowdflower_corpus(CrowdFlowerConfig(n_tasks=200), rng=0)
+        workers = generate_online_workers(2, rng=1)
+        service = AssignmentService(
+            corpus.pool, "hta-gre",
+            ServiceConfig(x_max=4, n_random_pad=2, reassign_after=3, min_pending=1),
+            estimator=BayesianMotivationEstimator(),
+            rng=0,
+        )
+        worker = workers[0]
+        event = service.register_worker(worker, 0.0)
+        for task_id in event.task_ids[:3]:
+            service.observe_completion(worker.worker_id, task_id)
+        weights = service.weights_of(worker.worker_id)
+        assert weights.alpha + weights.beta == pytest.approx(1.0)

@@ -1,0 +1,81 @@
+"""Exact HTA solver tests (the brute-force oracle)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core import Assignment
+from repro.core.motivation import motivation_of_subset
+from repro.core.solvers import ExactSolver
+from repro.errors import InvalidInstanceError
+
+from conftest import make_random_instance
+
+
+def enumerate_optimum(instance) -> float:
+    """Independent re-implementation of the exhaustive optimum (Eq. 3)."""
+    best = 0.0
+    n = instance.n_tasks
+    diversity = instance.diversity
+    relevance = instance.relevance
+
+    def rec(q, remaining, acc):
+        nonlocal best
+        if q == instance.n_workers:
+            best = max(best, acc)
+            return
+        for size in range(min(instance.x_max, len(remaining)) + 1):
+            for subset in itertools.combinations(remaining, size):
+                rest = tuple(t for t in remaining if t not in subset)
+                worker = instance.workers[q]
+                gain = motivation_of_subset(
+                    diversity, relevance[q], list(subset), worker.alpha, worker.beta
+                )
+                rec(q + 1, rest, acc + gain)
+
+    rec(0, tuple(range(n)), 0.0)
+    return best
+
+
+class TestExactSolver:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_independent_enumeration(self, seed):
+        instance = make_random_instance(n_tasks=5, n_workers=2, x_max=2, seed=seed)
+        result = ExactSolver().solve(instance)
+        assert result.objective == pytest.approx(enumerate_optimum(instance))
+
+    def test_respects_constraints(self):
+        instance = make_random_instance(n_tasks=6, n_workers=2, x_max=2, seed=9)
+        result = ExactSolver().solve(instance)
+        result.assignment.validate(instance)
+
+    def test_beats_every_random_assignment(self):
+        instance = make_random_instance(n_tasks=6, n_workers=2, x_max=3, seed=4)
+        optimal = ExactSolver().solve(instance).objective
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            perm = rng.permutation(6)
+            groups = [perm[:3].tolist(), perm[3:6].tolist()]
+            value = Assignment.from_indices(instance, groups).objective(instance)
+            assert value <= optimal + 1e-9
+
+    def test_qap_mode_differs_on_partial_assignments(self):
+        """With fewer tasks than capacity, the QAP objective scales relevance
+        by (x_max - 1) even for smaller sets, so it can exceed the HTA value."""
+        instance = make_random_instance(n_tasks=3, n_workers=2, x_max=3, seed=5)
+        hta_val = ExactSolver(objective="hta").solve(instance).info["optimal_value"]
+        qap_val = ExactSolver(objective="qap").solve(instance).info["optimal_value"]
+        assert qap_val >= hta_val - 1e-12
+
+    def test_invalid_objective_mode(self):
+        with pytest.raises(ValueError, match="objective"):
+            ExactSolver(objective="bogus")
+
+    def test_size_guards(self):
+        big_tasks = make_random_instance(n_tasks=13, n_workers=2, x_max=2, seed=0)
+        with pytest.raises(InvalidInstanceError, match="tasks"):
+            ExactSolver().solve(big_tasks)
+        many_workers = make_random_instance(n_tasks=6, n_workers=5, x_max=1, seed=0)
+        with pytest.raises(InvalidInstanceError, match="workers"):
+            ExactSolver().solve(many_workers)

@@ -1,0 +1,128 @@
+"""Experiment-driver tests: mini-scale sweeps with the paper's shapes."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    OnlineScale,
+    build_offline_instance,
+    measure_point,
+    points_by_solver,
+    run_online_experiment,
+    select_sessions,
+    sweep_groups,
+    sweep_tasks,
+    sweep_workers,
+)
+from repro.crowd.session import WorkSession
+from repro.crowd.events import SessionEndReason
+
+
+class TestBuildOfflineInstance:
+    def test_shapes(self):
+        instance = build_offline_instance(60, 20, 5, 3, rng=0)
+        assert instance.n_tasks == 60
+        assert instance.n_workers == 5
+        assert len(instance.tasks.groups()) == 3
+
+    def test_explicit_group_count(self):
+        instance = build_offline_instance(60, 0, 5, 3, rng=0, n_groups=6)
+        assert len(instance.tasks.groups()) == 6
+
+    def test_indivisible_counts_rejected(self):
+        with pytest.raises(ValueError, match="multiple"):
+            build_offline_instance(61, 20, 5, 3, rng=0)
+        with pytest.raises(ValueError, match="multiple"):
+            build_offline_instance(61, 0, 5, 3, rng=0, n_groups=6)
+
+
+class TestMeasurePoint:
+    def test_fields_filled(self):
+        instance = build_offline_instance(60, 20, 4, 3, rng=1)
+        point = measure_point("hta-gre", instance, n_repeats=2, rng=1)
+        assert point.solver == "hta-gre"
+        assert point.n_tasks == 60
+        assert point.total_time > 0
+        assert point.objective > 0
+        assert len(point.row()) == 8
+
+
+class TestSweeps:
+    def test_sweep_tasks_structure(self):
+        points = sweep_tasks((40, 80), 20, 4, 3, n_repeats=1, rng=0)
+        assert len(points) == 4  # 2 sizes x 2 solvers
+        grouped = points_by_solver(points)
+        assert set(grouped) == {"hta-app", "hta-gre"}
+        assert [p.n_tasks for p in grouped["hta-app"]] == [40, 80]
+
+    def test_sweep_workers_structure(self):
+        points = sweep_workers((2, 4), 40, 20, 3, n_repeats=1, rng=0)
+        grouped = points_by_solver(points)
+        assert [p.n_workers for p in grouped["hta-gre"]] == [2, 4]
+
+    def test_sweep_groups_structure(self):
+        points = sweep_groups((2, 10), 40, 3, 3, n_repeats=1, rng=0)
+        grouped = points_by_solver(points)
+        assert [p.n_groups for p in grouped["hta-gre"]] == [2, 10]
+
+    def test_gre_not_slower_than_app_at_scale(self):
+        """The Fig. 2a headline, at reduced scale: HTA-GRE's total time stays
+        below HTA-APP's once the LSAP dominates."""
+        points = sweep_tasks((300,), 20, 8, 4, n_repeats=1, rng=2)
+        grouped = points_by_solver(points)
+        app = grouped["hta-app"][0]
+        gre = grouped["hta-gre"][0]
+        assert gre.total_time < app.total_time
+        assert app.lsap_time > app.matching_time  # LSAP dominates HTA-APP
+
+    def test_objectives_same_ballpark(self):
+        points = sweep_tasks((200,), 20, 6, 4, n_repeats=1, rng=3)
+        grouped = points_by_solver(points)
+        ratio = grouped["hta-gre"][0].objective / grouped["hta-app"][0].objective
+        assert ratio > 0.7
+
+
+def make_session(worker_id, n_completed, n_iterations):
+    session = WorkSession(worker_id, 0.0)
+    session.completions = [None] * n_completed  # only counts matter here
+    session.assignments = [None] * n_iterations
+    session.end_session_time = 600.0
+    session.end_reason = SessionEndReason.TIME_CAP
+    return session
+
+
+class TestSessionSelection:
+    def test_filters_sub_iteration_sessions(self):
+        sessions = [make_session("a", 10, 1), make_session("b", 5, 3)]
+        selected = select_sessions(sessions, 5)
+        assert [s.worker_id for s in selected] == ["b"]
+
+    def test_keeps_top_by_completions(self):
+        sessions = [make_session(f"w{i}", i, 2) for i in range(10)]
+        selected = select_sessions(sessions, 3)
+        assert [s.worker_id for s in selected] == ["w9", "w8", "w7"]
+
+    def test_fallback_when_nothing_eligible(self):
+        sessions = [make_session("a", 4, 1)]
+        assert select_sessions(sessions, 5) == sessions
+
+
+@pytest.mark.slow
+class TestOnlineExperimentMini:
+    def test_mini_run_produces_curves_and_tests(self):
+        scale = OnlineScale(
+            n_sessions=4,
+            n_extra_sessions=0,
+            corpus_size=600,
+            session_cap_minutes=8.0,
+            workers_per_batch=4,
+            mean_interarrival=20.0,
+        )
+        result = run_online_experiment(
+            strategies=("hta-gre", "hta-gre-rel"), scale=scale, rng=0
+        )
+        assert set(result.outcomes) == {"hta-gre", "hta-gre-rel"}
+        for outcome in result.outcomes.values():
+            assert outcome.summary["total_completed"] > 0
+            assert outcome.quality.times[-1] == pytest.approx(8.0)
+        assert "quality:hta-gre>hta-gre-rel" in result.significance

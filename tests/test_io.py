@@ -1,0 +1,109 @@
+"""Serialization round-trip tests."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import io
+from repro.core import Assignment, HTAInstance, Vocabulary
+from repro.core.distance import DistanceSpec
+from repro.core.solvers import get_solver
+from repro.io import SerializationError
+
+from conftest import make_random_instance
+
+
+class TestVocabularyRoundTrip:
+    def test_round_trip(self):
+        vocab = Vocabulary(["a", "b", "c"])
+        assert io.from_dict(io.to_dict(vocab)) == vocab
+
+
+class TestPoolRoundTrips:
+    def test_task_pool(self, small_instance):
+        restored = io.from_dict(io.to_dict(small_instance.tasks))
+        assert len(restored) == len(small_instance.tasks)
+        assert (restored.matrix == small_instance.tasks.matrix).all()
+        assert [t.task_id for t in restored] == [
+            t.task_id for t in small_instance.tasks
+        ]
+
+    def test_task_metadata_preserved(self, small_instance):
+        document = io.to_dict(small_instance.tasks)
+        document["tasks"][0]["reward"] = 0.11
+        document["tasks"][0]["group"] = "g"
+        document["tasks"][0]["n_questions"] = 3
+        restored = io.from_dict(document)
+        task = restored[0]
+        assert task.reward == 0.11
+        assert task.group == "g"
+        assert task.n_questions == 3
+
+    def test_worker_pool(self, small_instance):
+        restored = io.from_dict(io.to_dict(small_instance.workers))
+        assert (restored.matrix == small_instance.workers.matrix).all()
+        assert restored.alphas.tolist() == small_instance.workers.alphas.tolist()
+
+
+class TestInstanceRoundTrip:
+    def test_round_trip_preserves_solution(self, small_instance):
+        restored = io.from_dict(io.to_dict(small_instance))
+        assert isinstance(restored, HTAInstance)
+        original = get_solver("hta-gre").solve(small_instance, rng=3)
+        again = get_solver("hta-gre").solve(restored, rng=3)
+        assert original.assignment.by_worker == again.assignment.by_worker
+        assert original.objective == pytest.approx(again.objective)
+
+    def test_distance_name_preserved(self):
+        instance = make_random_instance(6, 2, 2, seed=0)
+        hamming = HTAInstance(
+            instance.tasks, instance.workers, 2, DistanceSpec("hamming")
+        )
+        restored = io.from_dict(io.to_dict(hamming))
+        assert restored.distance.name == "hamming"
+
+
+class TestAssignmentRoundTrip:
+    def test_round_trip(self, small_instance):
+        result = get_solver("hta-gre").solve(small_instance, rng=0)
+        restored = io.from_dict(io.to_dict(result.assignment))
+        assert isinstance(restored, Assignment)
+        assert restored.by_worker == result.assignment.by_worker
+        restored.validate(small_instance)
+
+
+class TestFiles:
+    def test_dump_and_load(self, small_instance, tmp_path):
+        path = tmp_path / "instance.json"
+        io.dump(small_instance, path)
+        restored = io.load(path)
+        assert isinstance(restored, HTAInstance)
+        assert restored.n_tasks == small_instance.n_tasks
+
+    def test_file_is_valid_json(self, small_instance, tmp_path):
+        path = tmp_path / "instance.json"
+        io.dump(small_instance, path)
+        document = json.loads(path.read_text())
+        assert document["kind"] == "hta_instance"
+
+    def test_load_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(SerializationError, match="invalid JSON"):
+            io.load(path)
+
+
+class TestErrors:
+    def test_unknown_kind(self):
+        with pytest.raises(SerializationError, match="unknown document kind"):
+            io.from_dict({"kind": "martian"})
+
+    def test_unsupported_type(self):
+        with pytest.raises(SerializationError, match="cannot serialize"):
+            io.to_dict(object())
+
+    def test_kind_mismatch(self, small_instance):
+        document = io.to_dict(small_instance.tasks)
+        with pytest.raises(SerializationError, match="expected"):
+            io.vocabulary_from_dict(document)

@@ -1,0 +1,92 @@
+"""Vocabulary and keyword-vector tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.keywords import Vocabulary, coerce_vector
+
+
+class TestVocabulary:
+    def test_round_trip_encode_decode(self):
+        vocab = Vocabulary(["audio", "english", "news"])
+        vector = vocab.encode(["news", "audio"])
+        assert vocab.decode(vector) == ("audio", "news")
+
+    def test_encode_sets_expected_positions(self):
+        vocab = Vocabulary(["a", "b", "c"])
+        assert vocab.encode(["b"]).tolist() == [False, True, False]
+
+    def test_empty_encode_gives_all_false(self):
+        vocab = Vocabulary(["a", "b"])
+        assert not vocab.encode([]).any()
+
+    def test_position_lookup(self):
+        vocab = Vocabulary(["a", "b", "c"])
+        assert vocab.position("c") == 2
+
+    def test_position_unknown_raises(self):
+        vocab = Vocabulary(["a"])
+        with pytest.raises(KeyError):
+            vocab.position("zzz")
+
+    def test_encode_unknown_keyword_raises(self):
+        vocab = Vocabulary(["a"])
+        with pytest.raises(KeyError):
+            vocab.encode(["nope"])
+
+    def test_len_iter_contains(self):
+        vocab = Vocabulary(["a", "b"])
+        assert len(vocab) == 2
+        assert list(vocab) == ["a", "b"]
+        assert "a" in vocab
+        assert "z" not in vocab
+
+    def test_duplicate_keyword_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Vocabulary(["a", "a"])
+
+    def test_empty_vocabulary_rejected(self):
+        with pytest.raises(ValueError):
+            Vocabulary([])
+
+    def test_non_string_keyword_rejected(self):
+        with pytest.raises(ValueError):
+            Vocabulary(["a", 3])
+
+    def test_empty_string_keyword_rejected(self):
+        with pytest.raises(ValueError):
+            Vocabulary([""])
+
+    def test_decode_wrong_length_raises(self):
+        vocab = Vocabulary(["a", "b"])
+        with pytest.raises(ValueError, match="length"):
+            vocab.decode(np.zeros(3, dtype=bool))
+
+    def test_equality_and_hash(self):
+        a = Vocabulary(["x", "y"])
+        b = Vocabulary(["x", "y"])
+        c = Vocabulary(["y", "x"])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_repr_mentions_size(self):
+        assert "2 keywords" in repr(Vocabulary(["x", "y"]))
+
+
+class TestCoerceVector:
+    def test_accepts_bool_array(self):
+        out = coerce_vector(np.array([True, False]), 2)
+        assert out.dtype == bool
+
+    def test_accepts_zero_one_ints(self):
+        out = coerce_vector(np.array([1, 0, 1]), 3)
+        assert out.tolist() == [True, False, True]
+
+    def test_rejects_non_binary_values(self):
+        with pytest.raises(ValueError, match="boolean"):
+            coerce_vector(np.array([2, 0]), 2)
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError, match="length"):
+            coerce_vector(np.array([True]), 2)

@@ -1,0 +1,70 @@
+"""Local-search solver tests."""
+
+import pytest
+
+from repro.core.solvers import ExactSolver, HTAGreSolver, LocalSearchSolver, RandomSolver, get_solver
+from repro.errors import InvalidInstanceError
+
+from conftest import make_random_instance
+
+
+class TestLocalSearch:
+    def test_registered(self):
+        assert isinstance(get_solver("hta-local"), LocalSearchSolver)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_never_worse_than_initial(self, seed):
+        instance = make_random_instance(20, 3, 4, seed=seed)
+        initial = HTAGreSolver().solve(instance, rng=seed)
+        improved = LocalSearchSolver().solve(instance, rng=seed)
+        assert improved.objective >= initial.objective - 1e-9
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_validity(self, seed):
+        instance = make_random_instance(15, 3, 3, seed=seed)
+        result = LocalSearchSolver().solve(instance, rng=seed)
+        result.assignment.validate(instance)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_bounded_by_exact_optimum(self, seed):
+        instance = make_random_instance(6, 2, 3, seed=seed)
+        optimal = ExactSolver().solve(instance).objective
+        local = LocalSearchSolver().solve(instance, rng=seed).objective
+        assert local <= optimal + 1e-9
+        # Local search from HTA-GRE should land close to the optimum on
+        # tiny instances.
+        if optimal > 0:
+            assert local >= 0.85 * optimal
+
+    def test_random_start_still_improves(self):
+        instance = make_random_instance(18, 3, 3, seed=7)
+        random_only = RandomSolver().solve(instance, rng=7)
+        improved = LocalSearchSolver(initial=RandomSolver()).solve(instance, rng=7)
+        assert improved.objective >= random_only.objective - 1e-9
+        assert improved.info["initial_solver"] == "random"
+
+    def test_info_and_timings(self):
+        instance = make_random_instance(12, 2, 3, seed=0)
+        result = LocalSearchSolver().solve(instance, rng=0)
+        assert result.info["passes"] >= 1
+        assert "local_search" in result.timings
+        assert result.info["initial_objective"] <= result.objective + 1e-9
+
+    def test_invalid_max_passes(self):
+        with pytest.raises(InvalidInstanceError, match="max_passes"):
+            LocalSearchSolver(max_passes=0)
+
+    def test_handles_fewer_tasks_than_capacity(self):
+        instance = make_random_instance(4, 3, 3, seed=1)
+        result = LocalSearchSolver().solve(instance, rng=1)
+        result.assignment.validate(instance)
+        assert result.assignment.size() == 4
+
+    def test_steal_move_can_rebalance(self):
+        """With unequal alphas, moving tasks toward the diversity-loving
+        worker can pay; the solver must keep C1 intact while trying."""
+        instance = make_random_instance(9, 3, 3, seed=3)
+        result = LocalSearchSolver().solve(instance, rng=3)
+        result.assignment.validate(instance)
+        for worker in instance.workers:
+            assert len(result.assignment.tasks_of(worker.worker_id)) <= 3

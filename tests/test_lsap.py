@@ -1,0 +1,133 @@
+"""LSAP solver tests: Hungarian optimality, greedy bound, auction accuracy."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.matching import (
+    auction_lsap,
+    brute_force_lsap,
+    greedy_lsap,
+    hungarian,
+    lsap_methods,
+    solve_lsap,
+)
+
+scipy_optimize = pytest.importorskip("scipy.optimize")
+
+
+def scipy_optimum(profit: np.ndarray) -> float:
+    rows, cols = scipy_optimize.linear_sum_assignment(-profit)
+    return float(profit[rows, cols].sum())
+
+
+class TestHungarian:
+    def test_two_by_two(self):
+        solution = hungarian(np.array([[4.0, 1.0], [2.0, 3.0]]))
+        assert solution.value == 7.0
+        assert solution.row_to_col.tolist() == [0, 1]
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_matches_scipy_square(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 30))
+        profit = rng.random((n, n)) * 100 - 20
+        solution = hungarian(profit)
+        assert solution.is_valid(n)
+        assert solution.value == pytest.approx(scipy_optimum(profit))
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_brute_force_rectangular(self, seed):
+        rng = np.random.default_rng(seed + 50)
+        n_rows = int(rng.integers(1, 7))
+        n_cols = int(rng.integers(n_rows, 9))
+        profit = rng.random((n_rows, n_cols)) * 10
+        assert hungarian(profit).value == pytest.approx(
+            brute_force_lsap(profit).value
+        )
+
+    def test_single_cell(self):
+        assert hungarian(np.array([[5.0]])).value == 5.0
+
+    def test_ties_still_optimal(self):
+        profit = np.ones((6, 6))
+        solution = hungarian(profit)
+        assert solution.value == 6.0
+        assert solution.is_valid(6)
+
+    def test_rows_exceed_cols_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="n_rows"):
+            hungarian(np.zeros((3, 2)))
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="finite"):
+            hungarian(np.array([[np.nan, 1.0], [1.0, 2.0]]))
+
+    def test_one_dimensional_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="2-D"):
+            hungarian(np.zeros(4))
+
+
+class TestGreedyLSAP:
+    def test_simple_greedy_behaviour(self):
+        solution = greedy_lsap(np.array([[4.0, 1.0], [2.0, 3.0]]))
+        assert solution.value == 7.0
+
+    def test_returns_perfect_matching_on_rows(self):
+        rng = np.random.default_rng(1)
+        profit = rng.random((7, 10))
+        solution = greedy_lsap(profit)
+        assert solution.is_valid(10)
+        assert len(solution.row_to_col) == 7
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_half_approximation_on_nonnegative(self, seed):
+        rng = np.random.default_rng(seed + 200)
+        n = int(rng.integers(2, 25))
+        profit = rng.random((n, n)) * 50
+        assert greedy_lsap(profit).value >= 0.5 * hungarian(profit).value - 1e-9
+
+    def test_adversarial_half_ratio_instance(self):
+        """Greedy grabs the 10 first, forcing 0; optimal pairs 9 + 9."""
+        profit = np.array([[10.0, 9.0], [9.0, 0.0]])
+        assert greedy_lsap(profit).value == 10.0
+        assert hungarian(profit).value == 18.0
+
+
+class TestAuction:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_matches_hungarian_within_precision(self, seed):
+        rng = np.random.default_rng(seed + 400)
+        n_rows = int(rng.integers(1, 15))
+        n_cols = int(rng.integers(n_rows, 18))
+        profit = rng.random((n_rows, n_cols)) * 10 - 3
+        got = auction_lsap(profit)
+        assert got.is_valid(n_cols)
+        assert got.value == pytest.approx(hungarian(profit).value, abs=1e-3)
+
+    def test_bad_precision_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="precision"):
+            auction_lsap(np.ones((2, 2)), precision=0.0)
+
+
+class TestBruteForce:
+    def test_size_limit(self):
+        with pytest.raises(InvalidInstanceError, match="limited"):
+            brute_force_lsap(np.zeros((10, 10)))
+
+    def test_tiny_instance(self):
+        assert brute_force_lsap(np.array([[1.0, 2.0]])).value == 2.0
+
+
+class TestDispatch:
+    def test_methods_listed(self):
+        assert set(lsap_methods()) == {"hungarian", "greedy", "auction", "brute_force"}
+
+    @pytest.mark.parametrize("method", ["hungarian", "greedy", "auction", "brute_force"])
+    def test_solve_lsap_dispatches(self, method):
+        profit = np.array([[4.0, 1.0], [2.0, 3.0]])
+        assert solve_lsap(profit, method).value == 7.0
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="unknown LSAP"):
+            solve_lsap(np.ones((2, 2)), "nope")

@@ -1,0 +1,135 @@
+"""Greedy and exact maximum-weight matching tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.matching import (
+    cover_map,
+    exact_matching_weight,
+    exact_max_weight_matching,
+    greedy_matching_dense,
+    greedy_matching_edges,
+    is_matching,
+    matching_weight,
+)
+
+
+def random_symmetric(n: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    w = rng.random((n, n))
+    w = (w + w.T) / 2
+    np.fill_diagonal(w, 0.0)
+    return w
+
+
+class TestGreedyDense:
+    def test_picks_heaviest_edge_first(self):
+        w = np.array([[0.0, 3.0, 1.0], [3.0, 0.0, 2.0], [1.0, 2.0, 0.0]])
+        assert greedy_matching_dense(w) == [(0, 1)]
+
+    def test_result_is_vertex_disjoint(self):
+        for seed in range(10):
+            matching = greedy_matching_dense(random_symmetric(11, seed))
+            assert is_matching(matching)
+
+    def test_skips_non_positive_edges(self):
+        w = np.zeros((4, 4))
+        w[0, 1] = w[1, 0] = -1.0
+        assert greedy_matching_dense(w) == []
+
+    def test_trivial_sizes(self):
+        assert greedy_matching_dense(np.zeros((0, 0))) == []
+        assert greedy_matching_dense(np.zeros((1, 1))) == []
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            greedy_matching_dense(np.zeros((2, 3)))
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_half_approximation_bound(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(4, 13))
+        w = random_symmetric(n, seed + 100)
+        greedy_weight = matching_weight(w, greedy_matching_dense(w))
+        optimal = exact_matching_weight(w)
+        assert greedy_weight >= 0.5 * optimal - 1e-12
+
+    def test_matches_everything_on_positive_complete_graph(self):
+        w = random_symmetric(8, 0) + 0.01
+        np.fill_diagonal(w, 0.0)
+        assert len(greedy_matching_dense(w)) == 4
+
+
+class TestGreedyEdges:
+    def test_matches_dense_on_same_graph(self):
+        w = random_symmetric(7, 3)
+        edges = [
+            (i, j, w[i, j]) for i in range(7) for j in range(i + 1, 7)
+        ]
+        assert set(greedy_matching_edges(edges)) == set(greedy_matching_dense(w))
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            greedy_matching_edges([(1, 1, 2.0)])
+
+    def test_empty_edge_list(self):
+        assert greedy_matching_edges([]) == []
+
+
+class TestExactMatching:
+    def test_simple_case(self):
+        w = np.array([[0.0, 3.0, 1.0], [3.0, 0.0, 2.0], [1.0, 2.0, 0.0]])
+        assert exact_max_weight_matching(w) == [(0, 1)]
+
+    def test_beats_or_ties_greedy(self):
+        for seed in range(10):
+            w = random_symmetric(10, seed)
+            exact_w = exact_matching_weight(w)
+            greedy_w = matching_weight(w, greedy_matching_dense(w))
+            assert exact_w >= greedy_w - 1e-12
+
+    def test_exact_is_a_matching(self):
+        for seed in range(5):
+            matching = exact_max_weight_matching(random_symmetric(9, seed))
+            assert is_matching(matching)
+
+    def test_greedy_adversarial_instance(self):
+        """Path graph a-b-c-d with weights 2, 3, 2: greedy takes the middle
+        edge (weight 3), optimal takes both outer edges (weight 4)."""
+        w = np.zeros((4, 4))
+        w[0, 1] = w[1, 0] = 2.0
+        w[1, 2] = w[2, 1] = 3.0
+        w[2, 3] = w[3, 2] = 2.0
+        assert matching_weight(w, greedy_matching_dense(w)) == 3.0
+        assert exact_matching_weight(w) == 4.0
+
+    def test_size_limit_enforced(self):
+        with pytest.raises(InvalidInstanceError, match="limited"):
+            exact_max_weight_matching(np.zeros((21, 21)))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            exact_max_weight_matching(np.zeros((2, 3)))
+
+    def test_ignores_non_positive_edges(self):
+        w = np.full((4, 4), -1.0)
+        np.fill_diagonal(w, 0.0)
+        assert exact_max_weight_matching(w) == []
+
+
+class TestHelpers:
+    def test_is_matching_detects_shared_vertex(self):
+        assert not is_matching([(0, 1), (1, 2)])
+        assert is_matching([(0, 1), (2, 3)])
+        assert not is_matching([(0, 0)])
+
+    def test_cover_map(self):
+        partner = cover_map([(0, 2)], 4)
+        assert partner.tolist() == [2, -1, 0, -1]
+
+    def test_matching_weight(self):
+        w = random_symmetric(5, 1)
+        assert matching_weight(w, [(0, 1), (2, 3)]) == pytest.approx(
+            w[0, 1] + w[2, 3]
+        )

@@ -1,0 +1,162 @@
+"""Metric-curve tests on hand-crafted sessions."""
+
+import numpy as np
+import pytest
+
+from repro.crowd.events import SessionEndReason, TaskCompleted
+from repro.crowd.metrics import (
+    Curve,
+    quality_curve,
+    retention_curve,
+    session_summary,
+    throughput_curve,
+)
+from repro.crowd.session import WorkSession
+
+
+def completion(session_time_s, n_graded, n_correct, worker="w", task="t"):
+    return TaskCompleted(
+        wall_time=session_time_s,
+        session_time=session_time_s,
+        worker_id=worker,
+        task_id=task,
+        duration=30.0,
+        n_questions=n_graded,
+        n_graded=n_graded,
+        n_correct=n_correct,
+        accuracy_used=0.8,
+    )
+
+
+def make_session(worker_id, completions, duration_s, reason=SessionEndReason.TIME_CAP):
+    session = WorkSession(worker_id, 0.0)
+    session.completions = completions
+    session.end_session_time = duration_s
+    session.end_reason = reason
+    return session
+
+
+@pytest.fixture
+def sessions():
+    return [
+        make_session(
+            "w0",
+            [
+                completion(60, 2, 2, "w0", "a"),  # minute 1: 2/2
+                completion(300, 2, 0, "w0", "b"),  # minute 5: 2/4
+            ],
+            1200,
+        ),
+        make_session(
+            "w1",
+            [completion(600, 4, 2, "w1", "c")],  # minute 10: +2/4
+            1800,
+        ),
+    ]
+
+
+class TestQualityCurve:
+    def test_cumulative_percentages(self, sessions):
+        curve = quality_curve(sessions, max_minutes=15, step=1.0)
+        assert curve.at(0.5) == 0.0  # nothing completed yet
+        assert curve.at(1.0) == pytest.approx(100.0)  # 2/2
+        assert curve.at(5.0) == pytest.approx(50.0)  # 2/4
+        assert curve.at(10.0) == pytest.approx(50.0)  # 4/8
+        assert curve.final() == pytest.approx(50.0)
+
+    def test_empty_sessions(self):
+        curve = quality_curve([], max_minutes=5)
+        assert curve.final() == 0.0
+
+
+class TestThroughputCurve:
+    def test_cumulative_counts(self, sessions):
+        curve = throughput_curve(sessions, max_minutes=15, step=1.0)
+        assert curve.at(0.0) == 0.0
+        assert curve.at(1.0) == 1.0
+        assert curve.at(5.0) == 2.0
+        assert curve.at(10.0) == 3.0
+        assert curve.final() == 3.0
+
+    def test_empty(self):
+        assert throughput_curve([], max_minutes=5).final() == 0.0
+
+
+class TestRetentionCurve:
+    def test_survival_percentages(self, sessions):
+        curve = retention_curve(sessions, max_minutes=30, step=1.0)
+        assert curve.at(0.0) == 100.0
+        assert curve.at(15.0) == 100.0  # both sessions last >= 15 min
+        assert curve.at(25.0) == 50.0  # only w1 (30 min) survives
+        assert curve.at(30.0) == 50.0
+
+    def test_empty(self):
+        assert retention_curve([], max_minutes=5).final() == 0.0
+
+
+class TestCurveType:
+    def test_at_before_first_point(self):
+        curve = Curve(np.array([0.0, 1.0]), np.array([5.0, 7.0]))
+        assert curve.at(-1.0) == 5.0
+
+    def test_step_semantics(self):
+        curve = Curve(np.array([0.0, 10.0]), np.array([1.0, 2.0]))
+        assert curve.at(9.99) == 1.0
+        assert curve.at(10.0) == 2.0
+
+
+class TestSessionSummary:
+    def test_aggregates(self, sessions):
+        summary = session_summary(sessions)
+        assert summary["n_sessions"] == 2.0
+        assert summary["tasks_per_session"] == pytest.approx(1.5)
+        assert summary["total_completed"] == 3.0
+        assert summary["accuracy_pct"] == pytest.approx(50.0)
+        assert summary["mean_session_minutes"] == pytest.approx(25.0)
+        assert summary["retained_over_18_2_min_pct"] == pytest.approx(100.0)
+
+    def test_empty(self):
+        summary = session_summary([])
+        assert summary["n_sessions"] == 0.0
+        assert np.isnan(summary["accuracy_pct"])
+
+
+class TestWorkSession:
+    def test_accuracy_none_without_graded(self):
+        session = make_session("w", [completion(10, 0, 0)], 100)
+        assert session.accuracy() is None
+
+    def test_reward_sum(self, sessions):
+        rewards = {"a": 0.05, "b": 0.10, "c": 0.02}
+        assert sessions[0].total_reward(rewards) == pytest.approx(0.15)
+
+    def test_iteration_filter_helper(self):
+        session = make_session("w", [], 100)
+        assert not session.completed_at_least_one_iteration()
+
+
+class TestEarningsSummary:
+    def test_cost_accounting(self, sessions):
+        from repro.crowd.metrics import earnings_summary
+
+        rewards = {"a": 0.05, "b": 0.10, "c": 0.02}
+        summary = earnings_summary(sessions, rewards, hit_reward=0.10)
+        # Task earnings: w0 = 0.15, w1 = 0.02; HITs: 2 x 0.10.
+        assert summary["total_cost"] == pytest.approx(0.37)
+        assert summary["mean_task_reward"] == pytest.approx(0.17 / 3)
+        assert summary["mean_session_earnings"] == pytest.approx(0.185)
+        # 4 correct answers in the fixture.
+        assert summary["cost_per_correct_answer"] == pytest.approx(0.37 / 4)
+
+    def test_no_correct_answers_gives_infinite_cost(self):
+        from repro.crowd.metrics import earnings_summary
+
+        session = make_session("w", [completion(10, 2, 0)], 100)
+        summary = earnings_summary([session], {}, hit_reward=0.1)
+        assert summary["cost_per_correct_answer"] == float("inf")
+
+    def test_negative_hit_reward_rejected(self, sessions):
+        from repro.crowd.metrics import earnings_summary
+
+        with pytest.raises(ValueError, match="hit_reward"):
+            earnings_summary(sessions, {}, hit_reward=-0.1)

@@ -1,0 +1,154 @@
+"""Motivation model tests: Eqs. 1-3 and the marginal-gain quantities."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MotivationWeights,
+    Task,
+    Vocabulary,
+    Worker,
+    motivation,
+    task_diversity,
+    task_relevance,
+)
+from repro.core.distance import jaccard_distance, pairwise_jaccard
+from repro.core.motivation import (
+    best_remaining_diversity_gain,
+    best_remaining_relevance_gain,
+    diversity_of_subset,
+    marginal_diversity_gain,
+    motivation_of_subset,
+    relevance,
+    relevance_of_subset,
+    total_motivation,
+)
+
+
+@pytest.fixture
+def tasks():
+    rng = np.random.default_rng(11)
+    return [Task(f"t{i}", rng.random(8) < 0.5) for i in range(5)]
+
+
+@pytest.fixture
+def worker():
+    rng = np.random.default_rng(99)
+    return Worker("w", rng.random(8) < 0.5, MotivationWeights(0.4, 0.6))
+
+
+class TestObjectLevel:
+    def test_task_diversity_matches_pairwise_sum(self, tasks):
+        expected = sum(
+            jaccard_distance(tasks[i].vector, tasks[j].vector)
+            for i in range(5)
+            for j in range(i + 1, 5)
+        )
+        assert task_diversity(tasks) == pytest.approx(expected)
+
+    def test_task_diversity_single_task_is_zero(self, tasks):
+        assert task_diversity(tasks[:1]) == 0.0
+
+    def test_task_diversity_empty_is_zero(self):
+        assert task_diversity([]) == 0.0
+
+    def test_relevance_complement_of_distance(self, tasks, worker):
+        expected = 1.0 - jaccard_distance(tasks[0].vector, worker.vector)
+        assert relevance(tasks[0], worker) == pytest.approx(expected)
+
+    def test_task_relevance_sums(self, tasks, worker):
+        expected = sum(relevance(t, worker) for t in tasks)
+        assert task_relevance(tasks, worker) == pytest.approx(expected)
+
+    def test_motivation_equation_three(self, tasks, worker):
+        expected = (
+            2.0 * worker.alpha * task_diversity(tasks)
+            + worker.beta * (len(tasks) - 1) * task_relevance(tasks, worker)
+        )
+        assert motivation(tasks, worker) == pytest.approx(expected)
+
+    def test_motivation_empty_set_is_zero(self, worker):
+        assert motivation([], worker) == 0.0
+
+    def test_motivation_single_task_has_no_relevance_term(self, tasks, worker):
+        # (|T'| - 1) = 0 kills the relevance term; diversity is 0 too.
+        assert motivation(tasks[:1], worker) == 0.0
+
+    def test_diversity_only_worker(self, tasks):
+        w = Worker("w", np.zeros(8, dtype=bool), MotivationWeights(1.0, 0.0))
+        assert motivation(tasks, w) == pytest.approx(2.0 * task_diversity(tasks))
+
+
+class TestMatrixLevel:
+    def test_matrix_matches_object_level(self, tasks, worker):
+        matrix = np.vstack([t.vector for t in tasks])
+        diversity = pairwise_jaccard(matrix)
+        rel_row = 1.0 - pairwise_jaccard(worker.vector[None, :], matrix).ravel()
+        got = motivation_of_subset(
+            diversity, rel_row, list(range(5)), worker.alpha, worker.beta
+        )
+        assert got == pytest.approx(motivation(tasks, worker))
+
+    def test_subset_selection(self, tasks, worker):
+        matrix = np.vstack([t.vector for t in tasks])
+        diversity = pairwise_jaccard(matrix)
+        rel_row = 1.0 - pairwise_jaccard(worker.vector[None, :], matrix).ravel()
+        subset = [0, 2, 4]
+        expected = motivation([tasks[i] for i in subset], worker)
+        got = motivation_of_subset(diversity, rel_row, subset, worker.alpha, worker.beta)
+        assert got == pytest.approx(expected)
+
+    def test_diversity_of_subset_small(self):
+        d = np.array([[0.0, 1.0, 0.5], [1.0, 0.0, 0.2], [0.5, 0.2, 0.0]])
+        assert diversity_of_subset(d, [0, 1, 2]) == pytest.approx(1.7)
+        assert diversity_of_subset(d, [1]) == 0.0
+        assert diversity_of_subset(d, []) == 0.0
+
+    def test_relevance_of_subset(self):
+        row = np.array([0.1, 0.2, 0.3])
+        assert relevance_of_subset(row, [0, 2]) == pytest.approx(0.4)
+        assert relevance_of_subset(row, []) == 0.0
+
+    def test_total_motivation_sums_workers(self, tasks):
+        matrix = np.vstack([t.vector for t in tasks])
+        diversity = pairwise_jaccard(matrix)
+        rel = np.vstack([np.linspace(0, 1, 5), np.linspace(1, 0, 5)])
+        total = total_motivation(
+            diversity, rel, [[0, 1], [2, 3]], [0.5, 0.1], [0.5, 0.9]
+        )
+        expected = motivation_of_subset(diversity, rel[0], [0, 1], 0.5, 0.5)
+        expected += motivation_of_subset(diversity, rel[1], [2, 3], 0.1, 0.9)
+        assert total == pytest.approx(expected)
+
+
+class TestMarginalGains:
+    def setup_method(self):
+        self.diversity = np.array(
+            [
+                [0.0, 0.9, 0.1, 0.5],
+                [0.9, 0.0, 0.8, 0.3],
+                [0.1, 0.8, 0.0, 0.6],
+                [0.5, 0.3, 0.6, 0.0],
+            ]
+        )
+        self.rel = np.array([0.9, 0.1, 0.5, 0.3])
+
+    def test_marginal_diversity_gain(self):
+        # completing task 2 after {0, 1}: d(2,0) + d(2,1) = 0.1 + 0.8
+        assert marginal_diversity_gain(self.diversity, [0, 1], 2) == pytest.approx(0.9)
+
+    def test_marginal_diversity_gain_no_history(self):
+        assert marginal_diversity_gain(self.diversity, [], 2) == 0.0
+
+    def test_best_remaining_diversity_gain(self):
+        # remaining {2, 3} after {0, 1}: gains 0.9 (task 2) and 0.8 (task 3)
+        got = best_remaining_diversity_gain(self.diversity, [0, 1], [2, 3])
+        assert got == pytest.approx(0.9)
+
+    def test_best_remaining_diversity_empty(self):
+        assert best_remaining_diversity_gain(self.diversity, [0], []) == 0.0
+        assert best_remaining_diversity_gain(self.diversity, [], [1, 2]) == 0.0
+
+    def test_best_remaining_relevance_gain(self):
+        assert best_remaining_relevance_gain(self.rel, [1, 2, 3]) == pytest.approx(0.5)
+        assert best_remaining_relevance_gain(self.rel, []) == 0.0

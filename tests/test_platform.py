@@ -1,0 +1,184 @@
+"""Crowd-platform simulator tests: event consistency, determinism, caps."""
+
+import numpy as np
+import pytest
+
+from repro.crowd import PlatformConfig, ServiceConfig, run_deployment
+from repro.crowd.behavior import BehaviorParams
+from repro.crowd.events import (
+    SessionEndReason,
+    SessionEnded,
+    TaskCompleted,
+    TasksAssigned,
+    WorkerArrived,
+)
+from repro.data import (
+    CrowdFlowerConfig,
+    generate_crowdflower_corpus,
+    generate_online_workers,
+)
+from repro.errors import SimulationError
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_crowdflower_corpus(CrowdFlowerConfig(n_tasks=800), rng=7)
+
+
+FAST_CONFIG = PlatformConfig(
+    session_cap=600.0,  # 10-minute sessions keep the test quick
+    mean_interarrival=30.0,
+    service=ServiceConfig(x_max=5, n_random_pad=2, reassign_after=3, min_pending=2),
+)
+
+
+def run(corpus, strategy="hta-gre", n_workers=4, rng=0, config=FAST_CONFIG):
+    workers = generate_online_workers(n_workers, rng=5)
+    return run_deployment(
+        corpus.pool,
+        workers,
+        strategy,
+        graded_questions=corpus.graded_questions,
+        config=config,
+        rng=rng,
+    )
+
+
+class TestDeterminism:
+    def test_same_seed_same_events(self, corpus):
+        a = run(corpus, rng=3)
+        b = run(corpus, rng=3)
+        assert len(a.events) == len(b.events)
+        assert [type(e).__name__ for e in a.events] == [
+            type(e).__name__ for e in b.events
+        ]
+        assert a.total_completed_tasks() == b.total_completed_tasks()
+
+    def test_different_seed_differs(self, corpus):
+        a = run(corpus, rng=3)
+        b = run(corpus, rng=4)
+        assert a.total_completed_tasks() != b.total_completed_tasks()
+
+
+class TestSessionInvariants:
+    def test_every_worker_gets_a_session_with_end(self, corpus):
+        result = run(corpus)
+        assert len(result.sessions) == 4
+        for session in result.sessions:
+            assert session.end_reason is not None
+            assert session.end_session_time is not None
+
+    def test_session_cap_respected(self, corpus):
+        result = run(corpus)
+        for session in result.sessions:
+            assert session.duration <= FAST_CONFIG.session_cap + 1e-6
+
+    def test_completion_times_increase_within_session(self, corpus):
+        result = run(corpus)
+        for session in result.sessions:
+            times = [c.session_time for c in session.completions]
+            assert times == sorted(times)
+
+    def test_no_task_completed_twice_globally(self, corpus):
+        result = run(corpus)
+        completed = [
+            e.task_id for e in result.events if isinstance(e, TaskCompleted)
+        ]
+        assert len(completed) == len(set(completed))
+
+    def test_completed_tasks_were_displayed(self, corpus):
+        result = run(corpus)
+        displayed: set[str] = set()
+        for event in result.events:
+            if isinstance(event, TasksAssigned):
+                displayed.update(event.task_ids)
+                displayed.update(event.random_pad_ids)
+            elif isinstance(event, TaskCompleted):
+                assert event.task_id in displayed
+
+    def test_correct_answers_bounded_by_graded(self, corpus):
+        result = run(corpus)
+        for event in result.events:
+            if isinstance(event, TaskCompleted):
+                assert 0 <= event.n_correct <= event.n_graded <= event.n_questions
+
+    def test_event_stream_order(self, corpus):
+        """Arrival precedes assignments precedes completions per worker."""
+        result = run(corpus)
+        seen_arrival: set[str] = set()
+        seen_assignment: set[str] = set()
+        ended: set[str] = set()
+        for event in result.events:
+            if isinstance(event, WorkerArrived):
+                seen_arrival.add(event.worker_id)
+            elif isinstance(event, TasksAssigned):
+                assert event.worker_id in seen_arrival
+                seen_assignment.add(event.worker_id)
+            elif isinstance(event, TaskCompleted):
+                assert event.worker_id in seen_assignment
+                assert event.worker_id not in ended
+            elif isinstance(event, SessionEnded):
+                ended.add(event.worker_id)
+        assert ended == seen_arrival
+
+
+class TestEndReasons:
+    def test_reasons_are_valid(self, corpus):
+        result = run(corpus, n_workers=6, rng=9)
+        for session in result.sessions:
+            assert session.end_reason in (
+                SessionEndReason.TIME_CAP,
+                SessionEndReason.QUIT,
+                SessionEndReason.EXHAUSTED,
+            )
+
+    def test_exhaustion_on_tiny_corpus(self):
+        tiny = generate_crowdflower_corpus(CrowdFlowerConfig(n_tasks=12), rng=1)
+        result = run(tiny, n_workers=2, rng=0)
+        reasons = {s.end_reason for s in result.sessions}
+        assert SessionEndReason.EXHAUSTED in reasons
+
+    def test_impatient_population_quits(self, corpus):
+        config = PlatformConfig(
+            session_cap=600.0,
+            mean_interarrival=0.0,
+            service=FAST_CONFIG.service,
+            behavior=BehaviorParams(
+                base_quit_hazard=0.5, mismatch_quit_hazard=0.0, boredom_quit_hazard=0.0
+            ),
+        )
+        result = run(corpus, config=config, rng=1)
+        assert all(s.end_reason == SessionEndReason.QUIT for s in result.sessions)
+
+
+class TestResultHelpers:
+    def test_total_completed_matches_sessions(self, corpus):
+        result = run(corpus)
+        assert result.total_completed_tasks() == sum(
+            s.n_completed for s in result.sessions
+        )
+
+    def test_overall_accuracy_in_unit_interval(self, corpus):
+        result = run(corpus)
+        accuracy = result.overall_accuracy()
+        assert accuracy is None or 0.0 <= accuracy <= 1.0
+
+    def test_completed_sessions_filter(self, corpus):
+        result = run(corpus)
+        for session in result.completed_sessions(min_iterations=2):
+            assert session.n_iterations >= 2
+
+    def test_profile_count_mismatch_rejected(self, corpus):
+        workers = generate_online_workers(3, rng=5)
+        with pytest.raises(SimulationError, match="profiles"):
+            run_deployment(
+                corpus.pool, workers, "hta-gre", profiles=[], config=FAST_CONFIG, rng=0
+            )
+
+
+class TestStrategies:
+    @pytest.mark.parametrize("strategy", ["hta-gre", "hta-gre-div", "hta-gre-rel", "random"])
+    def test_all_strategies_run(self, corpus, strategy):
+        result = run(corpus, strategy=strategy, n_workers=3, rng=2)
+        assert result.total_completed_tasks() > 0
+        assert result.strategy == strategy

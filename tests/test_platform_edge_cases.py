@@ -1,0 +1,88 @@
+"""Platform and service edge-case tests."""
+
+import numpy as np
+import pytest
+
+from repro.crowd import PlatformConfig, ServiceConfig, run_deployment
+from repro.data import (
+    CrowdFlowerConfig,
+    generate_crowdflower_corpus,
+    generate_online_workers,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_crowdflower_corpus(CrowdFlowerConfig(n_tasks=600), rng=2)
+
+
+class TestPlatformConfigEdges:
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError, match="session_cap"):
+            PlatformConfig(session_cap=0.0)
+        with pytest.raises(ValueError, match="interarrival"):
+            PlatformConfig(mean_interarrival=-1.0)
+
+    def test_simultaneous_arrivals(self, corpus):
+        """mean_interarrival = 0: everyone starts at t = 0."""
+        workers = generate_online_workers(3, rng=5)
+        config = PlatformConfig(
+            session_cap=300.0,
+            mean_interarrival=0.0,
+            service=ServiceConfig(x_max=4, n_random_pad=2, reassign_after=3),
+        )
+        result = run_deployment(
+            corpus.pool, workers, "hta-gre",
+            graded_questions=corpus.graded_questions, config=config, rng=0,
+        )
+        starts = {s.start_wall_time for s in result.sessions}
+        assert starts == {0.0}
+        assert result.total_completed_tasks() > 0
+
+    def test_no_random_pads(self, corpus):
+        """n_random_pad = 0: displays contain only HTA-assigned tasks."""
+        from repro.crowd.events import TasksAssigned
+
+        workers = generate_online_workers(2, rng=6)
+        config = PlatformConfig(
+            session_cap=300.0,
+            mean_interarrival=10.0,
+            service=ServiceConfig(x_max=4, n_random_pad=0, reassign_after=3),
+        )
+        result = run_deployment(
+            corpus.pool, workers, "hta-gre-rel",
+            graded_questions=corpus.graded_questions, config=config, rng=0,
+        )
+        for event in result.events:
+            if isinstance(event, TasksAssigned):
+                assert event.random_pad_ids == ()
+
+    def test_single_worker_deployment(self, corpus):
+        workers = generate_online_workers(1, rng=7)
+        config = PlatformConfig(
+            session_cap=240.0,
+            mean_interarrival=0.0,
+            service=ServiceConfig(x_max=3, n_random_pad=1, reassign_after=2),
+        )
+        result = run_deployment(
+            corpus.pool, workers, "hta-gre",
+            graded_questions=corpus.graded_questions, config=config, rng=1,
+        )
+        assert len(result.sessions) == 1
+        assert result.sessions[0].end_reason is not None
+
+    def test_ungraded_corpus(self, corpus):
+        """graded_questions all zero: quality is undefined but the run works."""
+        workers = generate_online_workers(2, rng=8)
+        config = PlatformConfig(
+            session_cap=240.0,
+            mean_interarrival=0.0,
+            service=ServiceConfig(x_max=3, n_random_pad=1, reassign_after=2),
+        )
+        result = run_deployment(
+            corpus.pool, workers, "hta-gre",
+            graded_questions={t.task_id: 0 for t in corpus.pool},
+            config=config, rng=2,
+        )
+        assert result.overall_accuracy() is None
+        assert result.total_completed_tasks() > 0

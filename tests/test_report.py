@@ -1,0 +1,63 @@
+"""Reproduction-report generator tests."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.report import ReportConfig, generate_report
+from repro.storage import ResultsStore
+
+
+@pytest.fixture(scope="module")
+def fast_report(tmp_path_factory):
+    db = tmp_path_factory.mktemp("report") / "results.db"
+    text = generate_report(ReportConfig.fast(seed=1, store_path=db))
+    return text, db
+
+
+@pytest.mark.slow
+class TestGenerateReport:
+    def test_contains_every_section(self, fast_report):
+        text, _ = fast_report
+        assert "# Reproduction report" in text
+        for section in ("fig2a/fig2b", "fig2c", "fig3", "fig5"):
+            assert section in text
+
+    def test_contains_measurements(self, fast_report):
+        text, _ = fast_report
+        assert "hta-gre" in text
+        assert "speedup over HTA-APP" in text
+        assert "Significance tests:" in text
+
+    def test_store_filled(self, fast_report):
+        _, db = fast_report
+        with ResultsStore(db) as store:
+            kinds = {r.kind for r in store.runs()}
+            assert "fig5" in kinds
+            assert any(k.startswith("fig2a") for k in kinds)
+            for record in store.runs():
+                assert len(store.points_of(record.run_id)) > 0
+
+    def test_cli_report_fast(self, tmp_path, capsys):
+        out = tmp_path / "rep.md"
+        code = main(["report", "--fast", "--out", str(out), "--seed", "2"])
+        assert code == 0
+        assert out.exists()
+        assert "wrote" in capsys.readouterr().out
+
+
+@pytest.mark.slow
+class TestReportFigures:
+    def test_figures_written(self, tmp_path):
+        figs = tmp_path / "figs"
+        generate_report(
+            ReportConfig.fast(seed=3, figures_dir=figs)
+        )
+        names = {p.name for p in figs.glob("*.svg")}
+        assert "fig5_quality.svg" in names
+        assert "fig5_retention.svg" in names
+        assert any(n.startswith("fig2") for n in names)
+        assert any(n.startswith("fig3") for n in names)
+        import xml.etree.ElementTree as ET
+
+        for p in figs.glob("*.svg"):
+            ET.fromstring(p.read_text())

@@ -1,0 +1,38 @@
+"""RNG helper tests."""
+
+import numpy as np
+import pytest
+
+from repro.rng import ensure_rng, spawn
+
+
+class TestEnsureRng:
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_seed_gives_deterministic_stream(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        assert (a == b).all()
+
+    def test_none_gives_fresh_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+class TestSpawn:
+    def test_children_are_independent_and_deterministic(self):
+        children_a = spawn(ensure_rng(7), 3)
+        children_b = spawn(ensure_rng(7), 3)
+        for ca, cb in zip(children_a, children_b):
+            assert (ca.random(4) == cb.random(4)).all()
+        fresh = spawn(ensure_rng(7), 3)
+        values = [c.random() for c in fresh]
+        assert len(set(values)) == 3  # streams differ from each other
+
+    def test_zero_children(self):
+        assert spawn(ensure_rng(0), 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            spawn(ensure_rng(0), -1)

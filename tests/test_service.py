@@ -1,0 +1,229 @@
+"""Assignment-service tests: the Fig. 4 workflow invariants."""
+
+import numpy as np
+import pytest
+
+from repro.core import MotivationWeights, Task, TaskPool, Vocabulary, Worker
+from repro.crowd.service import ADAPTIVE_STRATEGIES, AssignmentService, ServiceConfig
+from repro.errors import SimulationError
+
+
+@pytest.fixture
+def vocab():
+    return Vocabulary([f"k{i}" for i in range(12)])
+
+
+@pytest.fixture
+def pool(vocab):
+    rng = np.random.default_rng(0)
+    return TaskPool(
+        [Task(f"t{i}", rng.random(12) < 0.35) for i in range(120)], vocab
+    )
+
+
+def make_worker(vocab, worker_id="w0", seed=1) -> Worker:
+    rng = np.random.default_rng(seed)
+    return Worker(worker_id, rng.random(12) < 0.35)
+
+
+SMALL_CONFIG = ServiceConfig(
+    x_max=4, n_random_pad=2, reassign_after=3, min_pending=1, candidate_cap=None
+)
+
+
+class TestServiceConfig:
+    def test_paper_defaults(self):
+        cfg = ServiceConfig()
+        assert cfg.x_max == 15
+        assert cfg.n_random_pad == 5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"x_max": 0},
+            {"n_random_pad": -1},
+            {"reassign_after": 0},
+            {"min_pending": -2},
+        ],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ServiceConfig(**kwargs)
+
+
+class TestRegistration:
+    def test_adaptive_cold_start_is_random_x_max(self, pool, vocab):
+        service = AssignmentService(pool, "hta-gre", SMALL_CONFIG, rng=0)
+        event = service.register_worker(make_worker(vocab), 0.0)
+        assert len(event.task_ids) == 4  # x_max random tasks
+        assert len(event.random_pad_ids) == 2
+        assert event.iteration == 0
+
+    def test_non_adaptive_solves_immediately(self, pool, vocab):
+        service = AssignmentService(pool, "hta-gre-rel", SMALL_CONFIG, rng=0)
+        event = service.register_worker(make_worker(vocab), 0.0)
+        assert len(event.task_ids) == 4
+        assert event.alpha == 0.0 and event.beta == 1.0
+
+    def test_double_registration_rejected(self, pool, vocab):
+        service = AssignmentService(pool, "hta-gre", SMALL_CONFIG, rng=0)
+        worker = make_worker(vocab)
+        service.register_worker(worker, 0.0)
+        with pytest.raises(SimulationError, match="already"):
+            service.register_worker(worker, 1.0)
+
+    def test_displayed_tasks_leave_the_pool(self, pool, vocab):
+        service = AssignmentService(pool, "hta-gre", SMALL_CONFIG, rng=0)
+        before = service.remaining_tasks()
+        event = service.register_worker(make_worker(vocab), 0.0)
+        shown = len(event.task_ids) + len(event.random_pad_ids)
+        assert service.remaining_tasks() == before - shown
+
+    def test_adaptive_flag(self, pool):
+        assert AssignmentService(pool, "hta-gre", SMALL_CONFIG).is_adaptive
+        assert not AssignmentService(pool, "hta-gre-div", SMALL_CONFIG).is_adaptive
+        assert "hta-gre" in ADAPTIVE_STRATEGIES
+
+
+class TestWeights:
+    def test_forced_weights_for_baselines(self, pool):
+        div = AssignmentService(pool, "hta-gre-div", SMALL_CONFIG)
+        assert div.weights_of("anyone") == MotivationWeights.diversity_only()
+        rel = AssignmentService(pool, "hta-gre-rel", SMALL_CONFIG)
+        assert rel.weights_of("anyone") == MotivationWeights.relevance_only()
+
+    def test_adaptive_weights_start_balanced(self, pool):
+        service = AssignmentService(pool, "hta-gre", SMALL_CONFIG)
+        assert service.weights_of("w0") == MotivationWeights.balanced()
+
+
+class TestCompletions:
+    def test_completion_bookkeeping(self, pool, vocab):
+        service = AssignmentService(pool, "hta-gre", SMALL_CONFIG, rng=0)
+        worker = make_worker(vocab)
+        event = service.register_worker(worker, 0.0)
+        first = event.task_ids[0]
+        service.observe_completion(worker.worker_id, first)
+        assert first not in service.pending_ids(worker.worker_id)
+
+    def test_completion_of_undisplayed_task_rejected(self, pool, vocab):
+        service = AssignmentService(pool, "hta-gre", SMALL_CONFIG, rng=0)
+        worker = make_worker(vocab)
+        service.register_worker(worker, 0.0)
+        with pytest.raises(SimulationError, match="not displayed"):
+            service.observe_completion(worker.worker_id, "t119")
+
+    def test_double_completion_rejected(self, pool, vocab):
+        service = AssignmentService(pool, "hta-gre", SMALL_CONFIG, rng=0)
+        worker = make_worker(vocab)
+        event = service.register_worker(worker, 0.0)
+        service.observe_completion(worker.worker_id, event.task_ids[0])
+        with pytest.raises(SimulationError, match="already"):
+            service.observe_completion(worker.worker_id, event.task_ids[0])
+
+    def test_completions_move_adaptive_weights(self, pool, vocab):
+        service = AssignmentService(pool, "hta-gre", SMALL_CONFIG, rng=0)
+        worker = make_worker(vocab)
+        event = service.register_worker(worker, 0.0)
+        for task_id in event.task_ids[:3]:
+            service.observe_completion(worker.worker_id, task_id)
+        weights = service.weights_of(worker.worker_id)
+        assert weights != MotivationWeights.balanced() or True
+        assert weights.alpha + weights.beta == pytest.approx(1.0)
+
+
+class TestReassignment:
+    def test_triggers_after_threshold(self, pool, vocab):
+        service = AssignmentService(pool, "hta-gre", SMALL_CONFIG, rng=0)
+        worker = make_worker(vocab)
+        event = service.register_worker(worker, 0.0)
+        shown = list(event.task_ids) + list(event.random_pad_ids)
+        for task_id in shown[:2]:
+            service.observe_completion(worker.worker_id, task_id)
+        assert not service.needs_reassignment(worker.worker_id)
+        service.observe_completion(worker.worker_id, shown[2])
+        assert service.needs_reassignment(worker.worker_id)
+
+    def test_maybe_reassign_returns_event(self, pool, vocab):
+        service = AssignmentService(pool, "hta-gre", SMALL_CONFIG, rng=0)
+        worker = make_worker(vocab)
+        event = service.register_worker(worker, 0.0)
+        for task_id in event.task_ids[:3]:
+            service.observe_completion(worker.worker_id, task_id)
+        new_event = service.maybe_reassign(worker.worker_id, 100.0, 100.0)
+        assert new_event is not None
+        assert new_event.iteration == 1
+        assert new_event.session_time == 100.0
+
+    def test_no_reassign_before_threshold(self, pool, vocab):
+        service = AssignmentService(pool, "hta-gre", SMALL_CONFIG, rng=0)
+        worker = make_worker(vocab)
+        service.register_worker(worker, 0.0)
+        assert service.maybe_reassign(worker.worker_id, 1.0, 1.0) is None
+
+    def test_no_task_ever_displayed_twice(self, pool, vocab):
+        """C2 across the whole deployment: the pool never re-serves a task."""
+        service = AssignmentService(pool, "hta-gre", SMALL_CONFIG, rng=0)
+        workers = [make_worker(vocab, f"w{i}", seed=i) for i in range(3)]
+        shown: set[str] = set()
+        for worker in workers:
+            event = service.register_worker(worker, 0.0)
+            ids = set(event.task_ids) | set(event.random_pad_ids)
+            assert not (ids & shown)
+            shown |= ids
+        # Drive several reassignment rounds.
+        for round_ in range(3):
+            for worker in workers:
+                for task_id in list(service.pending_ids(worker.worker_id))[:3]:
+                    service.observe_completion(worker.worker_id, task_id)
+                event = service.maybe_reassign(worker.worker_id, 10.0 * round_, 10.0)
+                if event is not None:
+                    ids = set(event.task_ids) | set(event.random_pad_ids)
+                    assert not (ids & shown)
+                    shown |= ids
+
+    def test_unregister_frees_bookkeeping(self, pool, vocab):
+        service = AssignmentService(pool, "hta-gre", SMALL_CONFIG, rng=0)
+        worker = make_worker(vocab)
+        service.register_worker(worker, 0.0)
+        service.unregister_worker(worker.worker_id)
+        with pytest.raises(SimulationError, match="no display"):
+            service.display_of(worker.worker_id)
+
+
+class TestPoolExhaustion:
+    def test_tiny_pool_registration_fails_cleanly(self, vocab):
+        rng = np.random.default_rng(0)
+        tiny = TaskPool([Task("only", rng.random(12) < 0.5)], vocab)
+        service = AssignmentService(tiny, "hta-gre", SMALL_CONFIG, rng=0)
+        event = service.register_worker(make_worker(vocab), 0.0)
+        # One task total: it gets displayed (as assignment or pad).
+        assert len(event.task_ids) + len(event.random_pad_ids) == 1
+        assert service.remaining_tasks() == 0
+
+    def test_no_reassignment_when_pool_empty(self, vocab):
+        rng = np.random.default_rng(0)
+        tiny = TaskPool(
+            [Task(f"t{i}", rng.random(12) < 0.5) for i in range(6)], vocab
+        )
+        service = AssignmentService(tiny, "hta-gre", SMALL_CONFIG, rng=0)
+        worker = make_worker(vocab)
+        event = service.register_worker(worker, 0.0)
+        for task_id in list(event.task_ids)[:3]:
+            service.observe_completion(worker.worker_id, task_id)
+        assert service.remaining_tasks() == 0
+        assert not service.needs_reassignment(worker.worker_id)
+
+
+class TestCandidateCap:
+    def test_cap_limits_solver_pool_but_keeps_validity(self, vocab):
+        rng = np.random.default_rng(1)
+        big = TaskPool(
+            [Task(f"t{i}", rng.random(12) < 0.35) for i in range(300)], vocab
+        )
+        config = ServiceConfig(
+            x_max=4, n_random_pad=2, reassign_after=3, min_pending=1, candidate_cap=30
+        )
+        service = AssignmentService(big, "hta-gre-rel", config, rng=0)
+        event = service.register_worker(make_worker(vocab), 0.0)
+        assert len(event.task_ids) == 4

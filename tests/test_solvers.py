@@ -1,0 +1,173 @@
+"""HTA solver tests: validity, determinism, approximation quality, registry."""
+
+import numpy as np
+import pytest
+
+from repro.core.solvers import (
+    ExactSolver,
+    HTAAppSolver,
+    HTAGreSolver,
+    get_solver,
+    register_solver,
+    solver_names,
+)
+from repro.core.solvers.base import Solver
+from repro.core.solvers.pipeline import run_qap_pipeline
+from repro.errors import UnknownSolverError
+
+from conftest import make_random_instance
+
+ALL_SOLVERS = ("hta-app", "hta-gre", "hta-gre-div", "hta-gre-rel", "random")
+
+
+class TestRegistry:
+    def test_known_names(self):
+        for name in ALL_SOLVERS + ("exact",):
+            assert name in solver_names()
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(UnknownSolverError, match="registered solvers"):
+            get_solver("nope")
+
+    def test_register_requires_name(self):
+        with pytest.raises(ValueError, match="name"):
+
+            @register_solver
+            class Nameless(Solver):
+                def solve(self, instance, rng=None):
+                    raise NotImplementedError
+
+    def test_register_duplicate_rejected(self):
+        with pytest.raises(ValueError, match="already"):
+
+            @register_solver
+            class Duplicate(Solver):
+                name = "hta-gre"
+
+                def solve(self, instance, rng=None):
+                    raise NotImplementedError
+
+
+class TestSolverContracts:
+    @pytest.mark.parametrize("name", ALL_SOLVERS)
+    def test_assignment_is_valid(self, name, small_instance):
+        result = get_solver(name).solve(small_instance, rng=0)
+        result.assignment.validate(small_instance)
+
+    @pytest.mark.parametrize("name", ALL_SOLVERS)
+    def test_objective_matches_assignment(self, name, small_instance):
+        result = get_solver(name).solve(small_instance, rng=0)
+        assert result.objective == pytest.approx(
+            result.assignment.objective(small_instance)
+        )
+
+    @pytest.mark.parametrize("name", ("hta-app", "hta-gre"))
+    def test_deterministic_given_seed(self, name, small_instance):
+        a = get_solver(name).solve(small_instance, rng=7)
+        b = get_solver(name).solve(small_instance, rng=7)
+        assert a.assignment.by_worker == b.assignment.by_worker
+
+    @pytest.mark.parametrize("name", ("hta-app", "hta-gre"))
+    def test_fills_capacity_when_tasks_abound(self, name):
+        instance = make_random_instance(n_tasks=30, n_workers=3, x_max=4, seed=1)
+        result = get_solver(name).solve(instance, rng=0)
+        assert result.assignment.size() == 12
+
+    @pytest.mark.parametrize("name", ("hta-app", "hta-gre"))
+    def test_handles_fewer_tasks_than_capacity(self, name):
+        instance = make_random_instance(n_tasks=5, n_workers=3, x_max=3, seed=2)
+        result = get_solver(name).solve(instance, rng=0)
+        result.assignment.validate(instance)
+        assert result.assignment.size() == 5  # everything assignable assigned
+
+    @pytest.mark.parametrize("name", ("hta-app", "hta-gre"))
+    def test_timings_present(self, name, small_instance):
+        result = get_solver(name).solve(small_instance, rng=0)
+        for phase in ("encode", "matching", "lsap", "decode", "total"):
+            assert phase in result.timings
+
+    def test_single_worker_single_task(self):
+        instance = make_random_instance(n_tasks=1, n_workers=1, x_max=1, seed=0)
+        for name in ("hta-app", "hta-gre"):
+            result = get_solver(name).solve(instance, rng=0)
+            assert result.assignment.size() == 1
+
+    def test_x_max_one_no_diversity_term(self):
+        instance = make_random_instance(n_tasks=6, n_workers=2, x_max=1, seed=3)
+        result = get_solver("hta-gre").solve(instance, rng=0)
+        result.assignment.validate(instance)
+        # Each worker gets exactly one task; Eq. 3 motivation is then zero.
+        assert result.objective == pytest.approx(0.0)
+
+
+class TestApproximationQuality:
+    """Empirical check of Theorems 3 and 4 on instances small enough for the
+    exact oracle.  The guarantees are in expectation; with the unswapped
+    candidate included, the realized ratio comfortably clears the bounds."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_hta_app_quarter_bound(self, seed):
+        instance = make_random_instance(n_tasks=6, n_workers=2, x_max=3, seed=seed)
+        optimal = ExactSolver().solve(instance).objective
+        got = HTAAppSolver().solve(instance, rng=seed).objective
+        if optimal > 0:
+            assert got >= 0.25 * optimal - 1e-9
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_hta_gre_eighth_bound(self, seed):
+        instance = make_random_instance(n_tasks=6, n_workers=2, x_max=3, seed=seed)
+        optimal = ExactSolver().solve(instance).objective
+        got = HTAGreSolver().solve(instance, rng=seed).objective
+        if optimal > 0:
+            assert got >= 0.125 * optimal - 1e-9
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_never_beats_optimal(self, seed):
+        instance = make_random_instance(n_tasks=6, n_workers=2, x_max=3, seed=seed)
+        optimal = ExactSolver().solve(instance).objective
+        for name in ("hta-app", "hta-gre"):
+            assert get_solver(name).solve(instance, rng=seed).objective <= optimal + 1e-9
+
+    def test_objectives_comparable_between_algorithms(self):
+        """Fig. 2b's finding: HTA-GRE's greedy LSAP costs little objective."""
+        ratios = []
+        for seed in range(6):
+            instance = make_random_instance(
+                n_tasks=40, n_workers=4, x_max=5, seed=seed
+            )
+            app = HTAAppSolver().solve(instance, rng=seed).objective
+            gre = HTAGreSolver().solve(instance, rng=seed).objective
+            if app > 0:
+                ratios.append(gre / app)
+        assert np.mean(ratios) > 0.85
+
+
+class TestPipelineOptions:
+    def test_exact_matching_small_instance(self):
+        instance = make_random_instance(n_tasks=6, n_workers=2, x_max=3, seed=0)
+        output = run_qap_pipeline(
+            instance, "hungarian", rng=0, matching_method="exact"
+        )
+        assert output.info["matching_method"] == "exact"
+
+    def test_exact_matching_too_large_rejected(self):
+        instance = make_random_instance(n_tasks=30, n_workers=2, x_max=3, seed=0)
+        with pytest.raises(ValueError, match="exact matching"):
+            run_qap_pipeline(instance, "greedy", matching_method="exact")
+
+    def test_unknown_matching_method_rejected(self, small_instance):
+        with pytest.raises(ValueError, match="matching method"):
+            run_qap_pipeline(small_instance, "greedy", matching_method="nope")
+
+    def test_bad_swap_samples_rejected(self, small_instance):
+        with pytest.raises(ValueError, match="n_swap_samples"):
+            run_qap_pipeline(small_instance, "greedy", n_swap_samples=0)
+
+    def test_more_swap_samples_never_worse(self, small_instance):
+        base = run_qap_pipeline(small_instance, "greedy", rng=3, n_swap_samples=1)
+        more = run_qap_pipeline(small_instance, "greedy", rng=3, n_swap_samples=8)
+        assert more.qap_objective >= base.qap_objective - 1e-12
+
+    def test_gre_with_auction_lsap(self, small_instance):
+        result = HTAGreSolver(lsap_method="auction").solve(small_instance, rng=0)
+        result.assignment.validate(small_instance)

@@ -1,0 +1,129 @@
+"""Experiment-store (SQLite) tests."""
+
+import pytest
+
+from repro.storage import ResultsStore, StorageError
+
+
+@pytest.fixture
+def store():
+    with ResultsStore(":memory:") as s:
+        yield s
+
+
+class TestRuns:
+    def test_start_and_fetch(self, store):
+        run_id = store.start_run("fig2a", {"sweep": [300, 500]})
+        record = store.run(run_id)
+        assert record.kind == "fig2a"
+        assert record.config == {"sweep": [300, 500]}
+
+    def test_empty_kind_rejected(self, store):
+        with pytest.raises(StorageError, match="kind"):
+            store.start_run("")
+
+    def test_runs_newest_first(self, store):
+        a = store.start_run("fig2a", started_at=1.0)
+        b = store.start_run("fig2a", started_at=2.0)
+        listed = store.runs("fig2a")
+        assert [r.run_id for r in listed] == [b, a]
+
+    def test_runs_filter_by_kind(self, store):
+        store.start_run("fig2a")
+        store.start_run("fig3")
+        assert len(store.runs("fig3")) == 1
+        assert len(store.runs()) == 2
+
+    def test_latest_run(self, store):
+        assert store.latest_run("fig2a") is None
+        store.start_run("fig2a", started_at=1.0)
+        newest = store.start_run("fig2a", started_at=9.0)
+        assert store.latest_run("fig2a").run_id == newest
+
+    def test_unknown_run_rejected(self, store):
+        with pytest.raises(StorageError, match="no run"):
+            store.run(999)
+
+
+class TestPoints:
+    def test_add_and_read_points(self, store):
+        run_id = store.start_run("fig2a")
+        store.add_point(run_id, "hta-gre@300", {"total_s": 0.05, "objective": 131.4})
+        store.add_point(run_id, "hta-app@300", {"total_s": 1.06})
+        points = store.points_of(run_id)
+        assert [p.label for p in points] == ["hta-gre@300", "hta-app@300"]
+        assert points[0].metrics["objective"] == 131.4
+
+    def test_bulk_add(self, store):
+        run_id = store.start_run("fig3")
+        written = store.add_points(
+            run_id, [("a", {"x": 1}), ("b", {"x": 2}), ("c", {"x": 3})]
+        )
+        assert written == 3
+        assert len(store.points_of(run_id)) == 3
+
+    def test_point_for_unknown_run_rejected(self, store):
+        with pytest.raises(StorageError, match="no run"):
+            store.add_point(42, "x", {})
+
+    def test_non_serializable_metrics_rejected(self, store):
+        run_id = store.start_run("fig2a")
+        with pytest.raises(StorageError, match="JSON"):
+            store.add_point(run_id, "x", {"bad": object()})
+
+
+class TestDeletion:
+    def test_delete_cascades_points(self, store):
+        run_id = store.start_run("fig2a")
+        store.add_point(run_id, "x", {"v": 1})
+        store.delete_run(run_id)
+        with pytest.raises(StorageError):
+            store.points_of(run_id)
+        assert store.runs() == []
+
+
+class TestHistory:
+    def test_metric_history_across_runs(self, store):
+        for i, value in enumerate([0.05, 0.06, 0.04]):
+            run_id = store.start_run("fig2a", started_at=float(i))
+            store.add_point(run_id, "hta-gre@800", {"total_s": value})
+        history = store.metric_history("fig2a", "hta-gre@800", "total_s")
+        assert history == [0.05, 0.06, 0.04]
+
+    def test_history_skips_missing_metric(self, store):
+        run_id = store.start_run("fig2a", started_at=0.0)
+        store.add_point(run_id, "x", {"other": 1.0})
+        assert store.metric_history("fig2a", "x", "total_s") == []
+
+
+class TestPersistence:
+    def test_survives_reopen(self, tmp_path):
+        path = tmp_path / "results.db"
+        with ResultsStore(path) as store:
+            run_id = store.start_run("fig5a", {"seed": 7})
+            store.add_point(run_id, "hta-gre", {"accuracy_pct": 81.0})
+        with ResultsStore(path) as store:
+            record = store.latest_run("fig5a")
+            assert record is not None
+            points = store.points_of(record.run_id)
+            assert points[0].metrics["accuracy_pct"] == 81.0
+
+    def test_integration_with_offline_sweep(self, tmp_path):
+        from repro.experiments import sweep_tasks
+
+        points = sweep_tasks((40,), 20, 3, 3, n_repeats=1, rng=0)
+        with ResultsStore(tmp_path / "r.db") as store:
+            run_id = store.start_run("fig2a", {"task_sweep": [40]})
+            store.add_points(
+                run_id,
+                (
+                    (
+                        f"{p.solver}@{p.n_tasks}",
+                        {"total_s": p.total_time, "objective": p.objective},
+                    )
+                    for p in points
+                ),
+            )
+            stored = store.points_of(run_id)
+            assert len(stored) == 2
+            assert stored[0].metrics["total_s"] > 0

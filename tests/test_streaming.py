@@ -1,0 +1,232 @@
+"""Streaming-assigner tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import Task, Vocabulary, Worker
+from repro.core.streaming import StreamingAssigner, StreamingConfig
+from repro.errors import InvalidInstanceError, SimulationError
+
+
+@pytest.fixture
+def vocab():
+    return Vocabulary([f"k{i}" for i in range(10)])
+
+
+def make_task(i: int, seed: int = 0) -> Task:
+    rng = np.random.default_rng(seed * 1000 + i)
+    return Task(f"t{i}", rng.random(10) < 0.4)
+
+
+def make_worker(q: int) -> Worker:
+    rng = np.random.default_rng(5000 + q)
+    return Worker(f"w{q}", rng.random(10) < 0.4)
+
+
+def make_assigner(vocab, **config_kwargs) -> StreamingAssigner:
+    defaults = dict(x_max=2, batch_size=4, max_wait=30.0)
+    defaults.update(config_kwargs)
+    return StreamingAssigner(vocab, config=StreamingConfig(**defaults), rng=0)
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"x_max": 0}, {"batch_size": 0}, {"max_wait": -1.0}, {"ttl": 0.0}],
+    )
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(InvalidInstanceError):
+            StreamingConfig(**kwargs)
+
+
+class TestBuffering:
+    def test_tasks_accumulate(self, vocab):
+        assigner = make_assigner(vocab)
+        assigner.add_tasks([make_task(i) for i in range(3)], now=0.0)
+        assert assigner.buffered_tasks() == 3
+        assert assigner.stats.tasks_received == 3
+
+    def test_duplicate_task_rejected(self, vocab):
+        assigner = make_assigner(vocab)
+        assigner.add_task(make_task(1), now=0.0)
+        with pytest.raises(SimulationError, match="already buffered"):
+            assigner.add_task(make_task(1), now=1.0)
+
+    def test_time_cannot_go_backwards(self, vocab):
+        assigner = make_assigner(vocab)
+        assigner.add_task(make_task(1), now=10.0)
+        with pytest.raises(SimulationError, match="backwards"):
+            assigner.add_task(make_task(2), now=5.0)
+
+    def test_oldest_wait_tracks_clock(self, vocab):
+        assigner = make_assigner(vocab)
+        assigner.add_task(make_task(1), now=0.0)
+        assigner.add_task(make_task(2), now=10.0)
+        assert assigner.oldest_wait(now=25.0) == pytest.approx(25.0)
+
+
+class TestWorkers:
+    def test_arrive_and_depart(self, vocab):
+        assigner = make_assigner(vocab)
+        assigner.worker_arrived(make_worker(0))
+        assert assigner.available_workers() == 1
+        assigner.worker_departed("w0")
+        assert assigner.available_workers() == 0
+
+    def test_double_arrival_rejected(self, vocab):
+        assigner = make_assigner(vocab)
+        assigner.worker_arrived(make_worker(0))
+        with pytest.raises(SimulationError, match="already available"):
+            assigner.worker_arrived(make_worker(0))
+
+    def test_unknown_departure_rejected(self, vocab):
+        assigner = make_assigner(vocab)
+        with pytest.raises(SimulationError, match="not available"):
+            assigner.worker_departed("ghost")
+
+    def test_update_worker_weights(self, vocab):
+        from repro.core import MotivationWeights
+
+        assigner = make_assigner(vocab)
+        worker = make_worker(0)
+        assigner.worker_arrived(worker)
+        assigner.update_worker(worker.with_weights(MotivationWeights(1.0, 0.0)))
+        with pytest.raises(SimulationError):
+            assigner.update_worker(make_worker(9))
+
+
+class TestTriggering:
+    def test_not_due_without_workers(self, vocab):
+        assigner = make_assigner(vocab)
+        assigner.add_tasks([make_task(i) for i in range(10)], now=0.0)
+        assert not assigner.due()
+
+    def test_not_due_without_tasks(self, vocab):
+        assigner = make_assigner(vocab)
+        assigner.worker_arrived(make_worker(0))
+        assert not assigner.due()
+
+    def test_due_on_batch_size(self, vocab):
+        assigner = make_assigner(vocab, batch_size=4)
+        assigner.worker_arrived(make_worker(0))
+        assigner.add_tasks([make_task(i) for i in range(3)], now=0.0)
+        assert not assigner.due(now=1.0)
+        assigner.add_task(make_task(3), now=2.0)
+        assert assigner.due(now=2.0)
+
+    def test_due_on_max_wait(self, vocab):
+        assigner = make_assigner(vocab, batch_size=100, max_wait=30.0)
+        assigner.worker_arrived(make_worker(0))
+        assigner.add_task(make_task(0), now=0.0)
+        assert not assigner.due(now=29.0)
+        assert assigner.due(now=30.0)
+
+    def test_poll_returns_assignment_when_due(self, vocab):
+        assigner = make_assigner(vocab, batch_size=2)
+        assigner.worker_arrived(make_worker(0))
+        assigner.add_tasks([make_task(i) for i in range(2)], now=0.0)
+        assignment = assigner.poll(now=0.0)
+        assert assignment is not None
+        assert assignment.size() == 2
+
+    def test_poll_none_when_not_due(self, vocab):
+        assigner = make_assigner(vocab, batch_size=5)
+        assigner.worker_arrived(make_worker(0))
+        assigner.add_task(make_task(0), now=0.0)
+        assert assigner.poll(now=1.0) is None
+
+
+class TestAssign:
+    def test_assign_drains_buffer(self, vocab):
+        assigner = make_assigner(vocab, x_max=3)
+        assigner.worker_arrived(make_worker(0))
+        assigner.worker_arrived(make_worker(1))
+        assigner.add_tasks([make_task(i) for i in range(6)], now=0.0)
+        assignment = assigner.assign(now=5.0)
+        assert assignment.size() == 6
+        assert assigner.buffered_tasks() == 0
+        assert assigner.stats.tasks_assigned == 6
+        assert assigner.stats.solves == 1
+
+    def test_capacity_limits_assignment(self, vocab):
+        assigner = make_assigner(vocab, x_max=2)
+        assigner.worker_arrived(make_worker(0))
+        assigner.add_tasks([make_task(i) for i in range(5)], now=0.0)
+        assignment = assigner.assign(now=0.0)
+        assert assignment.size() == 2
+        assert assigner.buffered_tasks() == 3  # leftovers stay buffered
+
+    def test_mean_wait_accounting(self, vocab):
+        assigner = make_assigner(vocab, x_max=2)
+        assigner.worker_arrived(make_worker(0))
+        assigner.add_task(make_task(0), now=0.0)
+        assigner.add_task(make_task(1), now=10.0)
+        assigner.assign(now=20.0)
+        # waits: 20 and 10 seconds -> mean 15.
+        assert assigner.stats.mean_wait == pytest.approx(15.0)
+
+    def test_assign_empty_buffer_rejected(self, vocab):
+        assigner = make_assigner(vocab)
+        assigner.worker_arrived(make_worker(0))
+        with pytest.raises(SimulationError, match="buffer is empty"):
+            assigner.assign()
+
+    def test_assign_without_workers_rejected(self, vocab):
+        assigner = make_assigner(vocab)
+        assigner.add_task(make_task(0), now=0.0)
+        with pytest.raises(SimulationError, match="no workers"):
+            assigner.assign()
+
+    def test_successive_batches_disjoint(self, vocab):
+        assigner = make_assigner(vocab, x_max=2)
+        assigner.worker_arrived(make_worker(0))
+        assigner.add_tasks([make_task(i) for i in range(4)], now=0.0)
+        first = assigner.assign(now=0.0)
+        second = assigner.assign(now=1.0)
+        assert not (first.assigned_task_ids() & second.assigned_task_ids())
+
+
+class TestTTL:
+    def test_expiry_drops_old_tasks(self, vocab):
+        assigner = make_assigner(vocab, ttl=50.0, batch_size=100)
+        assigner.worker_arrived(make_worker(0))
+        assigner.add_task(make_task(0), now=0.0)
+        assigner.add_task(make_task(1), now=40.0)
+        assert not assigner.due(now=60.0)  # t0 expired; t1 still fresh
+        assert assigner.buffered_tasks() == 1
+        assert assigner.stats.tasks_expired == 1
+
+    def test_infinite_ttl_never_expires(self, vocab):
+        assigner = make_assigner(vocab, ttl=math.inf, batch_size=100, max_wait=1e9)
+        assigner.worker_arrived(make_worker(0))
+        assigner.add_task(make_task(0), now=0.0)
+        assigner.due(now=1e8)
+        assert assigner.buffered_tasks() == 1
+
+
+class TestEndToEndStream:
+    def test_poisson_stream_all_tasks_eventually_assigned(self, vocab):
+        rng = np.random.default_rng(3)
+        assigner = make_assigner(vocab, x_max=3, batch_size=6, max_wait=20.0)
+        for q in range(3):
+            assigner.worker_arrived(make_worker(q))
+        clock = 0.0
+        assigned_total = 0
+        for i in range(30):
+            clock += float(rng.exponential(3.0))
+            assigner.add_task(make_task(i), now=clock)
+            result = assigner.poll(now=clock)
+            if result is not None:
+                result_size = result.size()
+                assigned_total += result_size
+        # Drain the tail.
+        while assigner.buffered_tasks():
+            clock += 30.0
+            result = assigner.poll(now=clock)
+            if result is not None:
+                assigned_total += result.size()
+        assert assigned_total == 30
+        assert assigner.stats.tasks_assigned == 30
+        assert assigner.stats.mean_wait > 0

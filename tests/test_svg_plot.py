@@ -1,0 +1,57 @@
+"""SVG chart tests."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis.svg_plot import save_svg_chart, svg_line_chart
+
+
+class TestSvgLineChart:
+    def test_valid_xml(self):
+        svg = svg_line_chart([0, 1, 2], {"a": [1.0, 3.0, 2.0]})
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_contains_series_elements(self):
+        svg = svg_line_chart([0, 1], {"quality": [10.0, 20.0]}, title="Fig")
+        assert "polyline" in svg
+        assert "circle" in svg
+        assert "quality" in svg
+        assert "Fig" in svg
+
+    def test_multiple_series_distinct_colors(self):
+        svg = svg_line_chart([0, 1], {"a": [1, 2], "b": [2, 1]})
+        assert "#1f77b4" in svg and "#d62728" in svg
+
+    def test_labels_rendered(self):
+        svg = svg_line_chart(
+            [0, 1], {"a": [1, 2]}, x_label="minutes", y_label="% correct"
+        )
+        assert "minutes" in svg and "% correct" in svg
+
+    def test_escaping(self):
+        svg = svg_line_chart([0, 1], {"a<b": [1, 2]}, title="x & y")
+        assert "a&lt;b" in svg and "x &amp; y" in svg
+        ET.fromstring(svg)  # still valid XML
+
+    def test_flat_series_handled(self):
+        svg = svg_line_chart([0, 1, 2], {"flat": [5.0, 5.0, 5.0]})
+        ET.fromstring(svg)
+
+    def test_errors(self):
+        with pytest.raises(ValueError, match="at least one"):
+            svg_line_chart([0, 1], {})
+        with pytest.raises(ValueError, match="two x"):
+            svg_line_chart([0], {"a": [1]})
+        with pytest.raises(ValueError, match="points for"):
+            svg_line_chart([0, 1], {"a": [1]})
+        with pytest.raises(ValueError, match="too small"):
+            svg_line_chart([0, 1], {"a": [1, 2]}, width=50, height=50)
+
+    def test_save(self, tmp_path):
+        target = save_svg_chart(
+            tmp_path / "figs" / "fig5a.svg", [0, 1], {"a": [1, 2]}
+        )
+        assert target.exists()
+        ET.fromstring(target.read_text())

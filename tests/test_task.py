@@ -1,0 +1,140 @@
+"""Task, TaskGroup, and TaskPool tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.keywords import Vocabulary
+from repro.core.task import Task, TaskGroup, TaskPool, pool_from_vectors
+from repro.errors import InvalidInstanceError
+
+
+@pytest.fixture
+def vocab():
+    return Vocabulary(["a", "b", "c", "d"])
+
+
+def make_task(task_id: str, bits, **kwargs) -> Task:
+    return Task(task_id, np.array(bits, dtype=bool), **kwargs)
+
+
+class TestTask:
+    def test_vector_is_coerced_to_bool(self):
+        task = Task("t", np.array([1, 0, 1, 0]))
+        assert task.vector.dtype == bool
+
+    def test_keywords(self, vocab):
+        task = make_task("t", [1, 0, 1, 0])
+        assert task.keywords(vocab) == ("a", "c")
+
+    def test_negative_reward_rejected(self):
+        with pytest.raises(ValueError, match="reward"):
+            make_task("t", [1, 0, 0, 0], reward=-0.1)
+
+    def test_zero_questions_rejected(self):
+        with pytest.raises(ValueError, match="question"):
+            make_task("t", [1, 0, 0, 0], n_questions=0)
+
+    def test_equality_by_id(self):
+        a = make_task("same", [1, 0, 0, 0])
+        b = make_task("same", [0, 1, 0, 0])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality(self):
+        assert make_task("x", [1, 0, 0, 0]) != make_task("y", [1, 0, 0, 0])
+
+
+class TestTaskGroup:
+    def test_len_and_iter(self):
+        tasks = tuple(make_task(f"t{i}", [1, 0, 0, 0]) for i in range(3))
+        group = TaskGroup("g", tasks)
+        assert len(group) == 3
+        assert list(group) == list(tasks)
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            TaskGroup("g", ())
+
+
+class TestTaskPool:
+    def test_matrix_shape_and_rows(self, vocab):
+        pool = TaskPool(
+            [make_task("t0", [1, 0, 0, 1]), make_task("t1", [0, 1, 0, 0])], vocab
+        )
+        assert pool.matrix.shape == (2, 4)
+        assert pool.matrix[0].tolist() == [True, False, False, True]
+
+    def test_position_and_by_id(self, vocab):
+        pool = TaskPool([make_task("a", [1, 0, 0, 0]), make_task("b", [0, 1, 0, 0])], vocab)
+        assert pool.position("b") == 1
+        assert pool.by_id("a").task_id == "a"
+
+    def test_position_unknown_raises(self, vocab):
+        pool = TaskPool([make_task("a", [1, 0, 0, 0])], vocab)
+        with pytest.raises(KeyError, match="not in this pool"):
+            pool.position("zz")
+
+    def test_contains_by_id_and_task(self, vocab):
+        task = make_task("a", [1, 0, 0, 0])
+        pool = TaskPool([task], vocab)
+        assert "a" in pool
+        assert task in pool
+        assert "b" not in pool
+
+    def test_duplicate_id_rejected(self, vocab):
+        with pytest.raises(InvalidInstanceError, match="duplicate"):
+            TaskPool([make_task("a", [1, 0, 0, 0]), make_task("a", [0, 1, 0, 0])], vocab)
+
+    def test_empty_pool_rejected(self, vocab):
+        with pytest.raises(InvalidInstanceError, match="empty"):
+            TaskPool([], vocab)
+
+    def test_subset_preserves_order(self, vocab):
+        pool = TaskPool(
+            [make_task(f"t{i}", [1, 0, 0, 0]) for i in range(4)], vocab
+        )
+        sub = pool.subset(["t2", "t0"])
+        assert [t.task_id for t in sub] == ["t2", "t0"]
+
+    def test_without_removes(self, vocab):
+        pool = TaskPool(
+            [make_task(f"t{i}", [1, 0, 0, 0]) for i in range(3)], vocab
+        )
+        remaining = pool.without(["t1"])
+        assert [t.task_id for t in remaining] == ["t0", "t2"]
+
+    def test_without_everything_rejected(self, vocab):
+        pool = TaskPool([make_task("t0", [1, 0, 0, 0])], vocab)
+        with pytest.raises(InvalidInstanceError, match="empty"):
+            pool.without(["t0"])
+
+    def test_groups(self, vocab):
+        pool = TaskPool(
+            [
+                make_task("a", [1, 0, 0, 0], group="g1"),
+                make_task("b", [1, 0, 0, 0], group="g2"),
+                make_task("c", [1, 0, 0, 0], group="g1"),
+            ],
+            vocab,
+        )
+        groups = pool.groups()
+        assert sorted(groups) == ["g1", "g2"]
+        assert [t.task_id for t in groups["g1"]] == ["a", "c"]
+
+    def test_wrong_vector_length_rejected(self):
+        vocab = Vocabulary(["a", "b"])
+        with pytest.raises(ValueError):
+            TaskPool([Task("t", np.array([True, False, True]))], vocab)
+
+
+class TestPoolFromVectors:
+    def test_builds_pool(self, vocab):
+        matrix = np.eye(4, dtype=bool)
+        pool = pool_from_vectors(matrix, vocab, prefix="x")
+        assert len(pool) == 4
+        assert pool[0].task_id == "x0"
+        assert (pool.matrix == matrix).all()
+
+    def test_shape_mismatch_rejected(self, vocab):
+        with pytest.raises(InvalidInstanceError, match="shape"):
+            pool_from_vectors(np.ones((2, 3), dtype=bool), vocab)

@@ -1,0 +1,169 @@
+"""Team-formation extension tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import Task, Vocabulary, Worker, WorkerPool
+from repro.errors import InvalidInstanceError
+from repro.teams import (
+    CollaborativeTask,
+    TeamAssignment,
+    TeamInstance,
+    TeamWeights,
+    collaborative_tasks_from_pool,
+    exact_teams,
+    greedy_teams,
+    random_teams,
+)
+
+
+@pytest.fixture
+def vocab():
+    return Vocabulary([f"k{i}" for i in range(8)])
+
+
+def make_instance(vocab, n_tasks=2, team_size=2, n_workers=6, seed=0, weights=None):
+    rng = np.random.default_rng(seed)
+    tasks = collaborative_tasks_from_pool(
+        [Task(f"t{i}", rng.random(8) < 0.5) for i in range(n_tasks)], team_size
+    )
+    workers = WorkerPool(
+        [Worker(f"w{q}", rng.random(8) < 0.5) for q in range(n_workers)], vocab
+    )
+    return TeamInstance(tasks, workers, weights or TeamWeights())
+
+
+class TestModel:
+    def test_team_size_validation(self, vocab):
+        with pytest.raises(InvalidInstanceError, match="team_size"):
+            CollaborativeTask(Task("t", np.zeros(8, bool)), 0)
+
+    def test_weights_simplex(self):
+        with pytest.raises(InvalidInstanceError, match="sum to 1"):
+            TeamWeights(0.5, 0.5, 0.5)
+        with pytest.raises(InvalidInstanceError):
+            TeamWeights(-0.2, 0.6, 0.6)
+
+    def test_demand_exceeding_supply_rejected(self, vocab):
+        with pytest.raises(InvalidInstanceError, match="demand"):
+            make_instance(vocab, n_tasks=4, team_size=2, n_workers=6)
+
+    def test_duplicate_task_ids_rejected(self, vocab):
+        task = CollaborativeTask(Task("same", np.zeros(8, bool)), 1)
+        workers = WorkerPool([Worker("w", np.zeros(8, bool)) for _ in "ab"][0:1], vocab)
+        workers = WorkerPool(
+            [Worker("w0", np.zeros(8, bool)), Worker("w1", np.zeros(8, bool))], vocab
+        )
+        with pytest.raises(InvalidInstanceError, match="duplicate"):
+            TeamInstance((task, task), workers)
+
+    def test_coverage_full_and_empty(self, vocab):
+        rng = np.random.default_rng(1)
+        task_vector = np.zeros(8, dtype=bool)
+        task_vector[:4] = True
+        tasks = (CollaborativeTask(Task("t", task_vector), 2),)
+        covering = Worker("w0", task_vector.copy())
+        blank = Worker("w1", np.zeros(8, dtype=bool))
+        instance = TeamInstance(tasks, WorkerPool([covering, blank], vocab))
+        assert instance.coverage(0, [0]) == 1.0
+        assert instance.coverage(0, [1]) == 0.0
+        assert instance.coverage(0, [0, 1]) == 1.0
+
+    def test_motivation_in_unit_interval(self, vocab):
+        instance = make_instance(vocab, seed=3)
+        for members in ([0], [0, 1], [2, 3, 4]):
+            value = instance.team_motivation(0, members)
+            assert 0.0 <= value <= 1.0
+
+    def test_empty_team_zero(self, vocab):
+        instance = make_instance(vocab)
+        assert instance.team_motivation(0, []) == 0.0
+
+
+class TestAssignmentValidation:
+    def test_wrong_team_size_rejected(self, vocab):
+        instance = make_instance(vocab)
+        bad = TeamAssignment({"t0": ("w0",), "t1": ("w1", "w2")})
+        with pytest.raises(InvalidInstanceError, match="needs 2 members"):
+            bad.validate(instance)
+
+    def test_overlapping_teams_rejected(self, vocab):
+        instance = make_instance(vocab)
+        bad = TeamAssignment({"t0": ("w0", "w1"), "t1": ("w1", "w2")})
+        with pytest.raises(InvalidInstanceError, match="two teams"):
+            bad.validate(instance)
+
+    def test_unknown_worker_rejected(self, vocab):
+        instance = make_instance(vocab)
+        bad = TeamAssignment({"t0": ("w0", "ghost"), "t1": ("w1", "w2")})
+        with pytest.raises(InvalidInstanceError, match="unknown worker"):
+            bad.validate(instance)
+
+    def test_unknown_task_rejected(self, vocab):
+        instance = make_instance(vocab)
+        bad = TeamAssignment({"zzz": ("w0", "w1")})
+        with pytest.raises(InvalidInstanceError, match="unknown task"):
+            bad.validate(instance)
+
+
+class TestAlgorithms:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_greedy_validity(self, vocab, seed):
+        instance = make_instance(vocab, seed=seed)
+        assignment = greedy_teams(instance)
+        assignment.validate(instance)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_greedy_at_most_exact(self, vocab, seed):
+        instance = make_instance(vocab, seed=seed)
+        greedy_value = greedy_teams(instance).objective(instance)
+        exact_value = exact_teams(instance).objective(instance)
+        assert greedy_value <= exact_value + 1e-9
+        assert greedy_value >= 0.7 * exact_value  # empirically tight
+
+    def test_greedy_usually_beats_random(self, vocab):
+        wins = 0
+        for seed in range(10):
+            instance = make_instance(vocab, seed=seed, n_workers=8, team_size=3)
+            g = greedy_teams(instance).objective(instance)
+            r = random_teams(instance, rng=seed).objective(instance)
+            wins += g >= r - 1e-9
+        assert wins >= 8
+
+    def test_random_deterministic_with_seed(self, vocab):
+        instance = make_instance(vocab, seed=2)
+        a = random_teams(instance, rng=9)
+        b = random_teams(instance, rng=9)
+        assert a.by_task == b.by_task
+
+    def test_exact_guards(self, vocab):
+        big = make_instance(vocab, n_tasks=2, team_size=2, n_workers=11, seed=0)
+        with pytest.raises(InvalidInstanceError, match="workers"):
+            exact_teams(big)
+
+    def test_weights_shift_solutions(self, vocab):
+        """Affinity-heavy weights should produce more similar teams than
+        coverage-heavy weights on average."""
+        rng = np.random.default_rng(5)
+        instance_affinity = make_instance(
+            vocab, seed=5, n_workers=8, team_size=3,
+            weights=TeamWeights(0.0, 0.0, 1.0),
+        )
+        instance_coverage = make_instance(
+            vocab, seed=5, n_workers=8, team_size=3,
+            weights=TeamWeights(0.0, 1.0, 0.0),
+        )
+        aff_assignment = greedy_teams(instance_affinity)
+        cov_assignment = greedy_teams(instance_coverage)
+
+        def mean_similarity(instance, assignment):
+            values = []
+            for members in assignment.by_task.values():
+                idx = [instance.workers.position(w) for w in members]
+                sub = instance.worker_similarity[np.ix_(idx, idx)]
+                values.append(sub[np.triu_indices(len(idx), 1)].mean())
+            return float(np.mean(values))
+
+        assert mean_similarity(instance_affinity, aff_assignment) >= mean_similarity(
+            instance_coverage, cov_assignment
+        ) - 1e-9

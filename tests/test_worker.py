@@ -1,0 +1,138 @@
+"""Worker, MotivationWeights, and WorkerPool tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.keywords import Vocabulary
+from repro.core.worker import MotivationWeights, Worker, WorkerPool
+from repro.errors import InvalidInstanceError
+
+
+@pytest.fixture
+def vocab():
+    return Vocabulary(["a", "b", "c"])
+
+
+class TestMotivationWeights:
+    def test_valid_pair(self):
+        w = MotivationWeights(0.25, 0.75)
+        assert w.alpha == 0.25
+        assert w.beta == 0.75
+
+    def test_sum_must_be_one(self):
+        with pytest.raises(InvalidInstanceError, match="equal 1"):
+            MotivationWeights(0.5, 0.6)
+
+    def test_negative_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            MotivationWeights(-0.1, 1.1)
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="finite"):
+            MotivationWeights(float("nan"), 1.0)
+
+    def test_diversity_only(self):
+        w = MotivationWeights.diversity_only()
+        assert (w.alpha, w.beta) == (1.0, 0.0)
+
+    def test_relevance_only(self):
+        w = MotivationWeights.relevance_only()
+        assert (w.alpha, w.beta) == (0.0, 1.0)
+
+    def test_balanced(self):
+        w = MotivationWeights.balanced()
+        assert w.alpha == w.beta == 0.5
+
+    def test_from_gains_normalizes(self):
+        w = MotivationWeights.from_gains(3.0, 1.0)
+        assert w.alpha == pytest.approx(0.75)
+        assert w.beta == pytest.approx(0.25)
+
+    def test_from_gains_zero_falls_back_to_balanced(self):
+        assert MotivationWeights.from_gains(0.0, 0.0) == MotivationWeights.balanced()
+
+    def test_from_gains_negative_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            MotivationWeights.from_gains(-1.0, 2.0)
+
+
+class TestWorker:
+    def test_alpha_beta_properties(self):
+        w = Worker("w", np.array([1, 0, 1], dtype=bool), MotivationWeights(0.6, 0.4))
+        assert w.alpha == 0.6
+        assert w.beta == 0.4
+
+    def test_default_weights_balanced(self):
+        w = Worker("w", np.zeros(3, dtype=bool))
+        assert w.weights == MotivationWeights.balanced()
+
+    def test_with_weights_returns_copy(self):
+        w = Worker("w", np.zeros(3, dtype=bool))
+        updated = w.with_weights(MotivationWeights(0.9, 0.1))
+        assert updated.alpha == 0.9
+        assert w.alpha == 0.5  # original untouched
+
+    def test_keywords(self, vocab):
+        w = Worker("w", np.array([0, 1, 1], dtype=bool))
+        assert w.keywords(vocab) == ("b", "c")
+
+    def test_equality_by_id(self):
+        a = Worker("same", np.zeros(3, dtype=bool))
+        b = Worker("same", np.ones(3, dtype=bool))
+        assert a == b and hash(a) == hash(b)
+
+
+class TestWorkerPool:
+    def test_matrix_and_weights_vectors(self, vocab):
+        pool = WorkerPool(
+            [
+                Worker("w0", np.array([1, 0, 0], bool), MotivationWeights(0.2, 0.8)),
+                Worker("w1", np.array([0, 1, 0], bool), MotivationWeights(0.7, 0.3)),
+            ],
+            vocab,
+        )
+        assert pool.matrix.shape == (2, 3)
+        assert pool.alphas.tolist() == [0.2, 0.7]
+        assert pool.betas.tolist() == [0.8, 0.3]
+
+    def test_duplicate_ids_rejected(self, vocab):
+        with pytest.raises(InvalidInstanceError, match="duplicate"):
+            WorkerPool(
+                [Worker("w", np.zeros(3, bool)), Worker("w", np.ones(3, bool))],
+                vocab,
+            )
+
+    def test_empty_pool_rejected(self, vocab):
+        with pytest.raises(InvalidInstanceError, match="empty"):
+            WorkerPool([], vocab)
+
+    def test_by_id_and_position(self, vocab):
+        pool = WorkerPool(
+            [Worker("a", np.zeros(3, bool)), Worker("b", np.zeros(3, bool))], vocab
+        )
+        assert pool.position("b") == 1
+        assert pool.by_id("a").worker_id == "a"
+        with pytest.raises(KeyError):
+            pool.position("zz")
+
+    def test_with_updated_replaces_in_place(self, vocab):
+        pool = WorkerPool(
+            [Worker("a", np.zeros(3, bool)), Worker("b", np.zeros(3, bool))], vocab
+        )
+        updated = pool.with_updated(
+            [Worker("b", np.zeros(3, bool), MotivationWeights(1.0, 0.0))]
+        )
+        assert updated.by_id("b").alpha == 1.0
+        assert updated.by_id("a").alpha == 0.5
+        assert [w.worker_id for w in updated] == ["a", "b"]
+
+    def test_with_updated_unknown_id_rejected(self, vocab):
+        pool = WorkerPool([Worker("a", np.zeros(3, bool))], vocab)
+        with pytest.raises(InvalidInstanceError, match="unknown"):
+            pool.with_updated([Worker("ghost", np.zeros(3, bool))])
+
+    def test_contains(self, vocab):
+        pool = WorkerPool([Worker("a", np.zeros(3, bool))], vocab)
+        assert "a" in pool
+        assert Worker("a", np.ones(3, bool)) in pool
+        assert "b" not in pool
