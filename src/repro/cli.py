@@ -8,6 +8,7 @@ Subcommands:
 * ``online`` — run the Fig. 5 online experiment and print curves + tests;
 * ``teams`` — team formation for collaborative tasks (future-work demo);
 * ``report`` — run every experiment and write a markdown report;
+* ``serve`` — run the online assignment daemon (JSON over HTTP);
 * ``solvers`` — list registered solvers.
 """
 
@@ -108,6 +109,26 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="also write each figure as an SVG into this directory")
     p_report.add_argument("--seed", type=int, default=0)
     p_report.set_defaults(handler=_cmd_report)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the online assignment daemon (see docs/SERVING.md)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8080)
+    p_serve.add_argument("--tasks", type=int, default=2000,
+                         help="synthetic corpus size to serve")
+    p_serve.add_argument("--strategy", default="hta-gre", choices=solver_names())
+    p_serve.add_argument("--x-max", type=int, default=15)
+    p_serve.add_argument("--random-pad", type=int, default=5)
+    p_serve.add_argument("--reassign-after", type=int, default=8)
+    p_serve.add_argument("--min-pending", type=int, default=3)
+    p_serve.add_argument("--candidate-cap", type=int, default=400,
+                         help="solver shortlist size; 0 disables shortlisting")
+    p_serve.add_argument("--batch-delay-ms", type=float, default=50.0,
+                         help="solve micro-batch coalescing window")
+    p_serve.add_argument("--max-batch-size", type=int, default=64)
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.set_defaults(handler=_cmd_serve)
     return parser
 
 
@@ -219,6 +240,42 @@ def _cmd_report(args: argparse.Namespace) -> int:
     print(f"wrote {args.out} ({len(text.splitlines())} lines)")
     if args.db:
         print(f"measurements stored in {args.db}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .crowd.service import ServiceConfig
+    from .data import CrowdFlowerConfig, generate_crowdflower_corpus
+    from .serve import ServeConfig, run_daemon
+
+    corpus = generate_crowdflower_corpus(
+        CrowdFlowerConfig(n_tasks=args.tasks), rng=args.seed
+    )
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        strategy=args.strategy,
+        service=ServiceConfig(
+            x_max=args.x_max,
+            n_random_pad=args.random_pad,
+            reassign_after=args.reassign_after,
+            min_pending=args.min_pending,
+            candidate_cap=args.candidate_cap or None,
+        ),
+        max_batch_delay=args.batch_delay_ms / 1000.0,
+        max_batch_size=args.max_batch_size,
+        seed=args.seed,
+    )
+    print(
+        f"serving {len(corpus.pool)} tasks with {args.strategy} "
+        f"on http://{args.host}:{args.port} (Ctrl-C to stop)"
+    )
+    try:
+        asyncio.run(run_daemon(corpus.pool, config))
+    except KeyboardInterrupt:
+        print("daemon stopped")
     return 0
 
 

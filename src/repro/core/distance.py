@@ -203,6 +203,26 @@ def pairwise_jaccard(matrix: np.ndarray, other: np.ndarray | None = None) -> np.
     return out
 
 
+def take_submatrix(matrix: np.ndarray, indices: Sequence[int] | np.ndarray) -> np.ndarray:
+    """Contiguous symmetric submatrix ``matrix[indices][:, indices]``.
+
+    The incremental diversity cache keeps one big pairwise matrix alive
+    across assignment iterations and carves per-solve blocks out of it; this
+    helper does the carving in one fancy-indexing pass and returns a
+    C-contiguous copy so downstream solvers iterate cache-friendly rows
+    instead of strided views.
+
+    >>> m = pairwise_jaccard(np.eye(4, dtype=bool))
+    >>> take_submatrix(m, [0, 2]).shape
+    (2, 2)
+    """
+    square = np.asarray(matrix)
+    if square.ndim != 2 or square.shape[0] != square.shape[1]:
+        raise ValueError(f"expected a square matrix, got shape {square.shape}")
+    idx = np.asarray(indices, dtype=np.intp)
+    return np.ascontiguousarray(square[np.ix_(idx, idx)])
+
+
 def pairwise_matrix(
     matrix: np.ndarray,
     distance: str | DistanceFn = "jaccard",

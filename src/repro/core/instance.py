@@ -74,6 +74,37 @@ class HTAInstance:
         """Worker-task relevance matrix, shape ``(n_workers, n_tasks)``."""
         return 1.0 - self.distance.matrix(self.workers.matrix, self.tasks.matrix)
 
+    def prime(
+        self,
+        diversity: np.ndarray | None = None,
+        relevance: np.ndarray | None = None,
+    ) -> "HTAInstance":
+        """Seed the cached matrices with externally precomputed values.
+
+        The serving layer maintains an incremental pairwise-diversity cache
+        across assignment iterations (tasks only ever leave the pool), so a
+        per-solve instance can reuse a carved submatrix instead of paying the
+        from-scratch ``O(n^2 R)`` recomputation.  Shapes are validated; values
+        are trusted.  Returns ``self`` for chaining.
+        """
+        if diversity is not None:
+            diversity = np.asarray(diversity, dtype=np.float64)
+            if diversity.shape != (self.n_tasks, self.n_tasks):
+                raise InvalidInstanceError(
+                    f"primed diversity must have shape "
+                    f"({self.n_tasks}, {self.n_tasks}), got {diversity.shape}"
+                )
+            self.__dict__["diversity"] = diversity
+        if relevance is not None:
+            relevance = np.asarray(relevance, dtype=np.float64)
+            if relevance.shape != (self.n_workers, self.n_tasks):
+                raise InvalidInstanceError(
+                    f"primed relevance must have shape "
+                    f"({self.n_workers}, {self.n_tasks}), got {relevance.shape}"
+                )
+            self.__dict__["relevance"] = relevance
+        return self
+
     def alphas(self) -> np.ndarray:
         return self.workers.alphas
 

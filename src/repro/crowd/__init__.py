@@ -23,7 +23,12 @@ from .metrics import (
     throughput_curve,
 )
 from .platform import DeploymentResult, PlatformConfig, run_deployment
-from .service import ADAPTIVE_STRATEGIES, AssignmentService, ServiceConfig
+from .service import (
+    ADAPTIVE_STRATEGIES,
+    AssignmentService,
+    ServiceConfig,
+    TaskPoolState,
+)
 from .session import WorkSession
 
 __all__ = [
@@ -40,6 +45,7 @@ __all__ = [
     "SessionEndReason",
     "SessionEnded",
     "TaskCompleted",
+    "TaskPoolState",
     "TasksAssigned",
     "WorkSession",
     "WorkerArrived",

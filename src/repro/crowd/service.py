@@ -22,6 +22,7 @@ Strategy names mirror the paper: ``"hta-gre"`` (adaptive), ``"hta-gre-div"``,
 
 from __future__ import annotations
 
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -39,6 +40,62 @@ from .events import TasksAssigned
 
 #: Strategies whose alpha/beta come from observation rather than being forced.
 ADAPTIVE_STRATEGIES = frozenset({"hta-gre", "hta-app"})
+
+#: Given the ordered task ids of a solve's candidate set, return their
+#: pairwise-diversity submatrix — or ``None`` to fall back to recomputing.
+DiversityProvider = Callable[[Sequence[str]], "np.ndarray | None"]
+
+
+class TaskPoolState:
+    """Mutable "remaining tasks" bookkeeping shared by service and cache.
+
+    The paper drops every displayed task from subsequent iterations, so the
+    live pool only ever shrinks.  This class owns that shrinking set —
+    random draws, solver shortlisting, and removal — and notifies registered
+    listeners whenever tasks leave, which is the hook the serving layer's
+    incremental diversity cache uses to stay in sync without recomputing.
+    """
+
+    def __init__(self, pool: TaskPool, rng: np.random.Generator):
+        self._remaining: dict[str, Task] = {t.task_id: t for t in pool}
+        self._rng = rng
+        self._listeners: list[Callable[[Sequence[str]], None]] = []
+
+    def __len__(self) -> int:
+        return len(self._remaining)
+
+    def __contains__(self, task_id: str) -> bool:
+        return task_id in self._remaining
+
+    def add_removal_listener(self, listener: Callable[[Sequence[str]], None]) -> None:
+        """Call ``listener(task_ids)`` after each batch of tasks leaves."""
+        self._listeners.append(listener)
+
+    def remove(self, task_ids: Sequence[str]) -> None:
+        """Drop ``task_ids`` from the pool (ids not present are ignored)."""
+        dropped = [tid for tid in task_ids if self._remaining.pop(tid, None) is not None]
+        if dropped:
+            for listener in self._listeners:
+                listener(dropped)
+
+    def draw_random(self, count: int) -> list[Task]:
+        """Draw up to ``count`` random tasks, removing them from the pool."""
+        available = list(self._remaining.values())
+        if not available or count <= 0:
+            return []
+        take = min(count, len(available))
+        picks = self._rng.choice(len(available), size=take, replace=False)
+        drawn = [available[int(i)] for i in picks]
+        self.remove([task.task_id for task in drawn])
+        return drawn
+
+    def shortlist(self, cap: int | None) -> list[Task]:
+        """The solver's candidate tasks, subsampled if the pool exceeds ``cap``."""
+        available = list(self._remaining.values())
+        if cap is not None and len(available) > cap:
+            picks = self._rng.choice(len(available), size=cap, replace=False)
+            available = [available[int(i)] for i in picks]
+        return available
 
 
 @dataclass(frozen=True)
@@ -105,12 +162,13 @@ class AssignmentService:
         rng: "int | np.random.Generator | None" = None,
     ):
         self._vocabulary = pool.vocabulary
-        self._remaining: dict[str, Task] = {t.task_id: t for t in pool}
         self._strategy = strategy
         self._solver = get_solver(strategy)
         self._config = config or ServiceConfig()
         self._estimator = estimator or MotivationEstimator()
         self._rng = ensure_rng(rng)
+        self._pool_state = TaskPoolState(pool, self._rng)
+        self._diversity_provider: DiversityProvider | None = None
         self._workers: dict[str, Worker] = {}
         self._displays: dict[str, _Display] = {}
         self._iterations: dict[str, int] = {}
@@ -129,9 +187,27 @@ class AssignmentService:
     def is_adaptive(self) -> bool:
         return self._strategy in ADAPTIVE_STRATEGIES
 
+    @property
+    def pool_state(self) -> TaskPoolState:
+        """The live "remaining tasks" state (read/subscribe; do not mutate)."""
+        return self._pool_state
+
     def remaining_tasks(self) -> int:
         """Tasks not yet displayed to anyone."""
-        return len(self._remaining)
+        return len(self._pool_state)
+
+    def active_workers(self) -> list[str]:
+        """Ids of every registered worker, in registration order."""
+        return list(self._workers)
+
+    def set_diversity_provider(self, provider: DiversityProvider | None) -> None:
+        """Install a cache that serves per-solve diversity submatrices.
+
+        The provider receives the ordered candidate task ids of a solve and
+        returns their pairwise-diversity matrix, or ``None`` to decline (the
+        instance then computes it from scratch as before).
+        """
+        self._diversity_provider = provider
 
     def weights_of(self, worker_id: str) -> MotivationWeights:
         """Current (alpha, beta) the service would use for this worker."""
@@ -221,50 +297,54 @@ class AssignmentService:
         """
         if not self.needs_reassignment(worker_id):
             return None
-        due = [w for w in self._workers if self.needs_reassignment(w)]
+        due = self.due_workers()
         if worker_id not in due:
             due.append(worker_id)
-        solved = self._solve_for(due)
-        event: TasksAssigned | None = None
-        for w in due:
+        events = self.reassign_workers(due, wall_time, {worker_id: session_time})
+        return events.get(worker_id)
+
+    def due_workers(self) -> list[str]:
+        """Every registered worker currently due for reassignment (``W^i``)."""
+        return [w for w in self._workers if self.needs_reassignment(w)]
+
+    def reassign_workers(
+        self,
+        worker_ids: Sequence[str],
+        wall_time: float,
+        session_times: dict[str, float] | None = None,
+    ) -> dict[str, TasksAssigned]:
+        """Run one assignment iteration for an explicit worker batch.
+
+        This is the micro-batching seam the serving layer's solve scheduler
+        drives: all ``worker_ids`` are solved together in a single HTA call,
+        each receives its new display, and the installed events are returned
+        keyed by worker.  Workers the solver leaves empty-handed fall back to
+        random draws; workers for whom nothing at all is left are omitted
+        from the result (their current display stands).
+        """
+        times = session_times or {}
+        solved = self._solve_for(list(worker_ids))
+        events: dict[str, TasksAssigned] = {}
+        for w in worker_ids:
             assigned = solved.get(w, [])
             if not assigned and self.remaining_tasks() > 0:
                 assigned = self._draw_random(self._config.x_max)
             if not assigned:
                 continue
-            installed = self._install_display(
-                w, assigned, wall_time, session_time if w == worker_id else -1.0
+            events[w] = self._install_display(
+                w, assigned, wall_time, times.get(w, -1.0)
             )
-            if w == worker_id:
-                event = installed
-        return event
+        return events
 
     # -- internals -------------------------------------------------------------
 
     def _draw_random(self, count: int) -> list[Task]:
         """Draw up to ``count`` random tasks, removing them from the pool."""
-        available = list(self._remaining.values())
-        if not available:
-            return []
-        take = min(count, len(available))
-        picks = self._rng.choice(len(available), size=take, replace=False)
-        drawn = [available[int(i)] for i in picks]
-        for task in drawn:
-            del self._remaining[task.task_id]
-        return drawn
-
-    def _candidates(self) -> list[Task]:
-        """The solver's task pool, shortlisted if very large."""
-        available = list(self._remaining.values())
-        cap = self._config.candidate_cap
-        if cap is not None and len(available) > cap:
-            picks = self._rng.choice(len(available), size=cap, replace=False)
-            available = [available[int(i)] for i in picks]
-        return available
+        return self._pool_state.draw_random(count)
 
     def _solve_for(self, worker_ids: list[str]) -> dict[str, list[Task]]:
         """Solve HTA for ``worker_ids`` over the remaining pool."""
-        candidates = self._candidates()
+        candidates = self._pool_state.shortlist(self._config.candidate_cap)
         if not candidates or not worker_ids:
             return {}
         tasks = TaskPool(candidates, self._vocabulary)
@@ -276,14 +356,17 @@ class AssignmentService:
             self._vocabulary,
         )
         instance = HTAInstance(tasks, workers, self._config.x_max)
+        if self._diversity_provider is not None:
+            cached = self._diversity_provider([t.task_id for t in candidates])
+            if cached is not None:
+                instance.prime(diversity=cached)
         result = self._solver.solve(instance, self._rng)
         assignment: Assignment = result.assignment
         out: dict[str, list[Task]] = {}
         for w in worker_ids:
             ids = assignment.tasks_of(w)
             out[w] = [tasks.by_id(tid) for tid in ids]
-            for tid in ids:
-                self._remaining.pop(tid, None)
+            self._pool_state.remove(ids)
         return out
 
     def _install_display(
@@ -301,10 +384,11 @@ class AssignmentService:
             )
         vectors = np.vstack([t.vector for t in shown])
         worker_vector = self._workers[worker_id].vector
-        diversity = pairwise_jaccard(vectors)
-        relevance = 1.0 - pairwise_jaccard(
-            vectors, worker_vector[None, :]
-        ).ravel()
+        # One distance pass over [tasks; worker]: the top-left block is the
+        # pairwise task diversity, the last column the worker distances.
+        stacked = pairwise_jaccard(np.vstack([vectors, worker_vector[None, :]]))
+        diversity = np.ascontiguousarray(stacked[:-1, :-1])
+        relevance = 1.0 - stacked[:-1, -1]
         iteration = self._iterations[worker_id]
         self._iterations[worker_id] = iteration + 1
         self._displays[worker_id] = _Display(

@@ -1,0 +1,36 @@
+"""Online serving layer: the assignment daemon and its supporting parts.
+
+The paper's deployment runs assignment "in the background while workers
+complete tasks"; this package is that service boundary as a first-class
+subsystem — a dependency-free asyncio JSON-over-HTTP daemon
+(:mod:`repro.serve.app`) whose solves are micro-batched
+(:mod:`repro.serve.scheduler`), whose pairwise-diversity matrices come from
+an incremental cache (:mod:`repro.serve.cache`), and whose behaviour is
+observable via Prometheus metrics (:mod:`repro.serve.metrics`).  A
+closed-loop load generator (:mod:`repro.serve.loadgen`) drives and verifies
+a running daemon.  See docs/SERVING.md.
+"""
+
+from .app import AssignmentDaemon, ServeConfig, run_daemon
+from .cache import IncrementalDiversityCache
+from .loadgen import LoadgenConfig, LoadgenResult, run_loadgen, run_self_contained
+from .metrics import Counter, Histogram, MetricsRegistry
+from .protocol import HttpClient, HttpError
+from .scheduler import SolveScheduler
+
+__all__ = [
+    "AssignmentDaemon",
+    "Counter",
+    "Histogram",
+    "HttpClient",
+    "HttpError",
+    "IncrementalDiversityCache",
+    "LoadgenConfig",
+    "LoadgenResult",
+    "MetricsRegistry",
+    "ServeConfig",
+    "SolveScheduler",
+    "run_daemon",
+    "run_loadgen",
+    "run_self_contained",
+]

@@ -1,0 +1,385 @@
+"""The online assignment daemon.
+
+Exposes the paper's Fig. 4 workflow as a JSON-over-HTTP API on top of
+:class:`repro.crowd.AssignmentService`:
+
+* ``POST /workers`` — worker arrival: register keywords, get a first display;
+* ``POST /complete`` — task completion: record marginal-gain observations;
+  when the completion makes the worker due for reassignment, the request
+  parks on the solve scheduler and returns the freshly solved display;
+* ``GET /display/{worker_id}`` — the worker's current display and pending set;
+* ``DELETE /workers/{worker_id}`` — session over;
+* ``GET /healthz`` — liveness plus pool/worker gauges;
+* ``GET /metrics`` — Prometheus text exposition;
+* ``GET /vocabulary`` — the keyword space clients register against.
+
+Solves are micro-batched by :class:`repro.serve.scheduler.SolveScheduler`
+and read their pairwise-diversity blocks from the
+:class:`repro.serve.cache.IncrementalDiversityCache`.  The daemon also
+enforces the paper's assignment constraints at the boundary: every display
+is checked for within-display uniqueness (C1) and against the set of every
+task ever displayed (C2 — "once assigned, a task is dropped from subsequent
+iterations"); violations increment ``serve_disjointness_violations_total``,
+which correct operation keeps at zero.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.task import Task, TaskPool
+from ..core.worker import Worker
+from ..crowd.events import TasksAssigned
+from ..crowd.service import AssignmentService, ServiceConfig
+from ..errors import SimulationError
+from .cache import IncrementalDiversityCache
+from .metrics import MetricsRegistry
+from .protocol import (
+    HttpError,
+    Request,
+    json_response,
+    read_request,
+    text_response,
+)
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Daemon knobs: where to listen and how eagerly to batch solves."""
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    strategy: str = "hta-gre"
+    service: ServiceConfig = field(default_factory=ServiceConfig)
+    max_batch_delay: float = 0.05
+    max_batch_size: int = 64
+    seed: int | None = None
+
+
+class AssignmentDaemon:
+    """One serving process: service + cache + scheduler + HTTP front."""
+
+    def __init__(self, pool: TaskPool, config: ServeConfig | None = None):
+        self.config = config or ServeConfig()
+        self.registry = MetricsRegistry()
+        self.service = AssignmentService(
+            pool,
+            self.config.strategy,
+            self.config.service,
+            rng=self.config.seed,
+        )
+        self.cache = IncrementalDiversityCache(pool).attach(self.service)
+        self.scheduler = None  # created in start(), needs a running loop
+        self._vocabulary = pool.vocabulary
+        self._task_index: dict[str, Task] = {t.task_id: t for t in pool}
+        self._displayed_ever: set[str] = set()
+        self._server: asyncio.AbstractServer | None = None
+        self._started_at = time.monotonic()
+        r = self.registry
+        self._requests = r.counter("serve_requests_total", "HTTP requests handled")
+        self._errors = r.counter("serve_errors_total", "HTTP error responses sent")
+        self._registrations = r.counter(
+            "serve_workers_registered_total", "Workers registered"
+        )
+        self._completions = r.counter(
+            "serve_completions_total", "Task completions recorded"
+        )
+        self._reassignments = r.counter(
+            "serve_reassignments_total", "Displays installed by batched solves"
+        )
+        self._displayed = r.counter(
+            "serve_tasks_displayed_total", "Tasks displayed (assigned + pads)"
+        )
+        self._violations = r.counter(
+            "serve_disjointness_violations_total",
+            "Displays violating C1/C2 disjointness (must stay 0)",
+        )
+        self._request_seconds = r.histogram(
+            "serve_request_seconds", "End-to-end request latency in seconds"
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0`` ephemeral binds)."""
+        if self._server is None or not self._server.sockets:
+            return self.config.port
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        from .scheduler import SolveScheduler
+
+        self.scheduler = SolveScheduler(
+            self._solve_batch,
+            self.registry,
+            max_batch_delay=self.config.max_batch_delay,
+            max_batch_size=self.config.max_batch_size,
+        )
+        self.scheduler.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self._started_at = time.monotonic()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self.scheduler is not None:
+            await self.scheduler.stop()
+            self.scheduler = None
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (the ``repro serve`` CLI entry point)."""
+        await self.start()
+        assert self._server is not None
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await self.stop()
+
+    def _wall_time(self) -> float:
+        return time.monotonic() - self._started_at
+
+    # -- solve batching -----------------------------------------------------
+
+    def _solve_batch(self, worker_ids) -> dict[str, TasksAssigned]:
+        """One assignment iteration for a scheduler batch."""
+        events = self.service.reassign_workers(worker_ids, self._wall_time())
+        for event in events.values():
+            self._register_display(event)
+            self._reassignments.inc()
+        return events
+
+    def _register_display(self, event: TasksAssigned) -> None:
+        """Server-side C1/C2 guard over every display ever installed."""
+        shown = tuple(event.task_ids) + tuple(event.random_pad_ids)
+        if len(set(shown)) != len(shown) or self._displayed_ever & set(shown):
+            self._violations.inc()
+        self._displayed_ever.update(shown)
+        self._displayed.inc(len(shown))
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except HttpError as exc:
+                    writer.write(
+                        json_response(
+                            exc.status, {"error": exc.message}, keep_alive=False
+                        )
+                    )
+                    await writer.drain()
+                    return
+                if request is None:
+                    return
+                response = await self._dispatch(request)
+                writer.write(response)
+                await writer.drain()
+                if not request.keep_alive:
+                    return
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(self, request: Request) -> bytes:
+        self._requests.inc()
+        started = time.perf_counter()
+        keep_alive = request.keep_alive
+        try:
+            payload = await self._route(request)
+            response = (
+                payload
+                if isinstance(payload, bytes)
+                else json_response(200, payload, keep_alive=keep_alive)
+            )
+        except HttpError as exc:
+            self._errors.inc()
+            response = json_response(
+                exc.status, {"error": exc.message}, keep_alive=keep_alive
+            )
+        except Exception as exc:  # don't let one request kill the daemon
+            self._errors.inc()
+            response = json_response(
+                500, {"error": f"{type(exc).__name__}: {exc}"}, keep_alive=keep_alive
+            )
+        self._request_seconds.observe(time.perf_counter() - started)
+        return response
+
+    async def _route(self, request: Request) -> object:
+        method, path = request.method, request.path.rstrip("/") or "/"
+        if path == "/healthz" and method == "GET":
+            return self._healthz()
+        if path == "/metrics" and method == "GET":
+            return text_response(
+                200, self.registry.render(), keep_alive=request.keep_alive
+            )
+        if path == "/vocabulary" and method == "GET":
+            return {"keywords": list(self._vocabulary.keywords)}
+        if path == "/workers" and method == "POST":
+            return await self._post_workers(request)
+        if path == "/complete" and method == "POST":
+            return await self._post_complete(request)
+        if path.startswith("/display/") and method == "GET":
+            return self._get_display(path.removeprefix("/display/"))
+        if path.startswith("/workers/") and method == "DELETE":
+            return self._delete_worker(path.removeprefix("/workers/"))
+        raise HttpError(404, f"no route for {method} {request.path}")
+
+    # -- endpoints -----------------------------------------------------------
+
+    def _healthz(self) -> dict:
+        return {
+            "status": "ok",
+            "strategy": self.service.strategy,
+            "uptime_seconds": round(self._wall_time(), 3),
+            "workers": len(self.service.active_workers()),
+            "remaining_tasks": self.service.remaining_tasks(),
+            "queued_solves": self.scheduler.pending if self.scheduler else 0,
+            "cache": {
+                "live_tasks": len(self.cache),
+                "backing_rows": self.cache.backing_rows,
+                "carves": self.cache.carves,
+                "compactions": self.cache.compactions,
+            },
+        }
+
+    async def _post_workers(self, request: Request) -> dict:
+        body = request.json()
+        if not isinstance(body, dict):
+            raise HttpError(400, "expected a JSON object")
+        worker_id = body.get("worker_id")
+        if not isinstance(worker_id, str) or not worker_id:
+            raise HttpError(400, "worker_id must be a non-empty string")
+        vector = self._decode_interest(body)
+        if self.service.remaining_tasks() == 0:
+            raise HttpError(503, "task pool exhausted")
+        try:
+            event = self.service.register_worker(
+                Worker(worker_id, vector), self._wall_time()
+            )
+        except SimulationError as exc:
+            raise HttpError(409, str(exc)) from None
+        self._register_display(event)
+        self._registrations.inc()
+        return {"worker_id": worker_id, "display": self._display_payload(worker_id, event)}
+
+    def _decode_interest(self, body: dict) -> np.ndarray:
+        keywords = body.get("keywords")
+        vector = body.get("vector")
+        if keywords is not None:
+            if not isinstance(keywords, list) or not all(
+                isinstance(k, str) for k in keywords
+            ):
+                raise HttpError(400, "keywords must be a list of strings")
+            unknown = [k for k in keywords if k not in self._vocabulary]
+            if unknown:
+                raise HttpError(400, f"unknown keywords: {unknown[:5]}")
+            return self._vocabulary.encode(keywords)
+        if vector is not None:
+            array = np.asarray(vector, dtype=bool)
+            if array.shape != (len(self._vocabulary),):
+                raise HttpError(
+                    400,
+                    f"vector must have length {len(self._vocabulary)}, "
+                    f"got {array.shape}",
+                )
+            return array
+        raise HttpError(400, "provide either 'keywords' or 'vector'")
+
+    async def _post_complete(self, request: Request) -> dict:
+        body = request.json()
+        if not isinstance(body, dict):
+            raise HttpError(400, "expected a JSON object")
+        worker_id = body.get("worker_id")
+        task_id = body.get("task_id")
+        if not isinstance(worker_id, str) or not isinstance(task_id, str):
+            raise HttpError(400, "worker_id and task_id must be strings")
+        try:
+            self.service.observe_completion(worker_id, task_id)
+        except SimulationError as exc:
+            raise HttpError(409, str(exc)) from None
+        self._completions.inc()
+        reassigned = False
+        if self.service.needs_reassignment(worker_id) and self.scheduler is not None:
+            event = await self.scheduler.submit(worker_id)
+            reassigned = event is not None
+        display = self.service.display_of(worker_id)
+        return {
+            "worker_id": worker_id,
+            "completed": task_id,
+            "reassigned": reassigned,
+            "display": self._current_display_payload(worker_id, display),
+        }
+
+    def _get_display(self, worker_id: str) -> dict:
+        try:
+            display = self.service.display_of(worker_id)
+        except SimulationError as exc:
+            raise HttpError(404, str(exc)) from None
+        return {
+            "worker_id": worker_id,
+            "display": self._current_display_payload(worker_id, display),
+        }
+
+    def _delete_worker(self, worker_id: str) -> dict:
+        self.service.unregister_worker(worker_id)
+        return {"worker_id": worker_id, "status": "unregistered"}
+
+    # -- payload shaping ------------------------------------------------------
+
+    def _task_payload(self, task_id: str) -> dict:
+        task = self._task_index[task_id]
+        return {
+            "task_id": task_id,
+            "title": task.title,
+            "group": task.group,
+            "keywords": list(task.keywords(self._vocabulary)),
+        }
+
+    def _display_payload(self, worker_id: str, event: TasksAssigned) -> dict:
+        shown = list(event.task_ids) + list(event.random_pad_ids)
+        return {
+            "iteration": event.iteration,
+            "alpha": event.alpha,
+            "beta": event.beta,
+            "assigned": list(event.task_ids),
+            "random_pad": list(event.random_pad_ids),
+            "tasks": [self._task_payload(tid) for tid in shown],
+            "pending": shown,
+        }
+
+    def _current_display_payload(self, worker_id: str, display) -> dict:
+        weights = self.service.weights_of(worker_id)
+        pending = [display.task_ids[i] for i in display.pending()]
+        return {
+            "iteration": display.iteration,
+            "alpha": weights.alpha,
+            "beta": weights.beta,
+            "tasks": [self._task_payload(tid) for tid in display.task_ids],
+            "pending": pending,
+        }
+
+
+async def run_daemon(pool: TaskPool, config: ServeConfig | None = None) -> None:
+    """Convenience runner: serve until cancelled / interrupted."""
+    daemon = AssignmentDaemon(pool, config)
+    await daemon.serve_forever()

@@ -1,0 +1,110 @@
+"""Incremental pairwise-diversity cache for the serving layer.
+
+Every HTA solve needs the pairwise task-diversity submatrix of its candidate
+set.  The in-process simulator recomputes it from the keyword matrix on each
+iteration — ``O(k^2 R)`` integer dot products.  The serving daemon instead
+pays the full ``O(n^2 R)`` cost once at startup and then only *carves*
+``O(k^2)`` submatrices per solve, exploiting the paper's pool monotonicity:
+once displayed, a task is dropped from subsequent iterations, so rows and
+columns only ever leave the matrix, they never change.
+
+The cache subscribes to :class:`repro.crowd.service.TaskPoolState` removal
+events and compacts its backing matrix once enough rows have died (keeping
+carves dense without paying a copy per removal).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..core.distance import pairwise_jaccard, take_submatrix
+from ..core.task import TaskPool
+
+#: Compact the backing matrix when fewer than this fraction of rows is alive.
+_COMPACT_THRESHOLD = 0.5
+
+
+class IncrementalDiversityCache:
+    """Pairwise Jaccard distances over a shrink-only task pool.
+
+    Args:
+        pool: The full task pool at daemon startup; the ``O(n^2 R)``
+            pairwise matrix is computed here, once.
+        compact_threshold: Live-row fraction below which the backing matrix
+            is compacted to the surviving rows.
+    """
+
+    def __init__(self, pool: TaskPool, compact_threshold: float = _COMPACT_THRESHOLD):
+        if not 0.0 <= compact_threshold <= 1.0:
+            raise ValueError(
+                f"compact_threshold must be in [0, 1], got {compact_threshold}"
+            )
+        self._matrix = pairwise_jaccard(pool.matrix)
+        self._row_of: dict[str, int] = {
+            task.task_id: i for i, task in enumerate(pool)
+        }
+        self._capacity = len(self._row_of)
+        self._compact_threshold = compact_threshold
+        self.compactions = 0
+        self.carves = 0
+
+    def __len__(self) -> int:
+        """Number of live tasks."""
+        return len(self._row_of)
+
+    def __contains__(self, task_id: str) -> bool:
+        return task_id in self._row_of
+
+    @property
+    def backing_rows(self) -> int:
+        """Rows in the backing matrix (>= live tasks until compaction)."""
+        return self._capacity
+
+    def on_removed(self, task_ids: Sequence[str]) -> None:
+        """Pool-removal listener: forget rows, compacting when sparse.
+
+        Unknown ids are ignored, so the cache can be attached to a pool
+        state that already dropped some tasks.
+        """
+        for task_id in task_ids:
+            self._row_of.pop(task_id, None)
+        live = len(self._row_of)
+        if self._capacity and live / self._capacity < self._compact_threshold:
+            self._compact()
+
+    def _compact(self) -> None:
+        ids = list(self._row_of)
+        rows = np.fromiter(
+            (self._row_of[tid] for tid in ids), dtype=np.intp, count=len(ids)
+        )
+        self._matrix = take_submatrix(self._matrix, rows)
+        self._row_of = {tid: i for i, tid in enumerate(ids)}
+        self._capacity = len(ids)
+        self.compactions += 1
+
+    def submatrix(self, task_ids: Sequence[str]) -> np.ndarray | None:
+        """Pairwise-diversity block for ``task_ids``, in the given order.
+
+        Returns ``None`` when any id is unknown (the solve then falls back
+        to recomputing from keyword vectors) — this keeps the cache safe to
+        use as a :data:`repro.crowd.service.DiversityProvider` even if it
+        drifts from the pool it mirrors.
+        """
+        try:
+            rows = np.fromiter(
+                (self._row_of[tid] for tid in task_ids),
+                dtype=np.intp,
+                count=len(task_ids),
+            )
+        except KeyError:
+            return None
+        self.carves += 1
+        return take_submatrix(self._matrix, rows)
+
+    def attach(self, service) -> "IncrementalDiversityCache":
+        """Wire this cache into an :class:`AssignmentService` (both hooks)."""
+        service.pool_state.add_removal_listener(self.on_removed)
+        service.set_diversity_provider(self.submatrix)
+        return self

@@ -1,0 +1,367 @@
+"""Closed-loop load generator for the assignment daemon.
+
+Simulates a crowd of workers against a running daemon over real sockets:
+each worker registers with sampled interest keywords, then loops — pick a
+pending task with the softmax choice model from :mod:`repro.crowd.behavior`
+(novelty/relevance computed client-side from the keyword sets the daemon
+returns), optionally think, ``POST /complete``, absorb the refreshed display
+— until its completion budget or the pool runs out.
+
+Besides driving load, the generator *verifies* the serving contract from the
+client side: every task id shown across every display of every worker must
+be globally unique (the paper drops displayed tasks from subsequent
+iterations, so a duplicate means the daemon re-served a task).  Violations,
+error responses and per-request latency quantiles are all in the
+:class:`LoadgenResult`, and :func:`main` exits non-zero when the run was not
+clean — which is what the CI smoke test keys off.
+
+Run standalone against a live daemon::
+
+    python -m repro.serve.loadgen --port 8080 --workers 50 --completions 10
+
+or self-contained (spawns an in-process daemon on an ephemeral port)::
+
+    python -m repro.serve.loadgen --spawn-server --workers 50
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..crowd.behavior import BehaviorParams, WorkerBehavior, sample_latent_profiles
+from ..rng import ensure_rng
+from .metrics import Histogram
+from .protocol import HttpClient
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """Shape of one load-generation run."""
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    n_workers: int = 50
+    completions_per_worker: int = 10
+    n_keywords: int = 6
+    think_time: float = 0.0  # mean seconds between completions (0 = slam)
+    spawn_delay: float = 0.0  # mean stagger between worker arrivals
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
+        if self.completions_per_worker < 1:
+            raise ValueError(
+                f"completions_per_worker must be >= 1, "
+                f"got {self.completions_per_worker}"
+            )
+
+
+@dataclass
+class LoadgenResult:
+    """What happened, plus the client-side contract checks."""
+
+    workers_started: int = 0
+    workers_finished: int = 0
+    completions: int = 0
+    displays_received: int = 0
+    reassignments: int = 0
+    http_errors: int = 0
+    transport_errors: int = 0
+    duplicate_display_violations: int = 0
+    duration_seconds: float = 0.0
+    requests: int = 0
+    latency: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def requests_per_second(self) -> float:
+        if self.duration_seconds <= 0:
+            return 0.0
+        return self.requests / self.duration_seconds
+
+    @property
+    def clean(self) -> bool:
+        """True when the run exposed no contract violations or errors."""
+        return (
+            self.duplicate_display_violations == 0
+            and self.http_errors == 0
+            and self.transport_errors == 0
+            and self.completions > 0
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "workers_started": self.workers_started,
+            "workers_finished": self.workers_finished,
+            "completions": self.completions,
+            "displays_received": self.displays_received,
+            "reassignments": self.reassignments,
+            "http_errors": self.http_errors,
+            "transport_errors": self.transport_errors,
+            "duplicate_display_violations": self.duplicate_display_violations,
+            "duration_seconds": round(self.duration_seconds, 4),
+            "requests": self.requests,
+            "requests_per_second": round(self.requests_per_second, 2),
+            "latency_seconds": {k: round(v, 6) for k, v in self.latency.items()},
+            "clean": self.clean,
+        }
+
+
+def _keyword_jaccard(a: frozenset[str], b: frozenset[str]) -> float:
+    """Jaccard distance between two keyword sets (client-side novelty)."""
+    if not a and not b:
+        return 0.0
+    union = len(a | b)
+    return 1.0 - len(a & b) / union
+
+
+class _SharedState:
+    """Cross-worker bookkeeping for the contract checks and latency stats."""
+
+    def __init__(self):
+        self.seen_task_ids: set[str] = set()
+        self.result = LoadgenResult()
+        self.latency = Histogram("loadgen_request_seconds")
+
+    def record_display(self, shown: list[str]) -> None:
+        self.result.displays_received += 1
+        for task_id in shown:
+            if task_id in self.seen_task_ids:
+                self.result.duplicate_display_violations += 1
+            self.seen_task_ids.add(task_id)
+
+
+class _SimulatedWorker:
+    """One closed-loop worker session."""
+
+    def __init__(
+        self,
+        worker_id: str,
+        config: LoadgenConfig,
+        vocabulary: list[str],
+        shared: _SharedState,
+        rng: np.random.Generator,
+    ):
+        self.worker_id = worker_id
+        self.config = config
+        self.shared = shared
+        self._rng = rng
+        take = min(config.n_keywords, len(vocabulary))
+        picks = rng.choice(len(vocabulary), size=take, replace=False)
+        self.keywords = frozenset(vocabulary[int(i)] for i in picks)
+        profile = sample_latent_profiles(1, rng=rng)[0]
+        self.behavior = WorkerBehavior(profile, BehaviorParams(), rng)
+        self.recent: list[frozenset[str]] = []
+        self.client = HttpClient(config.host, config.port)
+        # task_id -> keyword set, refreshed from every display payload
+        self.task_keywords: dict[str, frozenset[str]] = {}
+        self.pending: list[str] = []
+
+    async def _request(self, method: str, path: str, payload=None):
+        started = time.perf_counter()
+        try:
+            status, body = await self.client.request(method, path, payload)
+        except (OSError, asyncio.IncompleteReadError, EOFError):
+            self.shared.result.transport_errors += 1
+            raise
+        finally:
+            self.shared.latency.observe(time.perf_counter() - started)
+            self.shared.result.requests += 1
+        if status >= 400:
+            self.shared.result.http_errors += 1
+        return status, body
+
+    def _absorb_display(self, display: dict, count_display: bool) -> None:
+        for task in display.get("tasks", []):
+            self.task_keywords[task["task_id"]] = frozenset(task["keywords"])
+        self.pending = list(display.get("pending", []))
+        if count_display:
+            shown = [task["task_id"] for task in display.get("tasks", [])]
+            self.shared.record_display(shown)
+
+    def _choose_task(self) -> str:
+        novelties = []
+        relevances = []
+        window = self.recent[-self.behavior.params.novelty_window:]
+        for task_id in self.pending:
+            keywords = self.task_keywords.get(task_id, frozenset())
+            if window:
+                novelty = float(
+                    np.mean([_keyword_jaccard(keywords, seen) for seen in window])
+                )
+            else:
+                novelty = 1.0
+            novelties.append(novelty)
+            relevances.append(1.0 - _keyword_jaccard(keywords, self.keywords))
+        position = self.behavior.choose_next(
+            np.asarray(novelties), np.asarray(relevances)
+        )
+        self.recent.append(self.task_keywords.get(self.pending[position], frozenset()))
+        self.behavior.register_completion(novelties[position])
+        return self.pending[position]
+
+    async def run(self) -> None:
+        self.shared.result.workers_started += 1
+        try:
+            if self.config.spawn_delay > 0:
+                await asyncio.sleep(self._rng.exponential(self.config.spawn_delay))
+            status, body = await self._request(
+                "POST",
+                "/workers",
+                {"worker_id": self.worker_id, "keywords": sorted(self.keywords)},
+            )
+            if status != 200:
+                return
+            self._absorb_display(body["display"], count_display=True)
+            last_iteration = body["display"]["iteration"]
+            for _ in range(self.config.completions_per_worker):
+                if not self.pending:
+                    break
+                task_id = self._choose_task()
+                if self.config.think_time > 0:
+                    await asyncio.sleep(
+                        self._rng.exponential(self.config.think_time)
+                    )
+                status, body = await self._request(
+                    "POST",
+                    "/complete",
+                    {"worker_id": self.worker_id, "task_id": task_id},
+                )
+                if status != 200:
+                    break
+                self.shared.result.completions += 1
+                display = body["display"]
+                is_new = display["iteration"] != last_iteration
+                if body.get("reassigned"):
+                    self.shared.result.reassignments += 1
+                self._absorb_display(display, count_display=is_new)
+                last_iteration = display["iteration"]
+            await self._request("DELETE", f"/workers/{self.worker_id}")
+            self.shared.result.workers_finished += 1
+        except (OSError, asyncio.IncompleteReadError, EOFError, KeyError):
+            pass  # already counted as transport/protocol failure
+        finally:
+            await self.client.close()
+
+
+async def run_loadgen(config: LoadgenConfig | None = None) -> LoadgenResult:
+    """Drive one closed-loop run against a live daemon; returns the result."""
+    config = config or LoadgenConfig()
+    shared = _SharedState()
+    probe = HttpClient(config.host, config.port)
+    try:
+        status, body = await probe.request("GET", "/vocabulary")
+    finally:
+        await probe.close()
+    if status != 200:
+        raise RuntimeError(f"daemon refused /vocabulary: HTTP {status}")
+    vocabulary = list(body["keywords"])
+    seed_source = ensure_rng(config.seed)
+    workers = [
+        _SimulatedWorker(
+            f"lg-w{i}",
+            config,
+            vocabulary,
+            shared,
+            np.random.default_rng(seed_source.integers(0, 2**63)),
+        )
+        for i in range(config.n_workers)
+    ]
+    started = time.perf_counter()
+    await asyncio.gather(*(worker.run() for worker in workers))
+    shared.result.duration_seconds = time.perf_counter() - started
+    shared.result.latency = {
+        "mean": shared.latency.summary()["mean"],
+        "p50": shared.latency.quantile(0.50),
+        "p95": shared.latency.quantile(0.95),
+        "p99": shared.latency.quantile(0.99),
+    }
+    return shared.result
+
+
+async def run_self_contained(
+    config: LoadgenConfig,
+    n_tasks: int = 2000,
+    strategy: str = "hta-gre",
+) -> tuple[LoadgenResult, dict]:
+    """Spawn an in-process daemon, run the loadgen against it, tear down.
+
+    Returns the loadgen result plus the daemon's metrics snapshot — the CI
+    smoke test and the throughput benchmark both use this.
+    """
+    from dataclasses import replace
+
+    from ..data import CrowdFlowerConfig, generate_crowdflower_corpus
+    from .app import AssignmentDaemon, ServeConfig
+
+    corpus = generate_crowdflower_corpus(
+        CrowdFlowerConfig(n_tasks=n_tasks), rng=config.seed
+    )
+    daemon = AssignmentDaemon(
+        corpus.pool,
+        ServeConfig(host=config.host, port=0, strategy=strategy, seed=config.seed),
+    )
+    await daemon.start()
+    try:
+        result = await run_loadgen(replace(config, port=daemon.port))
+        snapshot = daemon.registry.snapshot()
+    finally:
+        await daemon.stop()
+    return result, snapshot
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.loadgen",
+        description="Closed-loop load generator for the repro assignment daemon",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080)
+    parser.add_argument("--workers", type=int, default=50)
+    parser.add_argument("--completions", type=int, default=10)
+    parser.add_argument("--keywords", type=int, default=6)
+    parser.add_argument("--think-time", type=float, default=0.0)
+    parser.add_argument("--spawn-delay", type=float, default=0.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--spawn-server",
+        action="store_true",
+        help="start an in-process daemon on an ephemeral port and drive it",
+    )
+    parser.add_argument(
+        "--tasks", type=int, default=2000,
+        help="corpus size for --spawn-server",
+    )
+    parser.add_argument("--strategy", default="hta-gre")
+    args = parser.parse_args(argv)
+    config = LoadgenConfig(
+        host=args.host,
+        port=args.port,
+        n_workers=args.workers,
+        completions_per_worker=args.completions,
+        n_keywords=args.keywords,
+        think_time=args.think_time,
+        spawn_delay=args.spawn_delay,
+        seed=args.seed,
+    )
+    if args.spawn_server:
+        result, snapshot = asyncio.run(
+            run_self_contained(config, n_tasks=args.tasks, strategy=args.strategy)
+        )
+        payload = {"loadgen": result.to_dict(), "daemon_metrics": snapshot}
+    else:
+        result = asyncio.run(run_loadgen(config))
+        payload = {"loadgen": result.to_dict()}
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0 if result.clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

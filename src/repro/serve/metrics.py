@@ -1,0 +1,219 @@
+"""Dependency-free metrics registry for the assignment daemon.
+
+Counters and latency histograms, rendered in the Prometheus text exposition
+format at ``GET /metrics``.  Histograms keep both the cumulative-bucket view
+Prometheus scrapers expect and a bounded reservoir of raw observations from
+which the daemon reports p50/p95/p99 directly (handy for the load generator
+and the throughput benchmark, which read quantiles without a scraper).
+
+Everything here is synchronous and allocation-light: metric updates sit on
+the per-request hot path of the daemon.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from collections.abc import Iterable, Sequence
+
+#: Default latency buckets in seconds (5 ms .. 10 s, roughly log-spaced).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Raw observations retained per histogram for quantile estimation.
+_RESERVOIR_SIZE = 8192
+
+_QUANTILES: tuple[tuple[str, float], ...] = (
+    ("p50", 0.50),
+    ("p95", 0.95),
+    ("p99", 0.99),
+)
+
+
+def _validate_name(name: str) -> str:
+    if not name or not all(c.isalnum() or c == "_" for c in name):
+        raise ValueError(f"metric names must be [a-zA-Z0-9_]+, got {name!r}")
+    return name
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    def __init__(self, name: str, help_text: str = ""):
+        self.name = _validate_name(name)
+        self.help_text = help_text
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got increment {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def render(self) -> str:
+        lines = []
+        if self.help_text:
+            lines.append(f"# HELP {self.name} {self.help_text}")
+        lines.append(f"# TYPE {self.name} counter")
+        lines.append(f"{self.name} {_format_value(self._value)}")
+        return "\n".join(lines)
+
+
+class Histogram:
+    """A cumulative-bucket histogram with a quantile reservoir.
+
+    Observations are in seconds for latency metrics, but the class is
+    unit-agnostic (solve batch sizes use it too, with integer buckets).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        self.name = _validate_name(name)
+        self.help_text = help_text
+        edges = tuple(sorted(float(b) for b in buckets))
+        if not edges:
+            raise ValueError("a histogram needs at least one bucket")
+        if any(not math.isfinite(b) for b in edges):
+            raise ValueError("bucket edges must be finite (+Inf is implicit)")
+        self.buckets = edges
+        self._bucket_counts = [0] * len(edges)
+        self._count = 0
+        self._sum = 0.0
+        self._reservoir: deque[float] = deque(maxlen=_RESERVOIR_SIZE)
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            self._reservoir.append(value)
+            for i, edge in enumerate(self.buckets):
+                if value <= edge:
+                    self._bucket_counts[i] += 1
+                    break
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def quantile(self, q: float) -> float:
+        """Reservoir quantile (0 when nothing has been observed)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            data = sorted(self._reservoir)
+        if not data:
+            return 0.0
+        index = min(len(data) - 1, max(0, math.ceil(q * len(data)) - 1))
+        return data[index]
+
+    def summary(self) -> dict[str, float]:
+        """count / sum / mean plus the standard latency quantiles."""
+        out = {
+            "count": float(self._count),
+            "sum": self._sum,
+            "mean": self._sum / self._count if self._count else 0.0,
+        }
+        for label, q in _QUANTILES:
+            out[label] = self.quantile(q)
+        return out
+
+    def render(self) -> str:
+        lines = []
+        if self.help_text:
+            lines.append(f"# HELP {self.name} {self.help_text}")
+        lines.append(f"# TYPE {self.name} histogram")
+        cumulative = 0
+        for edge, count in zip(self.buckets, self._bucket_counts):
+            cumulative += count
+            lines.append(
+                f'{self.name}_bucket{{le="{_format_value(edge)}"}} {cumulative}'
+            )
+        lines.append(f'{self.name}_bucket{{le="+Inf"}} {self._count}')
+        lines.append(f"{self.name}_sum {_format_value(self._sum)}")
+        lines.append(f"{self.name}_count {self._count}")
+        return "\n".join(lines)
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+class MetricsRegistry:
+    """Named counters and histograms with one-call Prometheus rendering."""
+
+    def __init__(self):
+        self._metrics: dict[str, Counter | Histogram] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        """Get or create the counter ``name``."""
+        return self._get_or_create(Counter, name, help_text)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        """Get or create the histogram ``name``."""
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, Histogram):
+                    raise ValueError(f"metric {name!r} is not a histogram")
+                return existing
+            metric = Histogram(name, help_text, buckets)
+            self._metrics[name] = metric
+            return metric
+
+    def _get_or_create(self, cls, name: str, help_text: str):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(f"metric {name!r} is not a {cls.__name__}")
+                return existing
+            metric = cls(name, help_text)
+            self._metrics[name] = metric
+            return metric
+
+    def get(self, name: str) -> Counter | Histogram:
+        return self._metrics[name]
+
+    def names(self) -> Iterable[str]:
+        return sorted(self._metrics)
+
+    def render(self) -> str:
+        """The full Prometheus text exposition (trailing newline included)."""
+        blocks = [self._metrics[name].render() for name in self.names()]
+        return "\n".join(blocks) + ("\n" if blocks else "")
+
+    def snapshot(self) -> dict[str, object]:
+        """A JSON-friendly dump: counter values and histogram summaries."""
+        out: dict[str, object] = {}
+        for name in self.names():
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                out[name] = metric.value
+            else:
+                out[name] = metric.summary()
+        return out

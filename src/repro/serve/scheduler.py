@@ -1,0 +1,181 @@
+"""Micro-batched background solve scheduling.
+
+The paper runs HTA "in the background while workers complete tasks": one
+assignment iteration serves every worker currently due (``W^i``), not one
+solve per worker.  :class:`SolveScheduler` reproduces that shape behind the
+HTTP boundary — completion requests *mark workers due* and await a future;
+a background loop coalesces everything that became due within a configurable
+batch window into a single :meth:`AssignmentService.reassign_workers` call,
+then resolves each waiter with its worker's freshly installed display event.
+
+The solver itself is synchronous numpy code, so a solve briefly occupies the
+event loop; micro-batching is precisely what keeps that affordable (one
+solver invocation per tick instead of one per request).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections.abc import Callable, Sequence
+
+from ..crowd.events import TasksAssigned
+from .metrics import MetricsRegistry
+
+#: Batch-size histogram buckets (1..256 workers per solve).
+_BATCH_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+BatchSolveFn = Callable[[Sequence[str]], dict[str, TasksAssigned]]
+
+
+class SolveScheduler:
+    """Coalesces due-for-reassignment workers into batched HTA solves.
+
+    Args:
+        solve_batch: Called with the deduplicated worker ids of one batch;
+            returns the installed display events keyed by worker (a worker
+            may be absent when the pool had nothing left for it).
+        registry: Metrics sink; the scheduler owns ``serve_solves_total``,
+            ``serve_solve_seconds``, ``serve_solve_batch_size`` and
+            ``serve_solve_errors_total``.
+        max_batch_delay: Seconds the loop waits after the first due worker
+            for stragglers to join the batch (the latency/batching knob).
+        max_batch_size: Hard cap on workers per solve; overflow stays queued
+            for the next tick.
+    """
+
+    def __init__(
+        self,
+        solve_batch: BatchSolveFn,
+        registry: MetricsRegistry,
+        max_batch_delay: float = 0.05,
+        max_batch_size: int = 64,
+    ):
+        if max_batch_delay < 0:
+            raise ValueError(f"max_batch_delay must be >= 0, got {max_batch_delay}")
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        self._solve_batch = solve_batch
+        self._max_batch_delay = max_batch_delay
+        self._max_batch_size = max_batch_size
+        self._due: dict[str, None] = {}  # insertion-ordered set
+        self._waiters: dict[str, list[asyncio.Future]] = {}
+        self._wakeup: asyncio.Event = asyncio.Event()
+        self._runner: asyncio.Task | None = None
+        self._closed = False
+        self._solves = registry.counter(
+            "serve_solves_total", "Background HTA solve batches executed"
+        )
+        self._solve_errors = registry.counter(
+            "serve_solve_errors_total", "Solve batches that raised"
+        )
+        self._solve_seconds = registry.histogram(
+            "serve_solve_seconds", "Latency of one batched HTA solve in seconds"
+        )
+        self._batch_size = registry.histogram(
+            "serve_solve_batch_size",
+            "Workers reassigned per solve batch",
+            buckets=_BATCH_BUCKETS,
+        )
+
+    @property
+    def pending(self) -> int:
+        """Workers currently queued for the next batch."""
+        return len(self._due)
+
+    def start(self) -> None:
+        """Spawn the background batching loop on the running event loop."""
+        if self._runner is not None:
+            raise RuntimeError("scheduler already started")
+        self._closed = False
+        self._runner = asyncio.get_running_loop().create_task(self._run())
+
+    async def stop(self) -> None:
+        """Stop the loop and fail any still-waiting futures."""
+        self._closed = True
+        self._wakeup.set()
+        if self._runner is not None:
+            await self._runner
+            self._runner = None
+        for waiters in self._waiters.values():
+            for future in waiters:
+                if not future.done():
+                    future.set_exception(RuntimeError("scheduler stopped"))
+        self._waiters.clear()
+        self._due.clear()
+
+    def submit(self, worker_id: str) -> "asyncio.Future[TasksAssigned | None]":
+        """Mark ``worker_id`` due; the future resolves with its new display.
+
+        Resolves with ``None`` when the solve ran but the pool had nothing
+        left for this worker (its current display stands).
+        """
+        if self._closed:
+            raise RuntimeError("scheduler is stopped")
+        future = asyncio.get_running_loop().create_future()
+        self._waiters.setdefault(worker_id, []).append(future)
+        self._due[worker_id] = None
+        self._wakeup.set()
+        return future
+
+    async def _run(self) -> None:
+        while True:
+            await self._wakeup.wait()
+            if self._closed:
+                return
+            await self._collect_stragglers()
+            if self._closed:
+                return
+            batch = list(self._due)[: self._max_batch_size]
+            for worker_id in batch:
+                del self._due[worker_id]
+            if not self._due:
+                self._wakeup.clear()
+            if batch:
+                self._execute(batch)
+
+    async def _collect_stragglers(self) -> None:
+        """Hold the batch open for ``max_batch_delay`` to coalesce arrivals."""
+        if self._max_batch_delay <= 0:
+            return
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self._max_batch_delay
+        while len(self._due) < self._max_batch_size:
+            remaining = deadline - loop.time()
+            if remaining <= 0 or self._closed:
+                return
+            self._wakeup.clear()
+            try:
+                await asyncio.wait_for(self._wakeup.wait(), remaining)
+            except asyncio.TimeoutError:
+                self._wakeup.set()  # restore: the due set is non-empty
+                return
+
+    def _execute(self, batch: list[str]) -> None:
+        started = time.perf_counter()
+        try:
+            events = self._solve_batch(batch)
+        except Exception as exc:  # resolve waiters; the daemon stays up
+            self._solve_errors.inc()
+            for worker_id in batch:
+                self._resolve(worker_id, error=exc)
+            return
+        self._solves.inc()
+        self._solve_seconds.observe(time.perf_counter() - started)
+        self._batch_size.observe(len(batch))
+        for worker_id in batch:
+            self._resolve(worker_id, event=events.get(worker_id))
+
+    def _resolve(
+        self,
+        worker_id: str,
+        event: TasksAssigned | None = None,
+        error: Exception | None = None,
+    ) -> None:
+        for future in self._waiters.pop(worker_id, []):
+            if future.done():
+                continue
+            if error is not None:
+                future.set_exception(error)
+            else:
+                future.set_result(event)

@@ -1,0 +1,234 @@
+"""Daemon end-to-end tests over real sockets (ephemeral ports)."""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import Task, TaskPool, Vocabulary
+from repro.crowd.service import ServiceConfig
+from repro.serve.app import AssignmentDaemon, ServeConfig
+from repro.serve.loadgen import LoadgenConfig, run_loadgen
+from repro.serve.protocol import HttpClient
+
+N_KEYWORDS = 16
+
+
+def make_pool(n_tasks=300, seed=0):
+    vocab = Vocabulary([f"k{i}" for i in range(N_KEYWORDS)])
+    rng = np.random.default_rng(seed)
+    return TaskPool(
+        [
+            Task(f"t{i}", rng.random(N_KEYWORDS) < 0.3, title=f"Task {i}")
+            for i in range(n_tasks)
+        ],
+        vocab,
+    )
+
+
+def serve_config(**overrides):
+    defaults = dict(
+        host="127.0.0.1",
+        port=0,
+        strategy="hta-gre",
+        service=ServiceConfig(
+            x_max=5, n_random_pad=2, reassign_after=3, min_pending=1,
+            candidate_cap=None,
+        ),
+        max_batch_delay=0.01,
+        seed=0,
+    )
+    defaults.update(overrides)
+    return ServeConfig(**defaults)
+
+
+def with_daemon(coro_fn, n_tasks=300, **config_overrides):
+    """Run ``coro_fn(daemon, client)`` against a live daemon."""
+
+    async def scenario():
+        daemon = AssignmentDaemon(make_pool(n_tasks), serve_config(**config_overrides))
+        await daemon.start()
+        client = HttpClient("127.0.0.1", daemon.port)
+        try:
+            return await coro_fn(daemon, client)
+        finally:
+            await client.close()
+            await daemon.stop()
+
+    return asyncio.run(asyncio.wait_for(scenario(), timeout=30.0))
+
+
+class TestEndpoints:
+    def test_healthz(self):
+        async def check(daemon, client):
+            status, body = await client.request("GET", "/healthz")
+            return status, body
+
+        status, body = with_daemon(check)
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["remaining_tasks"] == 300
+        assert body["cache"]["live_tasks"] == 300
+
+    def test_vocabulary(self):
+        async def check(daemon, client):
+            return await client.request("GET", "/vocabulary")
+
+        status, body = with_daemon(check)
+        assert status == 200
+        assert body["keywords"] == [f"k{i}" for i in range(N_KEYWORDS)]
+
+    def test_worker_lifecycle_roundtrip(self):
+        async def check(daemon, client):
+            status, body = await client.request(
+                "POST", "/workers", {"worker_id": "alice", "keywords": ["k1", "k2"]}
+            )
+            assert status == 200
+            display = body["display"]
+            assert len(display["pending"]) == 7  # x_max 5 + 2 pads
+            first = display["pending"][0]
+            status, body = await client.request(
+                "POST", "/complete", {"worker_id": "alice", "task_id": first}
+            )
+            assert status == 200
+            assert body["completed"] == first
+            assert first not in body["display"]["pending"]
+            status, body = await client.request("GET", "/display/alice")
+            assert status == 200
+            assert first not in body["display"]["pending"]
+            status, body = await client.request("DELETE", "/workers/alice")
+            assert status == 200
+            status, body = await client.request("GET", "/display/alice")
+            assert status == 404
+            return True
+
+        assert with_daemon(check)
+
+    def test_completion_triggers_batched_reassignment(self):
+        async def check(daemon, client):
+            status, body = await client.request(
+                "POST", "/workers", {"worker_id": "bob", "keywords": ["k0"]}
+            )
+            pending = body["display"]["pending"]
+            reassigned = False
+            for task_id in pending[:3]:  # reassign_after=3
+                status, body = await client.request(
+                    "POST", "/complete", {"worker_id": "bob", "task_id": task_id}
+                )
+                assert status == 200
+                reassigned = reassigned or body["reassigned"]
+            return reassigned, body["display"]["iteration"], daemon
+
+        reassigned, iteration, daemon = with_daemon(check)
+        assert reassigned
+        assert iteration == 1
+        assert daemon.registry.get("serve_solves_total").value >= 1
+        assert daemon.registry.get("serve_disjointness_violations_total").value == 0
+
+    def test_error_paths(self):
+        async def check(daemon, client):
+            results = {}
+            results["no_route"] = (await client.request("GET", "/nope"))[0]
+            results["bad_json"] = (
+                await client.request("POST", "/workers", {"worker_id": "x"})
+            )[0]
+            results["unknown_keyword"] = (
+                await client.request(
+                    "POST", "/workers", {"worker_id": "x", "keywords": ["zzz"]}
+                )
+            )[0]
+            await client.request(
+                "POST", "/workers", {"worker_id": "carol", "keywords": ["k3"]}
+            )
+            results["double_register"] = (
+                await client.request(
+                    "POST", "/workers", {"worker_id": "carol", "keywords": ["k3"]}
+                )
+            )[0]
+            results["bogus_completion"] = (
+                await client.request(
+                    "POST", "/complete", {"worker_id": "carol", "task_id": "t999"}
+                )
+            )[0]
+            return results
+
+        results = with_daemon(check)
+        assert results["no_route"] == 404
+        assert results["bad_json"] == 400
+        assert results["unknown_keyword"] == 400
+        assert results["double_register"] == 409
+        assert results["bogus_completion"] == 409
+
+    def test_metrics_exposition_format(self):
+        async def check(daemon, client):
+            await client.request(
+                "POST", "/workers", {"worker_id": "dora", "keywords": ["k5"]}
+            )
+            return await client.request("GET", "/metrics")
+
+        status, text = with_daemon(check)
+        assert status == 200
+        assert "# TYPE serve_requests_total counter" in text
+        assert "# TYPE serve_request_seconds histogram" in text
+        assert "serve_workers_registered_total 1" in text
+
+
+class TestLoadgenEndToEnd:
+    @pytest.mark.slow
+    def test_fifty_workers_zero_violations(self):
+        """The acceptance run: >= 50 workers through the full workflow."""
+
+        async def scenario():
+            daemon = AssignmentDaemon(
+                make_pool(4000),
+                serve_config(
+                    service=ServiceConfig(
+                        x_max=5, n_random_pad=2, reassign_after=3,
+                        min_pending=1, candidate_cap=300,
+                    )
+                ),
+            )
+            await daemon.start()
+            try:
+                result = await run_loadgen(
+                    LoadgenConfig(
+                        port=daemon.port, n_workers=50,
+                        completions_per_worker=8, seed=1,
+                    )
+                )
+                return result, daemon.registry.snapshot()
+            finally:
+                await daemon.stop()
+
+        result, metrics = asyncio.run(asyncio.wait_for(scenario(), timeout=120.0))
+        assert result.workers_finished == 50
+        assert result.completions == 400
+        assert result.duplicate_display_violations == 0
+        assert result.http_errors == 0 and result.transport_errors == 0
+        assert result.reassignments > 0
+        assert metrics["serve_disjointness_violations_total"] == 0
+        assert metrics["serve_solves_total"] > 0
+        assert metrics["serve_solve_batch_size"]["count"] > 0
+        assert result.clean
+
+    def test_small_loadgen_is_clean(self):
+        async def scenario():
+            daemon = AssignmentDaemon(make_pool(400), serve_config())
+            await daemon.start()
+            try:
+                result = await run_loadgen(
+                    LoadgenConfig(
+                        port=daemon.port, n_workers=6,
+                        completions_per_worker=5, seed=2,
+                    )
+                )
+                return result, daemon.registry.snapshot()
+            finally:
+                await daemon.stop()
+
+        result, metrics = asyncio.run(asyncio.wait_for(scenario(), timeout=60.0))
+        assert result.clean
+        assert result.workers_finished == 6
+        assert metrics["serve_disjointness_violations_total"] == 0
+        assert metrics["serve_solves_total"] > 0

@@ -1,0 +1,103 @@
+"""Incremental diversity cache: parity with from-scratch recomputation."""
+
+import numpy as np
+import pytest
+
+from repro.core import Task, TaskPool, Vocabulary
+from repro.core.distance import pairwise_jaccard, take_submatrix
+from repro.crowd.service import AssignmentService, ServiceConfig
+from repro.serve.cache import IncrementalDiversityCache
+
+
+@pytest.fixture
+def vocab():
+    return Vocabulary([f"k{i}" for i in range(20)])
+
+
+@pytest.fixture
+def pool(vocab):
+    rng = np.random.default_rng(3)
+    return TaskPool(
+        [Task(f"t{i}", rng.random(20) < 0.3) for i in range(80)], vocab
+    )
+
+
+class TestTakeSubmatrix:
+    def test_matches_fancy_indexing(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.random((10, 10))
+        idx = [7, 2, 5]
+        expected = matrix[np.ix_(idx, idx)]
+        got = take_submatrix(matrix, idx)
+        np.testing.assert_array_equal(got, expected)
+        assert got.flags["C_CONTIGUOUS"]
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            take_submatrix(np.zeros((3, 4)), [0])
+
+
+class TestCacheParity:
+    def test_submatrix_matches_recompute(self, pool):
+        cache = IncrementalDiversityCache(pool)
+        ids = [t.task_id for t in pool][10:40]
+        sub = cache.submatrix(ids)
+        expected = pairwise_jaccard(pool.subset(ids).matrix)
+        np.testing.assert_allclose(sub, expected)
+
+    def test_parity_survives_removals_and_compaction(self, pool):
+        rng = np.random.default_rng(1)
+        cache = IncrementalDiversityCache(pool, compact_threshold=0.6)
+        alive = [t.task_id for t in pool]
+        for _ in range(5):
+            drop = list(rng.choice(alive, size=10, replace=False))
+            cache.on_removed(drop)
+            alive = [tid for tid in alive if tid not in set(drop)]
+            sample = list(rng.choice(alive, size=min(12, len(alive)), replace=False))
+            sub = cache.submatrix(sample)
+            expected = pairwise_jaccard(pool.subset(sample).matrix)
+            np.testing.assert_allclose(sub, expected)
+        assert cache.compactions >= 1
+        assert len(cache) == len(alive)
+
+    def test_unknown_id_declines(self, pool):
+        cache = IncrementalDiversityCache(pool)
+        cache.on_removed(["t0"])
+        assert cache.submatrix(["t0", "t1"]) is None
+        assert "t0" not in cache
+
+    def test_rejects_bad_threshold(self, pool):
+        with pytest.raises(ValueError, match="compact_threshold"):
+            IncrementalDiversityCache(pool, compact_threshold=1.5)
+
+
+class TestServiceIntegration:
+    def test_cached_service_matches_uncached_run(self, pool, vocab):
+        """Same seed, same strategy: the cache must not change assignments."""
+        from repro.core import Worker
+
+        config = ServiceConfig(
+            x_max=4, n_random_pad=2, reassign_after=3, min_pending=1,
+            candidate_cap=None,
+        )
+
+        def drive(service):
+            events = []
+            rng = np.random.default_rng(9)
+            for i in range(3):
+                worker = Worker(f"w{i}", rng.random(20) < 0.3)
+                events.append(service.register_worker(worker, 0.0))
+            for _ in range(2):
+                for i in range(3):
+                    wid = f"w{i}"
+                    for tid in service.pending_ids(wid)[:3]:
+                        service.observe_completion(wid, tid)
+                    event = service.maybe_reassign(wid, 1.0, 1.0)
+                    if event is not None:
+                        events.append(event)
+            return [(e.worker_id, e.task_ids, e.random_pad_ids) for e in events]
+
+        plain = AssignmentService(pool, "hta-gre-rel", config, rng=0)
+        cached = AssignmentService(pool, "hta-gre-rel", config, rng=0)
+        IncrementalDiversityCache(pool).attach(cached)
+        assert drive(plain) == drive(cached)

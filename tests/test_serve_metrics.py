@@ -1,0 +1,95 @@
+"""Metrics registry: counters, histograms, Prometheus rendering."""
+
+import pytest
+
+from repro.serve.metrics import Counter, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("requests_total")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="only go up"):
+            Counter("x").inc(-1)
+
+    def test_rejects_bad_names(self):
+        with pytest.raises(ValueError, match="metric names"):
+            Counter("bad name!")
+
+    def test_render(self):
+        c = Counter("hits_total", "Hits served")
+        c.inc(3)
+        text = c.render()
+        assert "# HELP hits_total Hits served" in text
+        assert "# TYPE hits_total counter" in text
+        assert text.endswith("hits_total 3")
+
+
+class TestHistogram:
+    def test_quantiles_on_known_data(self):
+        h = Histogram("lat_seconds")
+        for value in range(1, 101):  # 0.01 .. 1.00
+            h.observe(value / 100)
+        assert h.quantile(0.50) == pytest.approx(0.50)
+        assert h.quantile(0.95) == pytest.approx(0.95)
+        assert h.quantile(0.99) == pytest.approx(0.99)
+        assert h.count == 100
+        assert h.sum == pytest.approx(sum(range(1, 101)) / 100)
+
+    def test_empty_quantile_is_zero(self):
+        assert Histogram("empty").quantile(0.95) == 0.0
+
+    def test_summary_keys(self):
+        h = Histogram("s")
+        h.observe(0.02)
+        summary = h.summary()
+        assert set(summary) == {"count", "sum", "mean", "p50", "p95", "p99"}
+        assert summary["count"] == 1.0
+
+    def test_render_cumulative_buckets(self):
+        h = Histogram("d", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            h.observe(value)
+        text = h.render()
+        assert 'd_bucket{le="0.1"} 1' in text
+        assert 'd_bucket{le="1"} 2' in text
+        assert 'd_bucket{le="+Inf"} 3' in text
+        assert "d_count 3" in text
+
+    def test_rejects_empty_buckets(self):
+        with pytest.raises(ValueError, match="at least one bucket"):
+            Histogram("h", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a_total") is registry.counter("a_total")
+        assert registry.histogram("b_seconds") is registry.histogram("b_seconds")
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="not a"):
+            registry.histogram("x")
+
+    def test_render_all(self):
+        registry = MetricsRegistry()
+        registry.counter("ops_total").inc()
+        registry.histogram("lat_seconds").observe(0.2)
+        text = registry.render()
+        assert "ops_total 1" in text
+        assert "lat_seconds_count 1" in text
+        assert text.endswith("\n")
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("ops_total").inc(2)
+        registry.histogram("lat_seconds").observe(0.1)
+        snap = registry.snapshot()
+        assert snap["ops_total"] == 2.0
+        assert snap["lat_seconds"]["count"] == 1.0

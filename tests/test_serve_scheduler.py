@@ -1,0 +1,148 @@
+"""Solve scheduler: micro-batching semantics."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.scheduler import SolveScheduler
+
+
+class FakeEvent:
+    def __init__(self, worker_id):
+        self.worker_id = worker_id
+
+
+def make_solver(log):
+    def solve(worker_ids):
+        batch = list(worker_ids)
+        log.append(batch)
+        return {w: FakeEvent(w) for w in batch}
+
+    return solve
+
+
+class TestBatching:
+    def test_concurrent_submits_coalesce_into_one_solve(self):
+        async def scenario():
+            log = []
+            registry = MetricsRegistry()
+            scheduler = SolveScheduler(
+                make_solver(log), registry, max_batch_delay=0.05
+            )
+            scheduler.start()
+            futures = [scheduler.submit(f"w{i}") for i in range(5)]
+            results = await asyncio.gather(*futures)
+            await scheduler.stop()
+            return log, results, registry
+
+        log, results, registry = asyncio.run(scenario())
+        assert len(log) == 1  # one solver call for all five workers
+        assert sorted(log[0]) == [f"w{i}" for i in range(5)]
+        assert [e.worker_id for e in results] == [f"w{i}" for i in range(5)]
+        assert registry.get("serve_solves_total").value == 1
+        assert registry.get("serve_solve_batch_size").summary()["mean"] == 5.0
+
+    def test_duplicate_submits_share_one_slot(self):
+        async def scenario():
+            log = []
+            scheduler = SolveScheduler(
+                make_solver(log), MetricsRegistry(), max_batch_delay=0.02
+            )
+            scheduler.start()
+            first = scheduler.submit("w0")
+            second = scheduler.submit("w0")
+            results = await asyncio.gather(first, second)
+            await scheduler.stop()
+            return log, results
+
+        log, results = asyncio.run(scenario())
+        assert log == [["w0"]]
+        assert all(e.worker_id == "w0" for e in results)
+
+    def test_max_batch_size_splits_batches(self):
+        async def scenario():
+            log = []
+            scheduler = SolveScheduler(
+                make_solver(log),
+                MetricsRegistry(),
+                max_batch_delay=0.01,
+                max_batch_size=3,
+            )
+            scheduler.start()
+            futures = [scheduler.submit(f"w{i}") for i in range(7)]
+            await asyncio.gather(*futures)
+            await scheduler.stop()
+            return log
+
+        log = asyncio.run(scenario())
+        assert [len(batch) for batch in log] == [3, 3, 1]
+
+    def test_sequential_submits_become_separate_solves(self):
+        async def scenario():
+            log = []
+            scheduler = SolveScheduler(
+                make_solver(log), MetricsRegistry(), max_batch_delay=0.0
+            )
+            scheduler.start()
+            await scheduler.submit("w0")
+            await scheduler.submit("w1")
+            await scheduler.stop()
+            return log
+
+        log = asyncio.run(scenario())
+        assert log == [["w0"], ["w1"]]
+
+
+class TestFailureModes:
+    def test_solver_error_propagates_to_waiters(self):
+        async def scenario():
+            def explode(worker_ids):
+                raise RuntimeError("solver blew up")
+
+            registry = MetricsRegistry()
+            scheduler = SolveScheduler(explode, registry, max_batch_delay=0.0)
+            scheduler.start()
+            with pytest.raises(RuntimeError, match="blew up"):
+                await scheduler.submit("w0")
+            # The loop survives a failed batch and keeps serving.
+            assert scheduler.pending == 0
+            await scheduler.stop()
+            return registry
+
+        registry = asyncio.run(scenario())
+        assert registry.get("serve_solve_errors_total").value == 1
+
+    def test_missing_worker_resolves_none(self):
+        async def scenario():
+            scheduler = SolveScheduler(
+                lambda ids: {}, MetricsRegistry(), max_batch_delay=0.0
+            )
+            scheduler.start()
+            result = await scheduler.submit("ghost")
+            await scheduler.stop()
+            return result
+
+        assert asyncio.run(scenario()) is None
+
+    def test_stop_fails_pending_futures(self):
+        async def scenario():
+            started = asyncio.Event()
+
+            async def run():
+                scheduler = SolveScheduler(
+                    lambda ids: {}, MetricsRegistry(), max_batch_delay=10.0
+                )
+                scheduler.start()
+                future = scheduler.submit("w0")
+                started.set()
+                await asyncio.sleep(0)  # let the loop pick up the batch window
+                await scheduler.stop()
+                with pytest.raises(RuntimeError, match="stopped"):
+                    await future
+                with pytest.raises(RuntimeError, match="stopped"):
+                    scheduler.submit("w1")
+
+            await asyncio.wait_for(run(), timeout=5.0)
+
+        asyncio.run(scenario())

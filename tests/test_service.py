@@ -227,3 +227,130 @@ class TestCandidateCap:
         service = AssignmentService(big, "hta-gre-rel", config, rng=0)
         event = service.register_worker(make_worker(vocab), 0.0)
         assert len(event.task_ids) == 4
+
+    def test_cap_none_offers_whole_pool_to_solver(self, vocab):
+        """candidate_cap=None must disable shortlisting entirely."""
+        rng = np.random.default_rng(2)
+        big = TaskPool(
+            [Task(f"t{i}", rng.random(12) < 0.35) for i in range(250)], vocab
+        )
+        config = ServiceConfig(
+            x_max=4, n_random_pad=0, reassign_after=2, min_pending=0,
+            candidate_cap=None,
+        )
+        service = AssignmentService(big, "hta-gre-rel", config, rng=0)
+        assert len(service.pool_state.shortlist(config.candidate_cap)) == 250
+        event = service.register_worker(make_worker(vocab), 0.0)
+        assert len(event.task_ids) == 4
+        assert service.remaining_tasks() == 246
+
+
+class TestReassignmentTriggers:
+    def test_reassign_after_and_min_pending_fire_together(self, pool, vocab):
+        """Both triggers true at once must yield exactly one new display."""
+        config = ServiceConfig(
+            x_max=4, n_random_pad=0, reassign_after=3, min_pending=3,
+            candidate_cap=None,
+        )
+        service = AssignmentService(pool, "hta-gre", config, rng=0)
+        worker = make_worker(vocab)
+        event = service.register_worker(worker, 0.0)
+        # After 3 of 4 completions: completed_since_assignment == 3 ==
+        # reassign_after AND pending (1) < min_pending (3) simultaneously.
+        for task_id in event.task_ids[:3]:
+            service.observe_completion(worker.worker_id, task_id)
+        assert service.needs_reassignment(worker.worker_id)
+        new_event = service.maybe_reassign(worker.worker_id, 5.0, 5.0)
+        assert new_event is not None
+        assert new_event.iteration == 1
+        # The trigger resets: one firing, not one per satisfied condition.
+        assert not service.needs_reassignment(worker.worker_id)
+        assert service.display_of(worker.worker_id).completed_since_assignment == 0
+
+    def test_min_pending_alone_fires_without_enough_completions(self, pool, vocab):
+        config = ServiceConfig(
+            x_max=4, n_random_pad=0, reassign_after=50, min_pending=4,
+            candidate_cap=None,
+        )
+        service = AssignmentService(pool, "hta-gre", config, rng=0)
+        worker = make_worker(vocab)
+        event = service.register_worker(worker, 0.0)
+        service.observe_completion(worker.worker_id, event.task_ids[0])
+        # 3 pending < min_pending 4, though only one completion happened.
+        assert service.needs_reassignment(worker.worker_id)
+
+    def test_pool_exhaustion_mid_iteration(self, vocab):
+        """When the pool dies mid-batch, early workers win, late ones keep
+        their old display, and nothing is served twice."""
+        rng = np.random.default_rng(5)
+        small = TaskPool(
+            [Task(f"t{i}", rng.random(12) < 0.4) for i in range(14)], vocab
+        )
+        config = ServiceConfig(
+            x_max=4, n_random_pad=0, reassign_after=2, min_pending=0,
+            candidate_cap=None,
+        )
+        service = AssignmentService(small, "hta-gre", config, rng=0)
+        workers = [make_worker(vocab, f"w{i}", seed=10 + i) for i in range(3)]
+        shown: set[str] = set()
+        for worker in workers:
+            event = service.register_worker(worker, 0.0)
+            shown |= set(event.task_ids) | set(event.random_pad_ids)
+        assert service.remaining_tasks() == 2  # 14 - 3*4
+        for worker in workers:
+            for task_id in service.pending_ids(worker.worker_id)[:2]:
+                service.observe_completion(worker.worker_id, task_id)
+        iterations_before = {
+            w.worker_id: service.display_of(w.worker_id).iteration for w in workers
+        }
+        events = service.reassign_workers([w.worker_id for w in workers], 10.0)
+        # Only 2 tasks remained: not every worker can get a fresh display.
+        assert 1 <= len(events) < 3
+        for worker_id, event in events.items():
+            ids = set(event.task_ids) | set(event.random_pad_ids)
+            assert ids and not (ids & shown)
+            shown |= ids
+        assert service.remaining_tasks() == 0
+        # Workers left out keep their previous display untouched.
+        for worker in workers:
+            if worker.worker_id not in events:
+                display = service.display_of(worker.worker_id)
+                assert display.iteration == iterations_before[worker.worker_id]
+                assert service.pending_ids(worker.worker_id)
+        # And with an empty pool, nothing is due anymore.
+        assert service.due_workers() == []
+
+
+class TestBatchReassignment:
+    def test_reassign_workers_solves_all_in_one_iteration(self, pool, vocab):
+        config = ServiceConfig(
+            x_max=4, n_random_pad=1, reassign_after=2, min_pending=0,
+            candidate_cap=None,
+        )
+        service = AssignmentService(pool, "hta-gre", config, rng=0)
+        workers = [make_worker(vocab, f"w{i}", seed=20 + i) for i in range(4)]
+        for worker in workers:
+            event = service.register_worker(worker, 0.0)
+            for task_id in event.task_ids[:2]:
+                service.observe_completion(worker.worker_id, task_id)
+        due = service.due_workers()
+        assert sorted(due) == [f"w{i}" for i in range(4)]
+        events = service.reassign_workers(due, 30.0, {"w1": 12.5})
+        assert set(events) == set(due)
+        assert events["w1"].session_time == 12.5
+        assert events["w0"].session_time == -1.0
+        all_ids = [
+            tid
+            for e in events.values()
+            for tid in tuple(e.task_ids) + tuple(e.random_pad_ids)
+        ]
+        assert len(all_ids) == len(set(all_ids))  # C2 within the batch
+
+    def test_pool_state_notifies_removal_listeners(self, pool, vocab):
+        service = AssignmentService(pool, "hta-gre", SMALL_CONFIG, rng=0)
+        removed: list[str] = []
+        service.pool_state.add_removal_listener(removed.extend)
+        event = service.register_worker(make_worker(vocab), 0.0)
+        shown = set(event.task_ids) | set(event.random_pad_ids)
+        assert shown == set(removed)
+        assert len(service.pool_state) == 120 - len(shown)
