@@ -128,6 +128,23 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="solve micro-batch coalescing window")
     p_serve.add_argument("--max-batch-size", type=int, default=64)
     p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--request-deadline", type=float, default=2.0,
+                         help="seconds a /complete may wait on a solve before "
+                              "answering with the stale display")
+    p_serve.add_argument("--solve-budget", type=float, default=0.5,
+                         help="target seconds per batched solve; sustained "
+                              "breaches degrade the solver tier")
+    p_serve.add_argument("--fault-plan", default=None, metavar="PLAN.json",
+                         help="inject deterministic faults from a JSON fault "
+                              "plan (see docs/SERVING.md)")
+    p_serve.add_argument("--snapshot-path", default=None, metavar="FILE.db",
+                         help="persist crash-safe state snapshots to this "
+                              "SQLite file")
+    p_serve.add_argument("--snapshot-every", type=int, default=20,
+                         help="solve batches between automatic snapshots")
+    p_serve.add_argument("--restore", action="store_true",
+                         help="resume from the latest snapshot in "
+                              "--snapshot-path before serving")
     p_serve.set_defaults(handler=_cmd_serve)
     return parser
 
@@ -248,11 +265,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from .crowd.service import ServiceConfig
     from .data import CrowdFlowerConfig, generate_crowdflower_corpus
-    from .serve import ServeConfig, run_daemon
+    from .serve import FaultPlan, ResilienceConfig, ServeConfig, run_daemon
 
     corpus = generate_crowdflower_corpus(
         CrowdFlowerConfig(n_tasks=args.tasks), rng=args.seed
     )
+    fault_plan = FaultPlan.from_file(args.fault_plan) if args.fault_plan else None
+    if args.restore and not args.snapshot_path:
+        print("--restore requires --snapshot-path", file=sys.stderr)
+        return 2
     config = ServeConfig(
         host=args.host,
         port=args.port,
@@ -267,7 +288,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_batch_delay=args.batch_delay_ms / 1000.0,
         max_batch_size=args.max_batch_size,
         seed=args.seed,
+        resilience=ResilienceConfig(
+            request_deadline=args.request_deadline,
+            solve_budget=args.solve_budget,
+        ),
+        fault_plan=fault_plan,
+        snapshot_path=args.snapshot_path,
+        snapshot_every=args.snapshot_every,
+        restore=args.restore,
     )
+    if fault_plan is not None:
+        print(f"fault injection active: {fault_plan.to_dict()}")
     print(
         f"serving {len(corpus.pool)} tasks with {args.strategy} "
         f"on http://{args.host}:{args.port} (Ctrl-C to stop)"

@@ -179,6 +179,27 @@ class MotivationEstimator:
             self._diversity.pop(worker_id, None)
             self._relevance.pop(worker_id, None)
 
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of every worker's running averages."""
+        return {
+            "decay": self._decay,
+            "prior": [self._prior.alpha, self._prior.beta],
+            "diversity": {w: list(v) for w, v in self._diversity.items()},
+            "relevance": {w: list(v) for w, v in self._relevance.items()},
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot, replacing current state."""
+        self._decay = float(state["decay"])
+        prior = state["prior"]
+        self._prior = MotivationWeights(float(prior[0]), float(prior[1]))
+        self._diversity = {
+            w: [float(v[0]), float(v[1])] for w, v in state["diversity"].items()
+        }
+        self._relevance = {
+            w: [float(v[0]), float(v[1])] for w, v in state["relevance"].items()
+        }
+
 
 # ---------------------------------------------------------------------------
 # Offline adaptive loop.

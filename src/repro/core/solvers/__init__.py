@@ -9,6 +9,7 @@ from .baselines import (
 )
 from .exact import ExactSolver
 from .greedy_marginal import GreedyMarginalSolver
+from .greedy_relevance import RelevanceGreedySolver
 from .hta_app import HTAAppSolver
 from .local_search import LocalSearchSolver
 from .hta_gre import HTAGreSolver
@@ -24,6 +25,7 @@ __all__ = [
     "LocalSearchSolver",
     "PipelineOutput",
     "RandomSolver",
+    "RelevanceGreedySolver",
     "SolveResult",
     "Solver",
     "get_solver",

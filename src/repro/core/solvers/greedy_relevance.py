@@ -1,0 +1,77 @@
+"""Relevance-only greedy dealer — the bottom rung of the degradation ladder.
+
+Under overload the serving layer sheds the quadratic diversity term
+entirely: each worker just gets its ``x_max`` most relevant still-available
+tasks, dealt round-robin so no worker is starved when the pool runs short.
+That is ``O(|W| |T| log |T|)`` with no pairwise matrix touched at all —
+cheaper than even HTA-GRE's LSAP — while still honoring C1/C2 and the
+paper's relevance definition (Eq. 2, via the instance's cached relevance
+matrix).
+
+This is intentionally *not* HTA-GRE-REL: that baseline still runs the full
+two-phase matching/LSAP pipeline with forced weights; this solver exists to
+be as cheap as possible, quality be damned, so a degraded daemon keeps
+answering under its deadline.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..assignment import Assignment
+from ..instance import HTAInstance
+from .base import Solver, SolveResult, register_solver
+
+
+@register_solver
+class RelevanceGreedySolver(Solver):
+    """Deal each worker its top-relevance tasks, round-robin, no diversity."""
+
+    name = "greedy-relevance"
+
+    def solve(
+        self,
+        instance: HTAInstance,
+        rng: "int | np.random.Generator | None" = None,
+    ) -> SolveResult:
+        start = time.perf_counter()
+        relevance = instance.relevance
+        # Each worker's task positions sorted by descending relevance
+        # (argsort is ascending, hence the negation).  Ties break by task
+        # position, keeping the dealer fully deterministic.
+        preference = np.argsort(-relevance, axis=1, kind="stable")
+        cursors = [0] * instance.n_workers
+        groups: list[list[int]] = [[] for _ in range(instance.n_workers)]
+        taken = np.zeros(instance.n_tasks, dtype=bool)
+        remaining = instance.n_tasks
+        # Round-robin: one pick per worker per round so a short pool is
+        # shared instead of drained by the first worker.
+        for _ in range(instance.x_max):
+            if remaining == 0:
+                break
+            for q in range(instance.n_workers):
+                row = preference[q]
+                cursor = cursors[q]
+                while cursor < instance.n_tasks and taken[row[cursor]]:
+                    cursor += 1
+                cursors[q] = cursor
+                if cursor >= instance.n_tasks:
+                    continue
+                pick = int(row[cursor])
+                taken[pick] = True
+                remaining -= 1
+                groups[q].append(pick)
+                cursors[q] = cursor + 1
+                if remaining == 0:
+                    break
+        assignment = Assignment.from_indices(instance, groups)
+        assignment.validate(instance)
+        elapsed = time.perf_counter() - start
+        return SolveResult(
+            assignment=assignment,
+            objective=assignment.objective(instance),
+            timings={"total": elapsed},
+            info={"solver": self.name},
+        )

@@ -22,7 +22,7 @@ Strategy names mirror the paper: ``"hta-gre"`` (adaptive), ``"hta-gre-div"``,
 
 from __future__ import annotations
 
-from collections.abc import Callable, Sequence
+from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -66,6 +66,19 @@ class TaskPoolState:
 
     def __contains__(self, task_id: str) -> bool:
         return task_id in self._remaining
+
+    def task_ids(self) -> list[str]:
+        """Ids of every remaining task, in insertion order."""
+        return list(self._remaining)
+
+    def reset(self, tasks: Sequence[Task]) -> None:
+        """Replace the remaining set wholesale, *without* notifying listeners.
+
+        This is the snapshot-restore path: listeners (e.g. the diversity
+        cache) are synced separately by whoever drives the restore, because
+        at restore time the "removed" tasks were never seen by them as live.
+        """
+        self._remaining = {t.task_id: t for t in tasks}
 
     def add_removal_listener(self, listener: Callable[[Sequence[str]], None]) -> None:
         """Call ``listener(task_ids)`` after each batch of tasks leaves."""
@@ -169,6 +182,7 @@ class AssignmentService:
         self._rng = ensure_rng(rng)
         self._pool_state = TaskPoolState(pool, self._rng)
         self._diversity_provider: DiversityProvider | None = None
+        self._solver_provider: "Callable[[], object] | None" = None
         self._workers: dict[str, Worker] = {}
         self._displays: dict[str, _Display] = {}
         self._iterations: dict[str, int] = {}
@@ -208,6 +222,18 @@ class AssignmentService:
         instance then computes it from scratch as before).
         """
         self._diversity_provider = provider
+
+    def set_solver_provider(
+        self, provider: "Callable[[], object] | None"
+    ) -> None:
+        """Let each solve pick its solver dynamically.
+
+        The serving layer's degradation controller uses this to swap in a
+        cheaper solver under overload; ``None`` restores the configured
+        strategy's solver.  The provider returns any object with
+        ``solve(instance, rng) -> SolveResult``.
+        """
+        self._solver_provider = provider
 
     def weights_of(self, worker_id: str) -> MotivationWeights:
         """Current (alpha, beta) the service would use for this worker."""
@@ -321,8 +347,13 @@ class AssignmentService:
         keyed by worker.  Workers the solver leaves empty-handed fall back to
         random draws; workers for whom nothing at all is left are omitted
         from the result (their current display stands).
+
+        Workers that unregistered after being queued — a session can end
+        while its reassignment sits in a scheduler batch — are silently
+        dropped from the batch rather than failing the solve for everyone.
         """
         times = session_times or {}
+        worker_ids = [w for w in worker_ids if w in self._workers]
         solved = self._solve_for(list(worker_ids))
         events: dict[str, TasksAssigned] = {}
         for w in worker_ids:
@@ -335,6 +366,103 @@ class AssignmentService:
                 w, assigned, wall_time, times.get(w, -1.0)
             )
         return events
+
+    # -- snapshot / restore ----------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """A JSON-serializable snapshot of the full mutable service state.
+
+        Captures everything a restarted service needs to resume *exactly*
+        where this one stopped: the remaining pool, registered workers,
+        per-worker displays and completion bookkeeping, the motivation
+        estimator, and the RNG stream position (so post-restore random draws
+        match what the uninterrupted process would have drawn).  Display
+        matrices are not stored — they are recomputed bit-identically from
+        the keyword vectors on restore.
+        """
+        return {
+            "strategy": self._strategy,
+            "remaining_task_ids": self._pool_state.task_ids(),
+            "workers": {
+                worker_id: {
+                    "interest": np.flatnonzero(worker.vector).tolist(),
+                    "alpha": worker.weights.alpha,
+                    "beta": worker.weights.beta,
+                }
+                for worker_id, worker in self._workers.items()
+            },
+            "iterations": dict(self._iterations),
+            "displays": {
+                worker_id: {
+                    "task_ids": list(display.task_ids),
+                    "completed": [int(i) for i in display.completed],
+                    "iteration": display.iteration,
+                    "completed_since_assignment": (
+                        display.completed_since_assignment
+                    ),
+                }
+                for worker_id, display in self._displays.items()
+            },
+            "estimator": self._estimator.state_dict(),
+            "rng_state": self._rng.bit_generator.state,
+        }
+
+    def restore_state(self, state: dict, tasks: Mapping[str, Task]) -> None:
+        """Replace all mutable state with a :meth:`snapshot_state` snapshot.
+
+        Args:
+            state: A snapshot produced by a service with the same strategy.
+            tasks: Lookup over the *full* original corpus — displayed tasks
+                left the pool but their display bookkeeping still needs
+                their keyword vectors.
+
+        Pool listeners (the diversity cache) are deliberately not notified;
+        the caller must sync them against the restored pool itself.
+        """
+        if state.get("strategy") != self._strategy:
+            raise SimulationError(
+                f"snapshot was taken with strategy {state.get('strategy')!r}, "
+                f"this service runs {self._strategy!r}"
+            )
+        n_keywords = len(self._vocabulary)
+        workers: dict[str, Worker] = {}
+        for worker_id, spec in state["workers"].items():
+            vector = np.zeros(n_keywords, dtype=bool)
+            if spec["interest"]:
+                vector[np.asarray(spec["interest"], dtype=int)] = True
+            workers[worker_id] = Worker(
+                worker_id,
+                vector,
+                MotivationWeights(float(spec["alpha"]), float(spec["beta"])),
+            )
+        self._workers = workers
+        self._iterations = {
+            w: int(i) for w, i in state["iterations"].items()
+        }
+        self._pool_state.reset(
+            [tasks[tid] for tid in state["remaining_task_ids"]]
+        )
+        displays: dict[str, _Display] = {}
+        for worker_id, spec in state["displays"].items():
+            shown = [tasks[tid] for tid in spec["task_ids"]]
+            vectors = np.vstack([t.vector for t in shown])
+            diversity, relevance = self._display_matrices(
+                vectors, workers[worker_id].vector
+            )
+            displays[worker_id] = _Display(
+                task_ids=list(spec["task_ids"]),
+                vectors=vectors,
+                diversity=diversity,
+                relevance=relevance,
+                completed=[int(i) for i in spec["completed"]],
+                iteration=int(spec["iteration"]),
+                completed_since_assignment=int(
+                    spec["completed_since_assignment"]
+                ),
+            )
+        self._displays = displays
+        self._estimator.load_state_dict(state["estimator"])
+        self._rng.bit_generator.state = state["rng_state"]
 
     # -- internals -------------------------------------------------------------
 
@@ -360,7 +488,11 @@ class AssignmentService:
             cached = self._diversity_provider([t.task_id for t in candidates])
             if cached is not None:
                 instance.prime(diversity=cached)
-        result = self._solver.solve(instance, self._rng)
+        solver = (
+            self._solver_provider() if self._solver_provider is not None
+            else self._solver
+        )
+        result = solver.solve(instance, self._rng)
         assignment: Assignment = result.assignment
         out: dict[str, list[Task]] = {}
         for w in worker_ids:
@@ -368,6 +500,20 @@ class AssignmentService:
             out[w] = [tasks.by_id(tid) for tid in ids]
             self._pool_state.remove(ids)
         return out
+
+    @staticmethod
+    def _display_matrices(
+        vectors: np.ndarray, worker_vector: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Local diversity matrix and relevance row of one display.
+
+        One distance pass over ``[tasks; worker]``: the top-left block is the
+        pairwise task diversity, the last column the worker distances.  Both
+        install and snapshot-restore go through here, so a restored display
+        is bit-identical to the one the live process computed.
+        """
+        stacked = pairwise_jaccard(np.vstack([vectors, worker_vector[None, :]]))
+        return np.ascontiguousarray(stacked[:-1, :-1]), 1.0 - stacked[:-1, -1]
 
     def _install_display(
         self,
@@ -384,11 +530,7 @@ class AssignmentService:
             )
         vectors = np.vstack([t.vector for t in shown])
         worker_vector = self._workers[worker_id].vector
-        # One distance pass over [tasks; worker]: the top-left block is the
-        # pairwise task diversity, the last column the worker distances.
-        stacked = pairwise_jaccard(np.vstack([vectors, worker_vector[None, :]]))
-        diversity = np.ascontiguousarray(stacked[:-1, :-1])
-        relevance = 1.0 - stacked[:-1, -1]
+        diversity, relevance = self._display_matrices(vectors, worker_vector)
         iteration = self._iterations[worker_id]
         self._iterations[worker_id] = iteration + 1
         self._displays[worker_id] = _Display(

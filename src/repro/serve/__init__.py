@@ -6,30 +6,48 @@ subsystem — a dependency-free asyncio JSON-over-HTTP daemon
 (:mod:`repro.serve.app`) whose solves are micro-batched
 (:mod:`repro.serve.scheduler`), whose pairwise-diversity matrices come from
 an incremental cache (:mod:`repro.serve.cache`), and whose behaviour is
-observable via Prometheus metrics (:mod:`repro.serve.metrics`).  A
-closed-loop load generator (:mod:`repro.serve.loadgen`) drives and verifies
-a running daemon.  See docs/SERVING.md.
+observable via Prometheus metrics (:mod:`repro.serve.metrics`).  Failure
+behaviour — deadlines, graceful degradation down the paper's own solver
+ladder, deterministic fault injection, crash-safe snapshots — lives in
+:mod:`repro.serve.resilience`.  A closed-loop load generator
+(:mod:`repro.serve.loadgen`) drives and verifies a running daemon.  See
+docs/SERVING.md.
 """
 
 from .app import AssignmentDaemon, ServeConfig, run_daemon
 from .cache import IncrementalDiversityCache
 from .loadgen import LoadgenConfig, LoadgenResult, run_loadgen, run_self_contained
-from .metrics import Counter, Histogram, MetricsRegistry
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .protocol import HttpClient, HttpError
+from .resilience import (
+    DegradationController,
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+    ResilienceConfig,
+    degradation_ladder,
+)
 from .scheduler import SolveScheduler
 
 __all__ = [
     "AssignmentDaemon",
     "Counter",
+    "DegradationController",
+    "FaultInjector",
+    "FaultPlan",
+    "Gauge",
     "Histogram",
     "HttpClient",
     "HttpError",
     "IncrementalDiversityCache",
+    "InjectedFault",
     "LoadgenConfig",
     "LoadgenResult",
     "MetricsRegistry",
+    "ResilienceConfig",
     "ServeConfig",
     "SolveScheduler",
+    "degradation_ladder",
     "run_daemon",
     "run_loadgen",
     "run_self_contained",

@@ -36,6 +36,7 @@ from ..core.worker import Worker
 from ..crowd.events import TasksAssigned
 from ..crowd.service import AssignmentService, ServiceConfig
 from ..errors import SimulationError
+from ..storage import SnapshotStore
 from .cache import IncrementalDiversityCache
 from .metrics import MetricsRegistry
 from .protocol import (
@@ -45,11 +46,23 @@ from .protocol import (
     read_request,
     text_response,
 )
+from .resilience import (
+    DegradationController,
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+    ResilienceConfig,
+    degradation_ladder,
+)
+
+#: Snapshot kind under which the daemon persists its state.
+SNAPSHOT_KIND = "serve"
 
 
 @dataclass(frozen=True)
 class ServeConfig:
-    """Daemon knobs: where to listen and how eagerly to batch solves."""
+    """Daemon knobs: where to listen, how eagerly to batch solves, and how
+    to behave under failure (deadlines, degradation, chaos, snapshots)."""
 
     host: str = "127.0.0.1"
     port: int = 8080
@@ -58,6 +71,11 @@ class ServeConfig:
     max_batch_delay: float = 0.05
     max_batch_size: int = 64
     seed: int | None = None
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
+    fault_plan: FaultPlan | None = None
+    snapshot_path: str | None = None
+    snapshot_every: int = 20
+    restore: bool = False
 
 
 class AssignmentDaemon:
@@ -79,6 +97,23 @@ class AssignmentDaemon:
         self._displayed_ever: set[str] = set()
         self._server: asyncio.AbstractServer | None = None
         self._started_at = time.monotonic()
+        self.degradation = DegradationController(
+            degradation_ladder(self.config.strategy),
+            self.config.resilience,
+            self.registry,
+        )
+        self.service.set_solver_provider(self.degradation.solver)
+        self.fault: FaultInjector | None = (
+            FaultInjector(self.config.fault_plan, self.registry)
+            if self.config.fault_plan is not None
+            else None
+        )
+        self._snapshots: SnapshotStore | None = (
+            SnapshotStore(self.config.snapshot_path)
+            if self.config.snapshot_path
+            else None
+        )
+        self._solves_since_snapshot = 0
         r = self.registry
         self._requests = r.counter("serve_requests_total", "HTTP requests handled")
         self._errors = r.counter("serve_errors_total", "HTTP error responses sent")
@@ -101,6 +136,22 @@ class AssignmentDaemon:
         self._request_seconds = r.histogram(
             "serve_request_seconds", "End-to-end request latency in seconds"
         )
+        self._deadline_exceeded = r.counter(
+            "serve_deadline_exceeded_total",
+            "Requests answered from the stale display after a deadline miss",
+        )
+        self._degraded_responses = r.counter(
+            "serve_degraded_responses_total",
+            "Requests answered from the stale display after a solve failure",
+        )
+        self._snapshots_taken = r.counter(
+            "serve_snapshots_total", "State snapshots persisted"
+        )
+        self._restores = r.counter(
+            "serve_restores_total", "State restores from a snapshot"
+        )
+        if self.config.restore:
+            self.restore_latest()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -119,6 +170,7 @@ class AssignmentDaemon:
             self.registry,
             max_batch_delay=self.config.max_batch_delay,
             max_batch_size=self.config.max_batch_size,
+            solve_observer=self.degradation.observe_solve,
         )
         self.scheduler.start()
         self._server = await asyncio.start_server(
@@ -134,6 +186,7 @@ class AssignmentDaemon:
         if self.scheduler is not None:
             await self.scheduler.stop()
             self.scheduler = None
+        self.snapshot_now()
 
     async def serve_forever(self) -> None:
         """Run until cancelled (the ``repro serve`` CLI entry point)."""
@@ -153,10 +206,21 @@ class AssignmentDaemon:
 
     def _solve_batch(self, worker_ids) -> dict[str, TasksAssigned]:
         """One assignment iteration for a scheduler batch."""
-        events = self.service.reassign_workers(worker_ids, self._wall_time())
+        if self.fault is not None:
+            try:
+                self.fault.on_solve()
+            except InjectedFault:
+                self.degradation.observe_solve_failure()
+                raise
+        try:
+            events = self.service.reassign_workers(worker_ids, self._wall_time())
+        except Exception:
+            self.degradation.observe_solve_failure()
+            raise
         for event in events.values():
             self._register_display(event)
             self._reassignments.inc()
+        self._maybe_snapshot()
         return events
 
     def _register_display(self, event: TasksAssigned) -> None:
@@ -166,6 +230,52 @@ class AssignmentDaemon:
             self._violations.inc()
         self._displayed_ever.update(shown)
         self._displayed.inc(len(shown))
+
+    # -- snapshot / restore --------------------------------------------------
+
+    def snapshot_now(self) -> bool:
+        """Persist the daemon's full mutable state; no-op without a store."""
+        if self._snapshots is None:
+            return False
+        self._snapshots.save(
+            SNAPSHOT_KIND,
+            {
+                "service": self.service.snapshot_state(),
+                "displayed_ever": sorted(self._displayed_ever),
+            },
+        )
+        self._snapshots_taken.inc()
+        return True
+
+    def restore_latest(self) -> bool:
+        """Resume from the most recent snapshot, if one exists.
+
+        Restores the service (pool, workers, displays, estimator, RNG) and
+        the daemon's C2 ledger, then re-syncs the diversity cache against the
+        restored pool — tasks displayed by the previous process must be dead
+        rows here too, or the cache would serve stale candidates.
+        """
+        if self._snapshots is None:
+            return False
+        state = self._snapshots.latest(SNAPSHOT_KIND)
+        if state is None:
+            return False
+        self.service.restore_state(state["service"], self._task_index)
+        self._displayed_ever = set(state["displayed_ever"])
+        pool_state = self.service.pool_state
+        self.cache.on_removed(
+            [tid for tid in self._task_index if tid not in pool_state]
+        )
+        self._restores.inc()
+        return True
+
+    def _maybe_snapshot(self) -> None:
+        if self._snapshots is None or self.config.snapshot_every <= 0:
+            return
+        self._solves_since_snapshot += 1
+        if self._solves_since_snapshot >= self.config.snapshot_every:
+            self._solves_since_snapshot = 0
+            self.snapshot_now()
 
     # -- connection handling -------------------------------------------------
 
@@ -186,6 +296,12 @@ class AssignmentDaemon:
                     return
                 if request is None:
                     return
+                if self.fault is not None:
+                    corrupted = self.fault.corrupt_body(request.body)
+                    if corrupted is not None:
+                        request.body = corrupted
+                    if self.fault.drop_connection():
+                        return
                 response = await self._dispatch(request)
                 writer.write(response)
                 await writer.drain()
@@ -247,9 +363,10 @@ class AssignmentDaemon:
     # -- endpoints -----------------------------------------------------------
 
     def _healthz(self) -> dict:
-        return {
+        payload = {
             "status": "ok",
             "strategy": self.service.strategy,
+            "active_strategy": self.degradation.strategy,
             "uptime_seconds": round(self._wall_time(), 3),
             "workers": len(self.service.active_workers()),
             "remaining_tasks": self.service.remaining_tasks(),
@@ -260,7 +377,16 @@ class AssignmentDaemon:
                 "carves": self.cache.carves,
                 "compactions": self.cache.compactions,
             },
+            "resilience": self.degradation.describe(),
         }
+        if self.fault is not None:
+            payload["fault_injection"] = self.fault.describe()
+        if self._snapshots is not None:
+            payload["snapshots"] = {
+                "path": self.config.snapshot_path,
+                "retained": self._snapshots.count(SNAPSHOT_KIND),
+            }
+        return payload
 
     async def _post_workers(self, request: Request) -> dict:
         body = request.json()
@@ -313,22 +439,70 @@ class AssignmentDaemon:
         task_id = body.get("task_id")
         if not isinstance(worker_id, str) or not isinstance(task_id, str):
             raise HttpError(400, "worker_id and task_id must be strings")
+        # Parse the deadline before mutating any state: a malformed header
+        # must not leave a recorded completion behind its 400.
+        deadline = self._request_deadline(request)
         try:
             self.service.observe_completion(worker_id, task_id)
         except SimulationError as exc:
             raise HttpError(409, str(exc)) from None
         self._completions.inc()
         reassigned = False
+        deadline_exceeded = False
         if self.service.needs_reassignment(worker_id) and self.scheduler is not None:
-            event = await self.scheduler.submit(worker_id)
-            reassigned = event is not None
-        display = self.service.display_of(worker_id)
+            try:
+                event = await asyncio.wait_for(
+                    self.scheduler.submit(worker_id), timeout=deadline
+                )
+                reassigned = event is not None
+            except asyncio.TimeoutError:
+                # The solve is still running and will install the display
+                # when it lands; this request answers *now* with the stale
+                # one rather than blowing its budget.
+                deadline_exceeded = True
+                self._deadline_exceeded.inc()
+                self.degradation.observe_deadline_miss()
+            except Exception:
+                # The batched solve failed (injected or real).  The error is
+                # already counted by the scheduler; this worker keeps its
+                # current display and the daemon stays within its contract.
+                self._degraded_responses.inc()
+        try:
+            display = self.service.display_of(worker_id)
+        except SimulationError:
+            # The worker unregistered while this request waited on the solve.
+            return {
+                "worker_id": worker_id,
+                "completed": task_id,
+                "reassigned": False,
+                "deadline_exceeded": deadline_exceeded,
+                "display": None,
+            }
         return {
             "worker_id": worker_id,
             "completed": task_id,
             "reassigned": reassigned,
+            "deadline_exceeded": deadline_exceeded,
             "display": self._current_display_payload(worker_id, display),
         }
+
+    def _request_deadline(self, request: Request) -> float:
+        """Effective deadline: the server budget, tightened by the client.
+
+        Clients propagate their remaining budget via ``x-deadline-ms``; the
+        header can only shorten the server-side deadline, never extend it.
+        """
+        deadline = self.config.resilience.request_deadline
+        header = request.headers.get("x-deadline-ms")
+        if header is None:
+            return deadline
+        try:
+            client_ms = float(header)
+        except ValueError:
+            raise HttpError(400, f"bad x-deadline-ms: {header!r}") from None
+        if client_ms <= 0:
+            raise HttpError(400, f"x-deadline-ms must be > 0, got {header!r}")
+        return min(deadline, client_ms / 1000.0)
 
     def _get_display(self, worker_id: str) -> dict:
         try:

@@ -53,6 +53,11 @@ class LoadgenConfig:
     think_time: float = 0.0  # mean seconds between completions (0 = slam)
     spawn_delay: float = 0.0  # mean stagger between worker arrivals
     seed: int = 0
+    max_retries: int = 3  # per logical request, on transport errors and 5xx
+    backoff_base: float = 0.05  # first retry delay; doubles per attempt
+    backoff_cap: float = 1.0  # ceiling on any single backoff sleep
+    request_deadline: float = 0.0  # seconds per logical request (0 = none);
+    # the remaining budget is propagated to the daemon via x-deadline-ms
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -61,6 +66,14 @@ class LoadgenConfig:
             raise ValueError(
                 f"completions_per_worker must be >= 1, "
                 f"got {self.completions_per_worker}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if self.request_deadline < 0:
+            raise ValueError(
+                f"request_deadline must be >= 0, got {self.request_deadline}"
             )
 
 
@@ -75,6 +88,8 @@ class LoadgenResult:
     reassignments: int = 0
     http_errors: int = 0
     transport_errors: int = 0
+    retries: int = 0
+    deadline_exceeded_responses: int = 0
     duplicate_display_violations: int = 0
     duration_seconds: float = 0.0
     requests: int = 0
@@ -105,6 +120,8 @@ class LoadgenResult:
             "reassignments": self.reassignments,
             "http_errors": self.http_errors,
             "transport_errors": self.transport_errors,
+            "retries": self.retries,
+            "deadline_exceeded_responses": self.deadline_exceeded_responses,
             "duplicate_display_violations": self.duplicate_display_violations,
             "duration_seconds": round(self.duration_seconds, 4),
             "requests": self.requests,
@@ -165,18 +182,73 @@ class _SimulatedWorker:
         self.pending: list[str] = []
 
     async def _request(self, method: str, path: str, payload=None):
-        started = time.perf_counter()
-        try:
-            status, body = await self.client.request(method, path, payload)
-        except (OSError, asyncio.IncompleteReadError, EOFError):
-            self.shared.result.transport_errors += 1
-            raise
-        finally:
+        """One logical request: retries with exponential backoff and
+        propagates the remaining deadline budget to the daemon.
+
+        Transport errors (dropped connections) and 5xx responses are retried
+        up to ``max_retries`` times; only a *final* failure counts against
+        the run, so a daemon under chaos that recovers within the retry
+        budget still yields a clean result.
+        """
+        config = self.config
+        deadline = (
+            time.perf_counter() + config.request_deadline
+            if config.request_deadline > 0
+            else None
+        )
+        attempt = 0
+        while True:
+            headers = None
+            if deadline is not None:
+                remaining_ms = (deadline - time.perf_counter()) * 1000.0
+                headers = {"x-deadline-ms": f"{max(remaining_ms, 1.0):.0f}"}
+            started = time.perf_counter()
+            try:
+                status, body = await self.client.request(
+                    method, path, payload, headers=headers
+                )
+            except (OSError, asyncio.IncompleteReadError, EOFError):
+                self.shared.latency.observe(time.perf_counter() - started)
+                self.shared.result.requests += 1
+                if attempt >= config.max_retries or self._out_of_budget(deadline):
+                    self.shared.result.transport_errors += 1
+                    raise
+                attempt += 1
+                self.shared.result.retries += 1
+                await self._backoff(attempt, deadline)
+                continue
             self.shared.latency.observe(time.perf_counter() - started)
             self.shared.result.requests += 1
-        if status >= 400:
-            self.shared.result.http_errors += 1
-        return status, body
+            if (
+                status >= 500
+                and attempt < config.max_retries
+                and not self._out_of_budget(deadline)
+            ):
+                attempt += 1
+                self.shared.result.retries += 1
+                await self._backoff(attempt, deadline)
+                continue
+            if status >= 400:
+                self.shared.result.http_errors += 1
+            if isinstance(body, dict) and body.get("deadline_exceeded"):
+                self.shared.result.deadline_exceeded_responses += 1
+            return status, body
+
+    @staticmethod
+    def _out_of_budget(deadline: float | None) -> bool:
+        return deadline is not None and time.perf_counter() >= deadline
+
+    async def _backoff(self, attempt: int, deadline: float | None) -> None:
+        """Jittered exponential backoff, clipped to the remaining budget."""
+        delay = min(
+            self.config.backoff_cap,
+            self.config.backoff_base * (2 ** (attempt - 1)),
+        )
+        delay *= 0.5 + self._rng.random()  # full jitter in [0.5x, 1.5x)
+        if deadline is not None:
+            delay = min(delay, max(0.0, deadline - time.perf_counter()))
+        if delay > 0:
+            await asyncio.sleep(delay)
 
     def _absorb_display(self, display: dict, count_display: bool) -> None:
         for task in display.get("tasks", []):
@@ -331,6 +403,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--spawn-delay", type=float, default=0.0)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
+        "--retries", type=int, default=3,
+        help="max retries per logical request (transport errors and 5xx)",
+    )
+    parser.add_argument(
+        "--deadline-ms", type=float, default=0.0,
+        help="per-request deadline in ms, propagated via x-deadline-ms "
+             "(0 disables)",
+    )
+    parser.add_argument(
         "--spawn-server",
         action="store_true",
         help="start an in-process daemon on an ephemeral port and drive it",
@@ -350,6 +431,8 @@ def main(argv: list[str] | None = None) -> int:
         think_time=args.think_time,
         spawn_delay=args.spawn_delay,
         seed=args.seed,
+        max_retries=args.retries,
+        request_deadline=args.deadline_ms / 1000.0,
     )
     if args.spawn_server:
         result, snapshot = asyncio.run(

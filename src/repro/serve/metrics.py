@@ -66,6 +66,40 @@ class Counter:
         return "\n".join(lines)
 
 
+class Gauge:
+    """A value that can go up and down (e.g. the active degradation tier)."""
+
+    def __init__(self, name: str, help_text: str = ""):
+        self.name = _validate_name(name)
+        self.help_text = help_text
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def render(self) -> str:
+        lines = []
+        if self.help_text:
+            lines.append(f"# HELP {self.name} {self.help_text}")
+        lines.append(f"# TYPE {self.name} gauge")
+        lines.append(f"{self.name} {_format_value(self._value)}")
+        return "\n".join(lines)
+
+
 class Histogram:
     """A cumulative-bucket histogram with a quantile reservoir.
 
@@ -161,12 +195,16 @@ class MetricsRegistry:
     """Named counters and histograms with one-call Prometheus rendering."""
 
     def __init__(self):
-        self._metrics: dict[str, Counter | Histogram] = {}
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
         self._lock = threading.Lock()
 
     def counter(self, name: str, help_text: str = "") -> Counter:
         """Get or create the counter ``name``."""
         return self._get_or_create(Counter, name, help_text)
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        """Get or create the gauge ``name``."""
+        return self._get_or_create(Gauge, name, help_text)
 
     def histogram(
         self,
@@ -196,7 +234,7 @@ class MetricsRegistry:
             self._metrics[name] = metric
             return metric
 
-    def get(self, name: str) -> Counter | Histogram:
+    def get(self, name: str) -> "Counter | Gauge | Histogram":
         return self._metrics[name]
 
     def names(self) -> Iterable[str]:
@@ -212,7 +250,7 @@ class MetricsRegistry:
         out: dict[str, object] = {}
         for name in self.names():
             metric = self._metrics[name]
-            if isinstance(metric, Counter):
+            if isinstance(metric, (Counter, Gauge)):
                 out[name] = metric.value
             else:
                 out[name] = metric.summary()

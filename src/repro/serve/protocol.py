@@ -159,21 +159,27 @@ class HttpClient:
         method: str,
         path: str,
         payload: object | None = None,
+        headers: "dict[str, str] | None" = None,
     ) -> tuple[int, object]:
         """Send one request; returns ``(status, decoded_body)``.
 
         JSON responses are decoded; anything else comes back as ``str``.
-        Retries once on a dropped keep-alive connection.
+        Retries once on a dropped keep-alive connection.  Extra ``headers``
+        (e.g. ``x-deadline-ms``) are appended to the standard set.
         """
         body = b""
         if payload is not None:
             body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        extra = "".join(
+            f"{name}: {value}\r\n" for name, value in (headers or {}).items()
+        )
         head = (
             f"{method} {path} HTTP/1.1\r\n"
             f"Host: {self._host}:{self._port}\r\n"
             f"Content-Length: {len(body)}\r\n"
             "Content-Type: application/json\r\n"
             "Connection: keep-alive\r\n"
+            f"{extra}"
             "\r\n"
         )
         raw = head.encode("latin-1") + body

@@ -42,6 +42,9 @@ class SolveScheduler:
             for stragglers to join the batch (the latency/batching knob).
         max_batch_size: Hard cap on workers per solve; overflow stays queued
             for the next tick.
+        solve_observer: Optional callback receiving each solve's wall time
+            in seconds (successes only) — the degradation controller's
+            overload signal.
     """
 
     def __init__(
@@ -50,6 +53,7 @@ class SolveScheduler:
         registry: MetricsRegistry,
         max_batch_delay: float = 0.05,
         max_batch_size: int = 64,
+        solve_observer: "Callable[[float], None] | None" = None,
     ):
         if max_batch_delay < 0:
             raise ValueError(f"max_batch_delay must be >= 0, got {max_batch_delay}")
@@ -58,6 +62,7 @@ class SolveScheduler:
         self._solve_batch = solve_batch
         self._max_batch_delay = max_batch_delay
         self._max_batch_size = max_batch_size
+        self._solve_observer = solve_observer
         self._due: dict[str, None] = {}  # insertion-ordered set
         self._waiters: dict[str, list[asyncio.Future]] = {}
         self._wakeup: asyncio.Event = asyncio.Event()
@@ -161,8 +166,11 @@ class SolveScheduler:
                 self._resolve(worker_id, error=exc)
             return
         self._solves.inc()
-        self._solve_seconds.observe(time.perf_counter() - started)
+        elapsed = time.perf_counter() - started
+        self._solve_seconds.observe(elapsed)
         self._batch_size.observe(len(batch))
+        if self._solve_observer is not None:
+            self._solve_observer(elapsed)
         for worker_id in batch:
             self._resolve(worker_id, event=events.get(worker_id))
 

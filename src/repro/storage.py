@@ -227,3 +227,90 @@ class ResultsStore:
         ).fetchone()
         if row is None:
             raise StorageError(f"no run with id {run_id}")
+
+
+_SNAPSHOT_SCHEMA = """
+CREATE TABLE IF NOT EXISTS snapshots (
+    snapshot_id INTEGER PRIMARY KEY AUTOINCREMENT,
+    kind        TEXT NOT NULL,
+    taken_at    REAL NOT NULL,
+    state_json  TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_snapshots_kind ON snapshots(kind, snapshot_id);
+"""
+
+
+class SnapshotStore:
+    """Crash-safe state snapshots for long-running processes.
+
+    The serving daemon periodically writes its full mutable state here (one
+    JSON blob per snapshot, one transactional ``INSERT`` each), and a
+    restarted daemon restores from the latest one — resuming the pool,
+    displays and estimator exactly where the killed process left them, so a
+    crash can never re-display a task (C2) or over-fill a worker (C1).
+
+    Old snapshots are pruned on write (``keep`` most recent per kind), so the
+    file stays bounded over an arbitrarily long daemon lifetime.
+    """
+
+    def __init__(self, path: "str | Path" = ":memory:", keep: int = 5):
+        if keep < 1:
+            raise StorageError(f"must keep at least 1 snapshot, got {keep}")
+        self._path = str(path)
+        self._keep = keep
+        self._connection = sqlite3.connect(self._path)
+        self._connection.executescript(_SNAPSHOT_SCHEMA)
+        self._connection.commit()
+
+    def close(self) -> None:
+        self._connection.close()
+
+    def __enter__(self) -> "SnapshotStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def save(
+        self,
+        kind: str,
+        state: Mapping[str, Any],
+        taken_at: float | None = None,
+    ) -> int:
+        """Persist one snapshot and prune old ones; returns the snapshot id."""
+        if not kind:
+            raise StorageError("snapshot kind must be a non-empty string")
+        try:
+            payload = json.dumps(dict(state), sort_keys=True)
+        except TypeError as exc:
+            raise StorageError(f"state is not JSON-serializable: {exc}") from exc
+        timestamp = time.time() if taken_at is None else taken_at
+        with self._connection as conn:
+            cursor = conn.execute(
+                "INSERT INTO snapshots (kind, taken_at, state_json) "
+                "VALUES (?, ?, ?)",
+                (kind, timestamp, payload),
+            )
+            conn.execute(
+                "DELETE FROM snapshots WHERE kind = ? AND snapshot_id NOT IN ("
+                "  SELECT snapshot_id FROM snapshots WHERE kind = ?"
+                "  ORDER BY snapshot_id DESC LIMIT ?)",
+                (kind, kind, self._keep),
+            )
+        return int(cursor.lastrowid)
+
+    def latest(self, kind: str) -> dict[str, Any] | None:
+        """The most recent snapshot of ``kind``, or ``None`` if none exists."""
+        row = self._connection.execute(
+            "SELECT state_json FROM snapshots WHERE kind = ? "
+            "ORDER BY snapshot_id DESC LIMIT 1",
+            (kind,),
+        ).fetchone()
+        return None if row is None else json.loads(row[0])
+
+    def count(self, kind: str) -> int:
+        """Snapshots currently retained for ``kind``."""
+        row = self._connection.execute(
+            "SELECT COUNT(*) FROM snapshots WHERE kind = ?", (kind,)
+        ).fetchone()
+        return int(row[0])

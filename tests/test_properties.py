@@ -14,7 +14,7 @@ from repro.core import Assignment, MotivationWeights
 from repro.core.adaptive import GainObservation, MotivationEstimator, observe_gains
 from repro.core.distance import jaccard_distance, pairwise_jaccard
 from repro.core.qap import build_encoding
-from repro.core.solvers import HTAAppSolver, HTAGreSolver
+from repro.core.solvers import HTAAppSolver, HTAGreSolver, RelevanceGreedySolver
 from repro.matching import (
     brute_force_lsap,
     exact_matching_weight,
@@ -164,6 +164,96 @@ class TestSolverProperties:
         assert encoding.objective(perm) == pytest.approx(
             assignment.objective(instance)
         )
+
+
+def embed_assignment(instance, encoding, assignment):
+    """Embed a solver assignment as a QAP permutation (task ``k`` -> vertex).
+
+    Worker ``q`` owns vertices ``q * x_max .. q * x_max + x_max - 1``; its
+    assigned tasks land on those slots and every leftover task (or padding
+    dummy) takes one of the unused vertices, yielding a full permutation
+    that :meth:`QAPEncoding.objective` accepts.
+    """
+    pi = np.full(encoding.n_vertices, -1, dtype=np.intp)
+    used = np.zeros(encoding.n_vertices, dtype=bool)
+    for q, worker in enumerate(instance.workers):
+        base = q * encoding.x_max
+        for slot, task_id in enumerate(assignment.tasks_of(worker.worker_id)):
+            vertex = base + slot
+            pi[instance.tasks.position(task_id)] = vertex
+            used[vertex] = True
+    free = iter(np.flatnonzero(~used))
+    for k in range(encoding.n_vertices):
+        if pi[k] < 0:
+            pi[k] = int(next(free))
+    return pi
+
+
+class TestServingLadderProperties:
+    """Invariants of every solver on the serve degradation ladder.
+
+    ``repro.serve`` sheds load down hta-app -> hta-gre -> greedy-relevance;
+    whatever rung is active, the displays it produces must still satisfy
+    C1 (at most ``x_max`` per worker), C2 (tasks globally disjoint), and
+    evaluate consistently under the Eq. 8 MAXQAP encoding.
+    """
+
+    SOLVERS = (HTAAppSolver, HTAGreSolver, RelevanceGreedySolver)
+
+    @given(
+        st.integers(4, 14),  # tasks
+        st.integers(1, 3),  # workers
+        st.integers(1, 3),  # x_max
+        st.integers(0, 10_000),  # seed
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_ladder_respects_c1_c2_and_capacity(
+        self, n_tasks, n_workers, x_max, seed
+    ):
+        instance = make_random_instance(n_tasks, n_workers, x_max, seed=seed)
+        for solver_cls in self.SOLVERS:
+            result = solver_cls().solve(instance, rng=seed)
+            assignment = result.assignment
+            assignment.validate(instance)  # raises on any C1/C2 breach
+            seen: dict[str, str] = {}
+            for worker in instance.workers:
+                task_ids = assignment.tasks_of(worker.worker_id)
+                assert len(task_ids) <= instance.x_max  # C1: |T'| <= Xmax
+                assert len(set(task_ids)) == len(task_ids)
+                for task_id in task_ids:
+                    assert task_id not in seen  # C2: globally disjoint
+                    seen[task_id] = worker.worker_id
+            # No rung may leave assignable work on the table.
+            assert assignment.size() == min(n_tasks, n_workers * x_max)
+
+    @given(
+        st.integers(1, 3),  # workers
+        st.integers(2, 3),  # x_max
+        st.integers(0, 10_000),  # seed
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_ladder_objectives_match_qap_encoding(self, n_workers, x_max, seed):
+        # Saturated instance: every worker receives exactly x_max tasks, the
+        # regime where Eq. 3 and the (x_max - 1)-scaled QAP objective
+        # coincide (Eq. 8).
+        n_tasks = n_workers * x_max + 2
+        instance = make_random_instance(n_tasks, n_workers, x_max, seed=seed)
+        encoding = build_encoding(instance)
+        for solver_cls in self.SOLVERS:
+            result = solver_cls().solve(instance, rng=seed)
+            perm = embed_assignment(instance, encoding, result.assignment)
+            qap_value = encoding.objective(perm)
+            # motiv() (Eq. 3) == clique-structured Eq. 8 == dense Eq. 8.
+            assert qap_value == pytest.approx(
+                result.assignment.objective(instance)
+            )
+            assert qap_value == pytest.approx(encoding.objective_dense(perm))
+            assert result.objective == pytest.approx(qap_value)
+            # The embedding round-trips: decoding the permutation recovers
+            # exactly the solver's per-worker task sets.
+            decoded = encoding.tasks_by_worker(perm)
+            expected = result.assignment.indices(instance)
+            assert [sorted(g) for g in decoded] == [sorted(g) for g in expected]
 
 
 class TestEstimatorProperties:
