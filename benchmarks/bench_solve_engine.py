@@ -1,0 +1,225 @@
+"""Off-loop solve engine vs the in-loop baseline (ISSUE 3 acceptance).
+
+Runs the same closed-loop workload twice against an in-process daemon:
+once with ``solver_workers=0`` (every solve runs synchronously on the event
+loop, the pre-engine behaviour) and once with ``solver_workers=4`` (solves
+ship to a warm process pool via :class:`repro.serve.SolveEngine`).
+
+What the engine buys is measured along the two axes the serving layer
+actually lives or dies on (see docs/PERFORMANCE.md):
+
+* **Solve throughput** — the daemon's solve capacity is bounded by event-loop
+  occupancy per solve: the loop is the serving bottleneck resource, and the
+  in-loop path burns the *entire* solve on it.  The engine only spends
+  prepare + request serialization + commit on the loop
+  (``serve_engine_loop_seconds``); the solver compute itself overlaps with
+  request handling.  ``solve_throughput_speedup`` is the ratio of solves
+  sustainable per second of event-loop time, engine over in-loop.
+* **p95 while solving** — the latency of a plain ``/complete`` request (one
+  that needs no solve).  Under the in-loop path these requests stall for the
+  full duration of whatever solve currently occupies the loop, so their p95
+  *is* the solve p95 every other request pays; the engine takes that stall
+  away.  ``solve_p95_ratio`` is engine over in-loop (lower is better).
+
+The record also reports the raw solver-side p95 per batch
+(``solver_p95_seconds``): on a multi-core host the engine's is at parity or
+better (warm pools, identical batches), while on a single-core runner it
+carries a contention tax because the worker process timeshares with the
+live event loop — see docs/PERFORMANCE.md for the full discussion.
+
+The headline metrics are ratios, so the committed baseline is
+machine-portable.  Standalone:
+``python benchmarks/bench_solve_engine.py`` writes
+``benchmarks/BENCH_solve_engine.json``; ``--check BASELINE.json`` re-runs
+and fails on a >25% regression of any checked ratio.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import pathlib
+import sys
+
+from repro.crowd.service import ServiceConfig
+from repro.serve.app import ServeConfig
+from repro.serve.loadgen import LoadgenConfig, run_self_contained
+
+BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_solve_engine.json"
+
+CORPUS_TASKS = 3000
+N_WORKERS = 30
+COMPLETIONS = 21
+SOLVER_WORKERS = 4
+
+#: Ratio metrics CI compares against the committed baseline, as
+#: ``name -> (direction, tolerance)``.  Direction +1 means higher is
+#: better, -1 lower is better.  ``solve_p95_ratio`` gets 2x slack: its
+#: numerator is a single-digit-millisecond p95, so run-to-run variance is
+#: wide — but a genuine regression (the engine no longer removing the
+#: stall) lands at 1.0+, far beyond any tolerance, and the pytest entry
+#: point gates ``< 1.0`` absolutely.
+CHECKED_RATIOS = {
+    "solve_throughput_speedup": (+1, 0.25),
+    "solve_p95_ratio": (-1, 1.0),
+}
+REGRESSION_TOLERANCE = 0.25
+
+
+def _run_mode(solver_workers: int) -> dict:
+    serve_config = ServeConfig(
+        port=0,
+        solver_workers=solver_workers,
+        max_batch_delay=0.02,
+        seed=7,
+        service=ServiceConfig(
+            x_max=6, n_random_pad=2, reassign_after=3, min_pending=1,
+            candidate_cap=400,
+        ),
+    )
+    result, metrics = asyncio.run(
+        run_self_contained(
+            LoadgenConfig(
+                n_workers=N_WORKERS,
+                completions_per_worker=COMPLETIONS,
+                seed=7,
+                think_time=0.12,
+                spawn_delay=0.03,
+            ),
+            n_tasks=CORPUS_TASKS,
+            serve_config=serve_config,
+        )
+    )
+    solve = metrics["serve_solve_seconds"]
+    solves = max(metrics["serve_solves_total"], 1.0)
+    if solver_workers > 0:
+        # Loop occupancy per solve: prepare + pickle + commit only — the
+        # solver compute runs in a worker process off the loop.
+        loop_busy = metrics["serve_engine_loop_seconds"]["sum"]
+        solver_p95 = metrics["serve_engine_solve_seconds"]["p95"]
+    else:
+        # The whole solve executes on the loop.
+        loop_busy = solve["sum"]
+        solver_p95 = solve["p95"]
+    return {
+        "solver_workers": solver_workers,
+        "duration_seconds": round(result.duration_seconds, 3),
+        "requests_per_second": round(result.requests_per_second, 2),
+        "request_p95_seconds": round(result.latency["p95"], 5),
+        "solve_batches": metrics["serve_solves_total"],
+        "mean_batch_size": round(metrics["serve_solve_batch_size"]["mean"], 2),
+        "reassignments": metrics["serve_reassignments_total"],
+        "loop_seconds_per_solve": round(loop_busy / solves, 5),
+        "solves_per_loop_second": round(solves / max(loop_busy, 1e-9), 2),
+        "solver_p95_seconds": round(solver_p95, 5),
+        "assign_p50_seconds": round(result.assign_latency["p50"], 5),
+        "assign_p95_seconds": round(result.assign_latency["p95"], 5),
+        "plain_p50_seconds": round(result.plain_latency["p50"], 5),
+        "plain_p95_seconds": round(result.plain_latency["p95"], 5),
+        "clean": result.clean,
+    }
+
+
+def measure() -> dict:
+    in_loop = _run_mode(0)
+    engine = _run_mode(SOLVER_WORKERS)
+    return {
+        "benchmark": "solve_engine",
+        "corpus_tasks": CORPUS_TASKS,
+        "loadgen_workers": N_WORKERS,
+        "completions_per_worker": COMPLETIONS,
+        "in_loop": in_loop,
+        "engine": engine,
+        "solve_throughput_speedup": round(
+            engine["solves_per_loop_second"]
+            / max(in_loop["solves_per_loop_second"], 1e-9),
+            2,
+        ),
+        "solve_p95_ratio": round(
+            engine["plain_p95_seconds"]
+            / max(in_loop["plain_p95_seconds"], 1e-9),
+            3,
+        ),
+        "solver_p95_ratio": round(
+            engine["solver_p95_seconds"]
+            / max(in_loop["solver_p95_seconds"], 1e-9),
+            3,
+        ),
+        "request_throughput_ratio": round(
+            engine["requests_per_second"]
+            / max(in_loop["requests_per_second"], 1e-9),
+            2,
+        ),
+        "end_to_end_speedup": round(
+            in_loop["duration_seconds"] / max(engine["duration_seconds"], 1e-9),
+            2,
+        ),
+    }
+
+
+def check_against_baseline(record: dict, baseline: dict) -> list[str]:
+    """Ratio-only comparison: portable across machines, fails on >25% drift
+    in the bad direction."""
+    failures = []
+    for name, (direction, tolerance) in CHECKED_RATIOS.items():
+        current = record[name]
+        reference = baseline[name]
+        if direction > 0:
+            floor = reference * (1.0 - tolerance)
+            if current < floor:
+                failures.append(
+                    f"{name}: {current} fell below {floor:.3f} "
+                    f"(baseline {reference}, tolerance {tolerance:.0%})"
+                )
+        else:
+            ceiling = reference * (1.0 + tolerance)
+            if current > ceiling:
+                failures.append(
+                    f"{name}: {current} rose above {ceiling:.3f} "
+                    f"(baseline {reference}, tolerance {tolerance:.0%})"
+                )
+    return failures
+
+
+def test_engine_beats_in_loop(report):
+    record = measure()
+    report("solve engine vs in-loop:\n" + json.dumps(record, indent=2))
+    assert record["in_loop"]["clean"] and record["engine"]["clean"]
+    assert record["solve_throughput_speedup"] >= 2.0
+    assert record["solve_p95_ratio"] < 1.0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        metavar="BASELINE.json",
+        help="compare ratio metrics against a committed baseline instead of "
+        "writing a new one; exits 1 on a >25%% regression",
+    )
+    args = parser.parse_args(argv)
+
+    record = measure()
+    print(json.dumps(record, indent=2))
+    if args.check:
+        baseline = json.loads(pathlib.Path(args.check).read_text())
+        failures = check_against_baseline(record, baseline)
+        for line in failures:
+            print(f"REGRESSION {line}", file=sys.stderr)
+        print("perf check:", "FAIL" if failures else "OK")
+        return 1 if failures else 0
+
+    BASELINE_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {BASELINE_PATH}")
+    ok = (
+        record["in_loop"]["clean"]
+        and record["engine"]["clean"]
+        and record["solve_throughput_speedup"] >= 2.0
+        and record["solve_p95_ratio"] < 1.0
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -127,6 +127,9 @@ def _build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--batch-delay-ms", type=float, default=50.0,
                          help="solve micro-batch coalescing window")
     p_serve.add_argument("--max-batch-size", type=int, default=64)
+    p_serve.add_argument("--solver-workers", type=int, default=0,
+                         help="solver processes for off-loop solves; 0 keeps "
+                              "solves on the event loop (the default)")
     p_serve.add_argument("--seed", type=int, default=0)
     p_serve.add_argument("--request-deadline", type=float, default=2.0,
                          help="seconds a /complete may wait on a solve before "
@@ -287,6 +290,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ),
         max_batch_delay=args.batch_delay_ms / 1000.0,
         max_batch_size=args.max_batch_size,
+        solver_workers=args.solver_workers,
         seed=args.seed,
         resilience=ResilienceConfig(
             request_deadline=args.request_deadline,

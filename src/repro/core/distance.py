@@ -20,6 +20,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import NotAMetricError
+from ..perf import bitpack
+from ..perf.config import resolve_kernel
 
 DistanceFn = Callable[[np.ndarray, np.ndarray], float]
 
@@ -172,25 +174,47 @@ def check_metric_on_sample(
                     )
 
 
-def pairwise_jaccard(matrix: np.ndarray, other: np.ndarray | None = None) -> np.ndarray:
+def pairwise_jaccard(
+    matrix: np.ndarray,
+    other: np.ndarray | None = None,
+    kernel: str | None = None,
+) -> np.ndarray:
     """Dense Jaccard-distance matrix between rows of boolean matrices.
 
     With one argument returns the symmetric ``(n, n)`` matrix of distances
     between rows of ``matrix``; with two arguments the ``(n, m)`` cross
-    matrix.  Computed blockwise with integer dot products:
-    ``|u & v| = u . v`` and ``|u | v| = |u| + |v| - u . v``.
+    matrix.
+
+    Both kernels compute exact integer intersection counts blockwise —
+    ``"packed"`` (default) as popcounts over bit-packed ``uint64`` words,
+    ``"dense"`` as int64 dot products ``|u & v| = u . v`` — and share the
+    float post-processing below, so their outputs are bit-identical.
+    ``kernel=None`` defers to :func:`repro.perf.config.get_kernel`.
     """
+    chosen = resolve_kernel("jaccard", kernel)
     left = np.asarray(matrix, dtype=bool)
     right = left if other is None else np.asarray(other, dtype=bool)
     left_counts = left.sum(axis=1).astype(np.int64)
     right_counts = right.sum(axis=1).astype(np.int64)
     n, m = left.shape[0], right.shape[0]
     out = np.empty((n, m), dtype=np.float64)
-    left_int = left.astype(np.int64)
-    right_int_t = right.astype(np.int64).T
+    if chosen == "packed":
+        left_words = bitpack.pack_rows(left)
+        right_words = left_words if other is None else bitpack.pack_rows(right)
+
+        def intersections(start: int, stop: int) -> np.ndarray:
+            return bitpack.packed_intersections(left_words[start:stop], right_words)
+
+    else:
+        left_int = left.astype(np.int64)
+        right_int_t = right.astype(np.int64).T
+
+        def intersections(start: int, stop: int) -> np.ndarray:
+            return left_int[start:stop] @ right_int_t
+
     for start in range(0, n, _BLOCK_ROWS):
         stop = min(start + _BLOCK_ROWS, n)
-        intersection = left_int[start:stop] @ right_int_t
+        intersection = intersections(start, stop)
         union = left_counts[start:stop, None] + right_counts[None, :] - intersection
         block = np.ones_like(intersection, dtype=np.float64)
         nonzero = union > 0

@@ -110,6 +110,47 @@ class TaskPoolState:
             available = [available[int(i)] for i in picks]
         return available
 
+    def lease(self, cap: int | None) -> list[Task]:
+        """Reserve a shortlist for an off-loop solve.
+
+        Drawn like :meth:`shortlist` but removed from the pool *silently*
+        (no listener notification), so solves running concurrently in worker
+        processes operate on disjoint candidate sets and cannot double-assign
+        a task.  Every leased task must come back via :meth:`restore` before
+        the solve's results are committed; listeners only ever hear about a
+        task through the normal :meth:`remove` path.
+        """
+        drawn = self.shortlist(cap)
+        for task in drawn:
+            del self._remaining[task.task_id]
+        return drawn
+
+    def restore(self, tasks: Sequence[Task]) -> None:
+        """Return leased tasks to the pool, again without notifying listeners."""
+        for task in tasks:
+            self._remaining[task.task_id] = task
+
+
+@dataclass
+class PreparedSolve:
+    """A leased, ready-to-run HTA solve, split off the commit that installs it.
+
+    Produced by :meth:`AssignmentService.prepare_solve` on the event loop.
+    ``instance``, ``worker_ids``, ``solver_name`` and ``seed`` are everything
+    a solver needs and are plain picklable data, so the serving layer's
+    :class:`~repro.serve.engine.SolveEngine` can ship them to a worker
+    process; ``candidates`` and ``task_pool`` stay behind for
+    :meth:`AssignmentService.commit_solve` /
+    :meth:`AssignmentService.abandon_solve`, which must run back on the loop.
+    """
+
+    worker_ids: list[str]
+    candidates: list[Task]
+    task_pool: TaskPool
+    instance: HTAInstance
+    solver_name: str
+    seed: int
+
 
 @dataclass(frozen=True)
 class ServiceConfig:
@@ -366,6 +407,90 @@ class AssignmentService:
                 w, assigned, wall_time, times.get(w, -1.0)
             )
         return events
+
+    # -- off-loop solve seam ---------------------------------------------------
+
+    def prepare_solve(
+        self,
+        worker_ids: Sequence[str],
+        solver_name: str | None = None,
+    ) -> PreparedSolve | None:
+        """Lease candidates and build the instance for an off-loop solve.
+
+        Returns ``None`` when there is nothing to solve (no live workers in
+        the batch, or an empty pool).  The in-loop path
+        (:meth:`reassign_workers`) is untouched by this seam — it keeps its
+        own RNG discipline; here the solver's stream is a fresh seed drawn
+        from the service RNG so the solve can run in another process.
+        """
+        live = [w for w in worker_ids if w in self._workers]
+        if not live:
+            return None
+        candidates = self._pool_state.lease(self._config.candidate_cap)
+        if not candidates:
+            return None
+        tasks = TaskPool(candidates, self._vocabulary)
+        workers = WorkerPool(
+            (
+                self._workers[w].with_weights(self.weights_of(w))
+                for w in live
+            ),
+            self._vocabulary,
+        )
+        instance = HTAInstance(tasks, workers, self._config.x_max)
+        if self._diversity_provider is not None:
+            cached = self._diversity_provider([t.task_id for t in candidates])
+            if cached is not None:
+                instance.prime(diversity=cached)
+        return PreparedSolve(
+            worker_ids=live,
+            candidates=candidates,
+            task_pool=tasks,
+            instance=instance,
+            solver_name=solver_name or self._strategy,
+            seed=int(self._rng.integers(0, 2**63)),
+        )
+
+    def commit_solve(
+        self,
+        prepared: PreparedSolve,
+        assigned: Mapping[str, Sequence[str]],
+        wall_time: float,
+        session_times: dict[str, float] | None = None,
+    ) -> dict[str, TasksAssigned]:
+        """Install the results of a prepared solve (event-loop side).
+
+        Restores every leased candidate first, then routes each assigned
+        task through the normal :meth:`TaskPoolState.remove` path so pool
+        listeners (the diversity cache) hear about exactly the tasks that
+        actually left.  Fallback and display semantics match
+        :meth:`reassign_workers`: empty-handed workers draw random tasks
+        while any remain, workers with nothing at all are omitted, and
+        workers that unregistered mid-solve release their tasks back to the
+        pool.  Runs synchronously — no awaits — so overlapping engine solves
+        commit atomically with respect to each other.
+        """
+        times = session_times or {}
+        self._pool_state.restore(prepared.candidates)
+        events: dict[str, TasksAssigned] = {}
+        for w in prepared.worker_ids:
+            if w not in self._workers:
+                continue
+            ids = [tid for tid in assigned.get(w, ()) if tid in self._pool_state]
+            tasks = [prepared.task_pool.by_id(tid) for tid in ids]
+            self._pool_state.remove(ids)
+            if not tasks and self.remaining_tasks() > 0:
+                tasks = self._draw_random(self._config.x_max)
+            if not tasks:
+                continue
+            events[w] = self._install_display(
+                w, tasks, wall_time, times.get(w, -1.0)
+            )
+        return events
+
+    def abandon_solve(self, prepared: PreparedSolve) -> None:
+        """Release a prepared solve's lease untouched (the solve failed)."""
+        self._pool_state.restore(prepared.candidates)
 
     # -- snapshot / restore ----------------------------------------------------
 

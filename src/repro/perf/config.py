@@ -1,0 +1,98 @@
+"""Kernel selection for the performance-critical numeric paths.
+
+Two hot paths have interchangeable kernels:
+
+* ``"jaccard"`` — the pairwise-Jaccard matrix in :mod:`repro.core.distance`:
+  ``"packed"`` (bit-packed uint64 popcounts, :mod:`repro.perf.bitpack`) or
+  ``"dense"`` (the original int64-matmul path, kept as the differential
+  oracle);
+* ``"lsap"`` — the Hungarian solver in :mod:`repro.matching.lsap`:
+  ``"vectorized"`` (rectangular-aware augmenting-path search with
+  vectorized inner loops, :mod:`repro.perf.lsap_kernels`) or
+  ``"reference"`` (the original pad-to-square implementation, the oracle).
+
+Both kernels of a domain produce bit-identical float results on square /
+well-posed inputs; the differential suite in ``tests/test_perf_kernels.py``
+enforces that.  Defaults favour the fast kernels and can be overridden
+process-wide via :func:`set_kernel`, per call site via the ``kernel=``
+argument the hot functions accept, or at startup via the environment
+variables ``REPRO_JACCARD_KERNEL`` / ``REPRO_LSAP_KERNEL``.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+#: domain -> allowed kernel names, fastest (default) first.
+KERNELS: dict[str, tuple[str, ...]] = {
+    "jaccard": ("packed", "dense"),
+    "lsap": ("vectorized", "reference"),
+}
+
+_ENV_VARS = {
+    "jaccard": "REPRO_JACCARD_KERNEL",
+    "lsap": "REPRO_LSAP_KERNEL",
+}
+
+_active: dict[str, str] = {}
+
+
+def _validate(domain: str, kernel: str) -> str:
+    try:
+        allowed = KERNELS[domain]
+    except KeyError:
+        known = ", ".join(sorted(KERNELS))
+        raise KeyError(f"unknown kernel domain {domain!r}; domains: {known}") from None
+    if kernel not in allowed:
+        raise ValueError(
+            f"unknown {domain} kernel {kernel!r}; available: {', '.join(allowed)}"
+        )
+    return kernel
+
+
+def get_kernel(domain: str) -> str:
+    """The active kernel for ``domain`` (env override wins over default)."""
+    try:
+        default = KERNELS[domain][0]
+    except KeyError:
+        known = ", ".join(sorted(KERNELS))
+        raise KeyError(f"unknown kernel domain {domain!r}; domains: {known}") from None
+    if domain in _active:
+        return _active[domain]
+    env_value = os.environ.get(_ENV_VARS.get(domain, ""), "")
+    if env_value:
+        return _validate(domain, env_value)
+    return default
+
+
+def set_kernel(domain: str, kernel: str) -> None:
+    """Select ``kernel`` for ``domain`` process-wide."""
+    _active[domain] = _validate(domain, kernel)
+
+
+def reset_kernels() -> None:
+    """Drop all process-wide selections (back to env/defaults)."""
+    _active.clear()
+
+
+@contextmanager
+def use_kernel(domain: str, kernel: str):
+    """Temporarily select a kernel (the differential tests' main tool)."""
+    _validate(domain, kernel)
+    previous = _active.get(domain)
+    _active[domain] = kernel
+    try:
+        yield
+    finally:
+        if previous is None:
+            _active.pop(domain, None)
+        else:
+            _active[domain] = previous
+
+
+def resolve_kernel(domain: str, kernel: str | None) -> str:
+    """An explicit per-call choice, falling back to the active kernel."""
+    if kernel is None:
+        return get_kernel(domain)
+    return _validate(domain, kernel)

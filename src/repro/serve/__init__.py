@@ -16,6 +16,7 @@ docs/SERVING.md.
 
 from .app import AssignmentDaemon, ServeConfig, run_daemon
 from .cache import IncrementalDiversityCache
+from .engine import SolveEngine
 from .loadgen import LoadgenConfig, LoadgenResult, run_loadgen, run_self_contained
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .protocol import HttpClient, HttpError
@@ -46,6 +47,7 @@ __all__ = [
     "MetricsRegistry",
     "ResilienceConfig",
     "ServeConfig",
+    "SolveEngine",
     "SolveScheduler",
     "degradation_ladder",
     "run_daemon",

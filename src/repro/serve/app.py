@@ -26,6 +26,7 @@ which correct operation keeps at zero.
 from __future__ import annotations
 
 import asyncio
+import os
 import time
 from dataclasses import dataclass, field
 
@@ -70,6 +71,7 @@ class ServeConfig:
     service: ServiceConfig = field(default_factory=ServiceConfig)
     max_batch_delay: float = 0.05
     max_batch_size: int = 64
+    solver_workers: int = 0
     seed: int | None = None
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
     fault_plan: FaultPlan | None = None
@@ -92,6 +94,7 @@ class AssignmentDaemon:
         )
         self.cache = IncrementalDiversityCache(pool).attach(self.service)
         self.scheduler = None  # created in start(), needs a running loop
+        self.engine = None  # created in start() when solver_workers > 0
         self._vocabulary = pool.vocabulary
         self._task_index: dict[str, Task] = {t.task_id: t for t in pool}
         self._displayed_ever: set[str] = set()
@@ -165,12 +168,31 @@ class AssignmentDaemon:
     async def start(self) -> None:
         from .scheduler import SolveScheduler
 
+        if self.config.solver_workers > 0:
+            from .engine import SolveEngine
+
+            self.engine = SolveEngine(
+                self.service,
+                self.registry,
+                self.config.solver_workers,
+                solver_names=self.degradation.ladder,
+            )
+        # Engine mode: batches are coroutines, several may be in flight, and
+        # the degradation controller is fed the in-worker solve time from
+        # _solve_batch_async instead of the scheduler's end-to-end timing
+        # (which would count queueing against the solve budget).  Concurrency
+        # is capped by the core count: in-flight solves beyond the physical
+        # cores just timeshare, which fragments batches and inflates latency.
+        cores = os.cpu_count() or 1
         self.scheduler = SolveScheduler(
-            self._solve_batch,
+            self._solve_batch_async if self.engine is not None else self._solve_batch,
             self.registry,
             max_batch_delay=self.config.max_batch_delay,
             max_batch_size=self.config.max_batch_size,
-            solve_observer=self.degradation.observe_solve,
+            solve_observer=(
+                None if self.engine is not None else self.degradation.observe_solve
+            ),
+            max_concurrency=max(1, min(2 * self.config.solver_workers, cores)),
         )
         self.scheduler.start()
         self._server = await asyncio.start_server(
@@ -186,6 +208,9 @@ class AssignmentDaemon:
         if self.scheduler is not None:
             await self.scheduler.stop()
             self.scheduler = None
+        if self.engine is not None:
+            await self.engine.close()
+            self.engine = None
         self.snapshot_now()
 
     async def serve_forever(self) -> None:
@@ -217,6 +242,37 @@ class AssignmentDaemon:
         except Exception:
             self.degradation.observe_solve_failure()
             raise
+        for event in events.values():
+            self._register_display(event)
+            self._reassignments.inc()
+        self._maybe_snapshot()
+        return events
+
+    async def _solve_batch_async(self, worker_ids) -> dict[str, TasksAssigned]:
+        """Engine-mode batch: hooks run here, the solve in a pool worker.
+
+        Fault injection and the degradation controller stay in this process;
+        only the HTA solve itself crosses the process boundary.  The solve
+        budget is checked against the wall time the worker measured around
+        its solver call, so the signal means the same thing it does in-loop.
+        """
+        if self.fault is not None:
+            try:
+                self.fault.on_solve()
+            except InjectedFault:
+                self.degradation.observe_solve_failure()
+                raise
+        try:
+            events, solve_seconds = await self.engine.solve_batch(
+                worker_ids,
+                self._wall_time(),
+                solver_name=self.degradation.strategy,
+            )
+        except Exception:
+            self.degradation.observe_solve_failure()
+            raise
+        if solve_seconds > 0.0:
+            self.degradation.observe_solve(solve_seconds)
         for event in events.values():
             self._register_display(event)
             self._reassignments.inc()
@@ -379,6 +435,8 @@ class AssignmentDaemon:
             },
             "resilience": self.degradation.describe(),
         }
+        if self.engine is not None:
+            payload["engine"] = self.engine.describe()
         if self.fault is not None:
             payload["fault_injection"] = self.fault.describe()
         if self._snapshots is not None:

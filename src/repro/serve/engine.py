@@ -1,0 +1,243 @@
+"""Off-loop parallel solve engine.
+
+The in-loop solve path runs synchronous numpy code on the event loop; every
+batched HTA solve therefore stalls request handling for its full duration.
+:class:`SolveEngine` moves the solve itself into a
+:class:`~concurrent.futures.ProcessPoolExecutor`:
+
+* **prepare** (event loop) — :meth:`AssignmentService.prepare_solve` leases
+  a disjoint candidate set out of the pool and builds a picklable
+  :class:`~repro.crowd.service.PreparedSolve`;
+* **solve** (worker process) — :func:`_solve_request` runs the named solver
+  on the shipped :class:`~repro.core.instance.HTAInstance` with a seeded
+  RNG and returns the per-worker task ids plus its own wall time;
+* **commit** (event loop) — :meth:`AssignmentService.commit_solve` restores
+  the lease and installs the displays through the normal removal path.
+
+Worker processes keep *warm* solver instances: the pool initializer
+resolves every solver tier of the degradation ladder once per process, so a
+tier switch under overload never pays construction cost mid-solve.  The
+solve wall time measured inside the worker travels back with the outcome —
+that is the degradation controller's solve-budget signal, unchanged in
+meaning across the process boundary (queueing time is deliberately
+excluded; the controller budgets the solver, not the pool).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import copy
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..core.solvers import get_solver
+from ..crowd.events import TasksAssigned
+from .metrics import MetricsRegistry
+
+if TYPE_CHECKING:
+    from ..core.instance import HTAInstance
+    from ..crowd.service import AssignmentService
+
+#: Per-process warm solver cache, filled by the pool initializer.
+_WARM_SOLVERS: dict[str, object] = {}
+
+
+def _warm_worker(solver_names: tuple[str, ...]) -> None:
+    """Pool initializer: resolve every ladder tier once per worker process."""
+    for name in solver_names:
+        _WARM_SOLVERS[name] = get_solver(name)
+
+
+@dataclass(frozen=True)
+class EngineRequest:
+    """The picklable slice of a prepared solve shipped to a worker process."""
+
+    worker_ids: tuple[str, ...]
+    instance: "HTAInstance"
+    solver_name: str
+    seed: int
+
+
+@dataclass(frozen=True)
+class EngineOutcome:
+    """What a worker process sends back: the assignment and its cost."""
+
+    assigned: dict[str, tuple[str, ...]]
+    objective: float
+    solve_seconds: float
+    pid: int
+
+
+def _solve_blob(blob: bytes) -> EngineOutcome:
+    """Unpickle an :class:`EngineRequest` shipped as bytes and solve it.
+
+    The engine pickles the request itself on the event loop so the
+    serialization cost is *measured* as loop occupancy instead of hiding in
+    the executor's feeder thread; shipping pre-pickled bytes through the
+    pool is then a cheap memcpy.
+    """
+    return _solve_request(pickle.loads(blob))
+
+
+def _solve_request(request: EngineRequest) -> EngineOutcome:
+    """Run one HTA solve in a pool worker (module-level: must pickle)."""
+    solver = _WARM_SOLVERS.get(request.solver_name)
+    if solver is None:  # cold fallback, e.g. a tier added after pool start
+        solver = _WARM_SOLVERS[request.solver_name] = get_solver(request.solver_name)
+    rng = np.random.default_rng(request.seed)
+    started = time.perf_counter()
+    result = solver.solve(request.instance, rng)
+    elapsed = time.perf_counter() - started
+    assigned = {
+        w: tuple(result.assignment.tasks_of(w)) for w in request.worker_ids
+    }
+    return EngineOutcome(assigned, float(result.objective), elapsed, os.getpid())
+
+
+class SolveEngine:
+    """Ships scheduler batches to a warm process pool and commits the results.
+
+    Args:
+        service: The assignment service owning pool, workers, and displays.
+        registry: Metrics sink; the engine owns the ``serve_engine_*``
+            family (worker/queue/in-flight gauges, solve counter + errors,
+            in-worker solve-seconds histogram).
+        n_workers: Solver processes to keep warm (the ``--solver-workers``
+            flag; the daemon only builds an engine when it is positive).
+        solver_names: Solver tiers to pre-construct in every worker.
+    """
+
+    def __init__(
+        self,
+        service: "AssignmentService",
+        registry: MetricsRegistry,
+        n_workers: int,
+        solver_names: tuple[str, ...] = (),
+    ):
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self._service = service
+        self.n_workers = n_workers
+        self._executor = ProcessPoolExecutor(
+            max_workers=n_workers,
+            initializer=_warm_worker,
+            initargs=(tuple(solver_names),),
+        )
+        self._slots = asyncio.Semaphore(n_workers)
+        self._closed = False
+        registry.gauge(
+            "serve_engine_workers", "Solver worker processes in the pool"
+        ).set(n_workers)
+        self._queue_depth = registry.gauge(
+            "serve_engine_queue_depth",
+            "Solve batches waiting for a free worker process",
+        )
+        self._in_flight = registry.gauge(
+            "serve_engine_in_flight",
+            "Solve batches currently executing in worker processes",
+        )
+        self._solves = registry.counter(
+            "serve_engine_solves_total", "Solve batches executed off-loop"
+        )
+        self._errors = registry.counter(
+            "serve_engine_solve_errors_total", "Off-loop solve batches that raised"
+        )
+        self._solve_seconds = registry.histogram(
+            "serve_engine_solve_seconds",
+            "Solver wall time per batch, measured inside the worker process",
+        )
+        self._loop_seconds = registry.histogram(
+            "serve_engine_loop_seconds",
+            "Event-loop occupancy per off-loop solve: prepare + request "
+            "serialization + commit (the non-overlappable cost)",
+        )
+
+    async def solve_batch(
+        self,
+        worker_ids,
+        wall_time: float,
+        solver_name: str | None = None,
+        session_times: dict[str, float] | None = None,
+    ) -> tuple[dict[str, TasksAssigned], float]:
+        """Prepare on the loop, solve in a worker process, commit on the loop.
+
+        Returns ``(events, solve_seconds)`` where ``solve_seconds`` is the
+        solver wall time measured *inside* the worker — the degradation
+        controller's budget signal — and ``0.0`` when there was nothing to
+        solve.  On a worker-side failure the lease is released untouched and
+        the exception propagates (the scheduler fails that batch's waiters).
+        """
+        if self._closed:
+            raise RuntimeError("solve engine is closed")
+        self._queue_depth.inc()
+        try:
+            await self._slots.acquire()
+        finally:
+            self._queue_depth.dec()
+        try:
+            prepare_started = time.perf_counter()
+            prepared = self._service.prepare_solve(worker_ids, solver_name)
+            if prepared is None:
+                return {}, 0.0
+            # Ship bits, not floats: drop the primed (k, k) diversity matrix
+            # from the pickled copy — the worker recomputes it from the
+            # boolean keyword matrix with the packed kernel, which is
+            # bit-identical (differential suite) and far smaller on the wire.
+            slim_instance = copy.copy(prepared.instance)
+            slim_instance.__dict__.pop("diversity", None)
+            request = EngineRequest(
+                worker_ids=tuple(prepared.worker_ids),
+                instance=slim_instance,
+                solver_name=prepared.solver_name,
+                seed=prepared.seed,
+            )
+            blob = pickle.dumps(request, protocol=pickle.HIGHEST_PROTOCOL)
+            loop_busy = time.perf_counter() - prepare_started
+            loop = asyncio.get_running_loop()
+            self._in_flight.inc()
+            try:
+                outcome = await loop.run_in_executor(
+                    self._executor, _solve_blob, blob
+                )
+            except BaseException:
+                self._errors.inc()
+                self._service.abandon_solve(prepared)
+                raise
+            finally:
+                self._in_flight.dec()
+            self._solves.inc()
+            self._solve_seconds.observe(outcome.solve_seconds)
+            commit_started = time.perf_counter()
+            events = self._service.commit_solve(
+                prepared, outcome.assigned, wall_time, session_times
+            )
+            loop_busy += time.perf_counter() - commit_started
+            self._loop_seconds.observe(loop_busy)
+            return events, outcome.solve_seconds
+        finally:
+            self._slots.release()
+
+    def describe(self) -> dict:
+        """Healthz block: pool size and current load."""
+        return {
+            "workers": self.n_workers,
+            "queue_depth": int(self._queue_depth.value),
+            "in_flight": int(self._in_flight.value),
+            "solves": int(self._solves.value),
+        }
+
+    async def close(self) -> None:
+        """Shut the worker pool down without blocking the event loop."""
+        if self._closed:
+            return
+        self._closed = True
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(
+            None, lambda: self._executor.shutdown(wait=True, cancel_futures=True)
+        )

@@ -94,6 +94,12 @@ class LoadgenResult:
     duration_seconds: float = 0.0
     requests: int = 0
     latency: dict[str, float] = field(default_factory=dict)
+    #: Latency of ``/complete`` requests whose response carried a *fresh*
+    #: assignment — the client-observed per-iteration solve latency.
+    assign_latency: dict[str, float] = field(default_factory=dict)
+    #: Latency of plain ``/complete`` requests (no reassignment): these never
+    #: need a solve, so any stall they see is the event loop being blocked.
+    plain_latency: dict[str, float] = field(default_factory=dict)
 
     @property
     def requests_per_second(self) -> float:
@@ -127,6 +133,12 @@ class LoadgenResult:
             "requests": self.requests,
             "requests_per_second": round(self.requests_per_second, 2),
             "latency_seconds": {k: round(v, 6) for k, v in self.latency.items()},
+            "assign_latency_seconds": {
+                k: round(v, 6) for k, v in self.assign_latency.items()
+            },
+            "plain_latency_seconds": {
+                k: round(v, 6) for k, v in self.plain_latency.items()
+            },
             "clean": self.clean,
         }
 
@@ -146,6 +158,8 @@ class _SharedState:
         self.seen_task_ids: set[str] = set()
         self.result = LoadgenResult()
         self.latency = Histogram("loadgen_request_seconds")
+        self.assign_latency = Histogram("loadgen_assign_seconds")
+        self.plain_latency = Histogram("loadgen_plain_complete_seconds")
 
     def record_display(self, shown: list[str]) -> None:
         self.result.displays_received += 1
@@ -301,6 +315,7 @@ class _SimulatedWorker:
                     await asyncio.sleep(
                         self._rng.exponential(self.config.think_time)
                     )
+                complete_started = time.perf_counter()
                 status, body = await self._request(
                     "POST",
                     "/complete",
@@ -311,8 +326,12 @@ class _SimulatedWorker:
                 self.shared.result.completions += 1
                 display = body["display"]
                 is_new = display["iteration"] != last_iteration
+                complete_elapsed = time.perf_counter() - complete_started
                 if body.get("reassigned"):
                     self.shared.result.reassignments += 1
+                    self.shared.assign_latency.observe(complete_elapsed)
+                else:
+                    self.shared.plain_latency.observe(complete_elapsed)
                 self._absorb_display(display, count_display=is_new)
                 last_iteration = display["iteration"]
             await self._request("DELETE", f"/workers/{self.worker_id}")
@@ -355,6 +374,18 @@ async def run_loadgen(config: LoadgenConfig | None = None) -> LoadgenResult:
         "p95": shared.latency.quantile(0.95),
         "p99": shared.latency.quantile(0.99),
     }
+    shared.result.assign_latency = {
+        "mean": shared.assign_latency.summary()["mean"],
+        "p50": shared.assign_latency.quantile(0.50),
+        "p95": shared.assign_latency.quantile(0.95),
+        "p99": shared.assign_latency.quantile(0.99),
+    }
+    shared.result.plain_latency = {
+        "mean": shared.plain_latency.summary()["mean"],
+        "p50": shared.plain_latency.quantile(0.50),
+        "p95": shared.plain_latency.quantile(0.95),
+        "p99": shared.plain_latency.quantile(0.99),
+    }
     return shared.result
 
 
@@ -362,11 +393,14 @@ async def run_self_contained(
     config: LoadgenConfig,
     n_tasks: int = 2000,
     strategy: str = "hta-gre",
+    serve_config: "ServeConfig | None" = None,
 ) -> tuple[LoadgenResult, dict]:
     """Spawn an in-process daemon, run the loadgen against it, tear down.
 
     Returns the loadgen result plus the daemon's metrics snapshot — the CI
-    smoke test and the throughput benchmark both use this.
+    smoke test and the throughput benchmark both use this.  Pass
+    ``serve_config`` to control the daemon fully (e.g. ``solver_workers``);
+    its host/port are overridden to co-locate with the load generator.
     """
     from dataclasses import replace
 
@@ -376,10 +410,13 @@ async def run_self_contained(
     corpus = generate_crowdflower_corpus(
         CrowdFlowerConfig(n_tasks=n_tasks), rng=config.seed
     )
-    daemon = AssignmentDaemon(
-        corpus.pool,
-        ServeConfig(host=config.host, port=0, strategy=strategy, seed=config.seed),
-    )
+    if serve_config is None:
+        serve_config = ServeConfig(
+            host=config.host, port=0, strategy=strategy, seed=config.seed
+        )
+    else:
+        serve_config = replace(serve_config, host=config.host, port=0)
+    daemon = AssignmentDaemon(corpus.pool, serve_config)
     await daemon.start()
     try:
         result = await run_loadgen(replace(config, port=daemon.port))

@@ -8,14 +8,18 @@ a background loop coalesces everything that became due within a configurable
 batch window into a single :meth:`AssignmentService.reassign_workers` call,
 then resolves each waiter with its worker's freshly installed display event.
 
-The solver itself is synchronous numpy code, so a solve briefly occupies the
-event loop; micro-batching is precisely what keeps that affordable (one
-solver invocation per tick instead of one per request).
+With a synchronous ``solve_batch`` the solver briefly occupies the event
+loop; micro-batching is precisely what keeps that affordable (one solver
+invocation per tick instead of one per request).  With a *coroutine*
+``solve_batch`` — the :class:`repro.serve.engine.SolveEngine` path — batches
+are dispatched as concurrent tasks (bounded by ``max_concurrency``) and the
+solve compute leaves the loop entirely.
 """
 
 from __future__ import annotations
 
 import asyncio
+import inspect
 import time
 from collections.abc import Callable, Sequence
 
@@ -40,11 +44,17 @@ class SolveScheduler:
             ``serve_solve_errors_total``.
         max_batch_delay: Seconds the loop waits after the first due worker
             for stragglers to join the batch (the latency/batching knob).
-        max_batch_size: Hard cap on workers per solve; overflow stays queued
-            for the next tick.
+            Overflow left behind by a size-capped batch skips this wait and
+            drains on the very next tick.
+        max_batch_size: Hard cap on workers per solve; overflow is dispatched
+            immediately on the next tick.
         solve_observer: Optional callback receiving each solve's wall time
             in seconds (successes only) — the degradation controller's
             overload signal.
+        max_concurrency: Batches allowed in flight at once when
+            ``solve_batch`` is a coroutine function (the off-loop engine
+            path).  Ignored for synchronous ``solve_batch``, which always
+            executes one batch at a time on the loop.
     """
 
     def __init__(
@@ -54,19 +64,26 @@ class SolveScheduler:
         max_batch_delay: float = 0.05,
         max_batch_size: int = 64,
         solve_observer: "Callable[[float], None] | None" = None,
+        max_concurrency: int = 1,
     ):
         if max_batch_delay < 0:
             raise ValueError(f"max_batch_delay must be >= 0, got {max_batch_delay}")
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_concurrency < 1:
+            raise ValueError(f"max_concurrency must be >= 1, got {max_concurrency}")
         self._solve_batch = solve_batch
+        self._is_async = inspect.iscoroutinefunction(solve_batch)
         self._max_batch_delay = max_batch_delay
         self._max_batch_size = max_batch_size
         self._solve_observer = solve_observer
+        self._concurrency = asyncio.Semaphore(max_concurrency)
+        self._inflight: set[asyncio.Task] = set()
         self._due: dict[str, None] = {}  # insertion-ordered set
         self._waiters: dict[str, list[asyncio.Future]] = {}
         self._wakeup: asyncio.Event = asyncio.Event()
         self._runner: asyncio.Task | None = None
+        self._drain_overflow = False
         self._closed = False
         self._solves = registry.counter(
             "serve_solves_total", "Background HTA solve batches executed"
@@ -96,12 +113,14 @@ class SolveScheduler:
         self._runner = asyncio.get_running_loop().create_task(self._run())
 
     async def stop(self) -> None:
-        """Stop the loop and fail any still-waiting futures."""
+        """Stop the loop, await in-flight solves, fail still-waiting futures."""
         self._closed = True
         self._wakeup.set()
         if self._runner is not None:
             await self._runner
             self._runner = None
+        if self._inflight:
+            await asyncio.gather(*self._inflight, return_exceptions=True)
         for waiters in self._waiters.values():
             for future in waiters:
                 if not future.done():
@@ -128,16 +147,30 @@ class SolveScheduler:
             await self._wakeup.wait()
             if self._closed:
                 return
-            await self._collect_stragglers()
+            if self._drain_overflow:
+                # A size-capped batch left due workers behind; they already
+                # waited one batch window, so dispatch them this tick rather
+                # than holding them open for stragglers again.
+                self._drain_overflow = False
+            else:
+                await self._collect_stragglers()
             if self._closed:
                 return
             batch = list(self._due)[: self._max_batch_size]
             for worker_id in batch:
                 del self._due[worker_id]
+            self._drain_overflow = bool(self._due)
             if not self._due:
                 self._wakeup.clear()
-            if batch:
-                self._execute(batch)
+            if not batch:
+                continue
+            # Capture this batch's waiters now: a worker resubmitted while
+            # its solve is in flight must resolve with the *next* batch.
+            waiters = {w: self._waiters.pop(w, []) for w in batch}
+            if self._is_async:
+                await self._dispatch_async(batch, waiters)
+            else:
+                self._execute(batch, waiters)
 
     async def _collect_stragglers(self) -> None:
         """Hold the batch open for ``max_batch_delay`` to coalesce arrivals."""
@@ -156,34 +189,71 @@ class SolveScheduler:
                 self._wakeup.set()  # restore: the due set is non-empty
                 return
 
-    def _execute(self, batch: list[str]) -> None:
+    async def _dispatch_async(
+        self, batch: list[str], waiters: dict[str, list[asyncio.Future]]
+    ) -> None:
+        """Launch one batch as a task, bounded by ``max_concurrency``."""
+        await self._concurrency.acquire()
+        if self._closed:
+            self._concurrency.release()
+            self._fail_waiters(waiters, RuntimeError("scheduler stopped"))
+            return
+        task = asyncio.get_running_loop().create_task(
+            self._execute_async(batch, waiters)
+        )
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+
+    async def _execute_async(
+        self, batch: list[str], waiters: dict[str, list[asyncio.Future]]
+    ) -> None:
+        started = time.perf_counter()
+        try:
+            events = await self._solve_batch(batch)
+        except Exception as exc:  # resolve waiters; the daemon stays up
+            self._solve_errors.inc()
+            self._fail_waiters(waiters, exc)
+            return
+        finally:
+            self._concurrency.release()
+        self._record(len(batch), time.perf_counter() - started)
+        for worker_id in batch:
+            self._resolve(waiters.get(worker_id, ()), events.get(worker_id))
+
+    def _execute(
+        self, batch: list[str], waiters: dict[str, list[asyncio.Future]]
+    ) -> None:
         started = time.perf_counter()
         try:
             events = self._solve_batch(batch)
         except Exception as exc:  # resolve waiters; the daemon stays up
             self._solve_errors.inc()
-            for worker_id in batch:
-                self._resolve(worker_id, error=exc)
+            self._fail_waiters(waiters, exc)
             return
+        self._record(len(batch), time.perf_counter() - started)
+        for worker_id in batch:
+            self._resolve(waiters.get(worker_id, ()), events.get(worker_id))
+
+    def _record(self, batch_len: int, elapsed: float) -> None:
         self._solves.inc()
-        elapsed = time.perf_counter() - started
         self._solve_seconds.observe(elapsed)
-        self._batch_size.observe(len(batch))
+        self._batch_size.observe(batch_len)
         if self._solve_observer is not None:
             self._solve_observer(elapsed)
-        for worker_id in batch:
-            self._resolve(worker_id, event=events.get(worker_id))
 
-    def _resolve(
-        self,
-        worker_id: str,
-        event: TasksAssigned | None = None,
-        error: Exception | None = None,
+    @staticmethod
+    def _fail_waiters(
+        waiters: dict[str, list[asyncio.Future]], error: Exception
     ) -> None:
-        for future in self._waiters.pop(worker_id, []):
-            if future.done():
-                continue
-            if error is not None:
-                future.set_exception(error)
-            else:
+        for futures in waiters.values():
+            for future in futures:
+                if not future.done():
+                    future.set_exception(error)
+
+    @staticmethod
+    def _resolve(
+        futures: "Sequence[asyncio.Future]", event: TasksAssigned | None
+    ) -> None:
+        for future in futures:
+            if not future.done():
                 future.set_result(event)

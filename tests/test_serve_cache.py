@@ -32,6 +32,25 @@ class TestTakeSubmatrix:
         np.testing.assert_array_equal(got, expected)
         assert got.flags["C_CONTIGUOUS"]
 
+    def test_duplicate_indices(self):
+        rng = np.random.default_rng(1)
+        matrix = rng.random((8, 8))
+        idx = [2, 2, 5]
+        np.testing.assert_array_equal(
+            take_submatrix(matrix, idx), matrix[np.ix_(idx, idx)]
+        )
+
+    def test_out_of_order_indices(self):
+        rng = np.random.default_rng(2)
+        matrix = rng.random((9, 9))
+        idx = [8, 0, 4, 1]
+        np.testing.assert_array_equal(
+            take_submatrix(matrix, idx), matrix[np.ix_(idx, idx)]
+        )
+
+    def test_empty_index_set(self):
+        assert take_submatrix(np.zeros((5, 5)), []).shape == (0, 0)
+
     def test_rejects_non_square(self):
         with pytest.raises(ValueError, match="square"):
             take_submatrix(np.zeros((3, 4)), [0])
@@ -59,6 +78,30 @@ class TestCacheParity:
             np.testing.assert_allclose(sub, expected)
         assert cache.compactions >= 1
         assert len(cache) == len(alive)
+
+    def test_submatrix_duplicate_ids(self, pool):
+        cache = IncrementalDiversityCache(pool)
+        ids = ["t3", "t3", "t7"]
+        base = [t.task_id for t in pool]
+        rows = [base.index(tid) for tid in ids]
+        full = pairwise_jaccard(pool.matrix)
+        np.testing.assert_allclose(
+            cache.submatrix(ids), full[np.ix_(rows, rows)]
+        )
+
+    def test_submatrix_out_of_order_ids(self, pool):
+        cache = IncrementalDiversityCache(pool)
+        ids = ["t40", "t2", "t19", "t5"]
+        base = [t.task_id for t in pool]
+        rows = [base.index(tid) for tid in ids]
+        full = pairwise_jaccard(pool.matrix)
+        np.testing.assert_allclose(
+            cache.submatrix(ids), full[np.ix_(rows, rows)]
+        )
+
+    def test_submatrix_empty_ids(self, pool):
+        cache = IncrementalDiversityCache(pool)
+        assert cache.submatrix([]).shape == (0, 0)
 
     def test_unknown_id_declines(self, pool):
         cache = IncrementalDiversityCache(pool)

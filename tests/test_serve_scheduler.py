@@ -94,6 +94,194 @@ class TestBatching:
         assert log == [["w0"], ["w1"]]
 
 
+class TestOverflowDrain:
+    def test_overflow_drains_without_extra_delay(self):
+        """Workers beyond max_batch_size already waited one batch window;
+        they must not be held for another full max_batch_delay each."""
+
+        async def scenario():
+            log = []
+            scheduler = SolveScheduler(
+                make_solver(log),
+                MetricsRegistry(),
+                max_batch_delay=0.2,
+                max_batch_size=2,
+            )
+            scheduler.start()
+            loop = asyncio.get_running_loop()
+            started = loop.time()
+            futures = [scheduler.submit(f"w{i}") for i in range(6)]
+            await asyncio.gather(*futures)
+            elapsed = loop.time() - started
+            await scheduler.stop()
+            return log, elapsed
+
+        log, elapsed = asyncio.run(scenario())
+        assert [len(batch) for batch in log] == [2, 2, 2]
+        # Pre-fix behaviour re-opened the 0.2 s window per overflow batch
+        # (~0.6 s total); drained overflow finishes just past one window.
+        assert elapsed < 0.45, f"overflow waited extra windows: {elapsed:.3f}s"
+
+    def test_fresh_submit_after_drain_waits_for_stragglers(self):
+        async def scenario():
+            log = []
+            scheduler = SolveScheduler(
+                make_solver(log),
+                MetricsRegistry(),
+                max_batch_delay=0.05,
+                max_batch_size=2,
+            )
+            scheduler.start()
+            await asyncio.gather(*[scheduler.submit(f"w{i}") for i in range(3)])
+            # The queue is empty again: the next pair must coalesce, proving
+            # the drain fast-path resets once the overflow is gone.
+            await asyncio.gather(scheduler.submit("a"), scheduler.submit("b"))
+            await scheduler.stop()
+            return log
+
+        log = asyncio.run(scenario())
+        assert [len(batch) for batch in log] == [2, 1, 2]
+
+
+class TestAsyncSolveBatch:
+    def test_async_batches_overlap(self):
+        async def scenario():
+            active = 0
+            peak = 0
+
+            async def solve(worker_ids):
+                nonlocal active, peak
+                active += 1
+                peak = max(peak, active)
+                await asyncio.sleep(0.05)
+                active -= 1
+                return {w: FakeEvent(w) for w in worker_ids}
+
+            scheduler = SolveScheduler(
+                solve,
+                MetricsRegistry(),
+                max_batch_delay=0.0,
+                max_batch_size=1,
+                max_concurrency=4,
+            )
+            scheduler.start()
+            loop = asyncio.get_running_loop()
+            started = loop.time()
+            results = await asyncio.gather(
+                *[scheduler.submit(f"w{i}") for i in range(4)]
+            )
+            elapsed = loop.time() - started
+            await scheduler.stop()
+            return peak, elapsed, results
+
+        peak, elapsed, results = asyncio.run(scenario())
+        assert peak >= 2  # batches genuinely ran concurrently
+        assert elapsed < 0.18  # four 50 ms solves overlapped, not serialized
+        assert [e.worker_id for e in results] == [f"w{i}" for i in range(4)]
+
+    def test_max_concurrency_bounds_inflight(self):
+        async def scenario():
+            active = 0
+            peak = 0
+
+            async def solve(worker_ids):
+                nonlocal active, peak
+                active += 1
+                peak = max(peak, active)
+                await asyncio.sleep(0.02)
+                active -= 1
+                return {w: FakeEvent(w) for w in worker_ids}
+
+            scheduler = SolveScheduler(
+                solve,
+                MetricsRegistry(),
+                max_batch_delay=0.0,
+                max_batch_size=1,
+                max_concurrency=1,
+            )
+            scheduler.start()
+            await asyncio.gather(*[scheduler.submit(f"w{i}") for i in range(3)])
+            await scheduler.stop()
+            return peak
+
+        assert asyncio.run(scenario()) == 1
+
+    def test_async_error_fails_only_its_batch(self):
+        async def scenario():
+            async def solve(worker_ids):
+                if "bad" in worker_ids:
+                    raise RuntimeError("bad batch")
+                return {w: FakeEvent(w) for w in worker_ids}
+
+            registry = MetricsRegistry()
+            scheduler = SolveScheduler(
+                solve,
+                registry,
+                max_batch_delay=0.0,
+                max_batch_size=1,
+                max_concurrency=2,
+            )
+            scheduler.start()
+            with pytest.raises(RuntimeError, match="bad batch"):
+                await scheduler.submit("bad")
+            good = await scheduler.submit("good")
+            await scheduler.stop()
+            return good, registry
+
+        good, registry = asyncio.run(scenario())
+        assert good.worker_id == "good"
+        assert registry.get("serve_solve_errors_total").value == 1
+        assert registry.get("serve_solves_total").value == 1
+
+    def test_resubmission_lands_in_next_batch(self):
+        """A worker resubmitted while its solve is in flight resolves with
+        the *next* batch, not the one whose waiters were already captured."""
+
+        async def scenario():
+            calls = []
+
+            async def solve(worker_ids):
+                calls.append(list(worker_ids))
+                await asyncio.sleep(0.03)
+                return {w: FakeEvent(w) for w in worker_ids}
+
+            scheduler = SolveScheduler(
+                solve,
+                MetricsRegistry(),
+                max_batch_delay=0.0,
+                max_batch_size=4,
+                max_concurrency=2,
+            )
+            scheduler.start()
+            first = scheduler.submit("w0")
+            await asyncio.sleep(0.01)  # first batch is now in flight
+            second = scheduler.submit("w0")
+            results = await asyncio.gather(first, second)
+            await scheduler.stop()
+            return calls, results
+
+        calls, results = asyncio.run(scenario())
+        assert calls == [["w0"], ["w0"]]
+        assert all(e.worker_id == "w0" for e in results)
+
+    def test_stop_awaits_inflight_async_batches(self):
+        async def scenario():
+            async def solve(worker_ids):
+                await asyncio.sleep(0.05)
+                return {w: FakeEvent(w) for w in worker_ids}
+
+            scheduler = SolveScheduler(
+                solve, MetricsRegistry(), max_batch_delay=0.0, max_concurrency=2
+            )
+            scheduler.start()
+            future = scheduler.submit("w0")
+            await asyncio.sleep(0.02)  # batch dispatched, solve in flight
+            await scheduler.stop()
+            return await future
+
+        assert asyncio.run(scenario()).worker_id == "w0"
+
+
 class TestFailureModes:
     def test_solver_error_propagates_to_waiters(self):
         async def scenario():
