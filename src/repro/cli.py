@@ -148,7 +148,27 @@ def _build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--restore", action="store_true",
                          help="resume from the latest snapshot in "
                               "--snapshot-path before serving")
+    p_serve.add_argument("--trace-file", default=None, metavar="TRACE.jsonl",
+                         help="append one JSON line per sampled request trace "
+                              "(aggregate with `repro trace summarize`)")
+    p_serve.add_argument("--trace-sample-rate", type=float, default=0.0,
+                         help="fraction of requests to trace, in [0, 1] "
+                              "(0 disables tracing, 1 traces everything)")
     p_serve.set_defaults(handler=_cmd_serve)
+
+    p_trace = sub.add_parser(
+        "trace", help="work with request trace files (see docs/SERVING.md)"
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_summarize = trace_sub.add_parser(
+        "summarize", help="per-stage latency breakdown of a JSONL trace file"
+    )
+    p_summarize.add_argument("file", help="JSONL trace file written by "
+                                          "`repro serve --trace-file`")
+    p_summarize.add_argument("--strict", action="store_true",
+                             help="exit non-zero when the file is empty or "
+                                  "any root span never closed (trace leak)")
+    p_summarize.set_defaults(handler=_cmd_trace_summarize)
     return parser
 
 
@@ -300,6 +320,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         snapshot_path=args.snapshot_path,
         snapshot_every=args.snapshot_every,
         restore=args.restore,
+        trace_file=args.trace_file,
+        trace_sample_rate=args.trace_sample_rate,
     )
     if fault_plan is not None:
         print(f"fault injection active: {fault_plan.to_dict()}")
@@ -311,6 +333,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(run_daemon(corpus.pool, config))
     except KeyboardInterrupt:
         print("daemon stopped")
+    return 0
+
+
+def _cmd_trace_summarize(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .serve.tracing import SUMMARY_HEADERS, summarize_trace_file
+
+    path = Path(args.file)
+    if not path.exists():
+        print(f"no such trace file: {path}", file=sys.stderr)
+        return 2
+    summary = summarize_trace_file(path)
+    if summary.n_traces == 0:
+        print(f"{path}: no traces (empty file)")
+        return 1 if args.strict else 0
+    print(format_table(
+        SUMMARY_HEADERS, summary.rows, title=f"per-stage latency · {path.name}"
+    ))
+    print(
+        f"traces: {summary.n_traces}  spans: {summary.n_spans}  "
+        f"unclosed roots: {summary.n_unclosed}"
+    )
+    if args.strict and not summary.clean:
+        print(
+            f"trace leak: {summary.n_unclosed} root span(s) never closed",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -6,7 +6,8 @@ subsystem — a dependency-free asyncio JSON-over-HTTP daemon
 (:mod:`repro.serve.app`) whose solves are micro-batched
 (:mod:`repro.serve.scheduler`), whose pairwise-diversity matrices come from
 an incremental cache (:mod:`repro.serve.cache`), and whose behaviour is
-observable via Prometheus metrics (:mod:`repro.serve.metrics`).  Failure
+observable via Prometheus metrics (:mod:`repro.serve.metrics`) and
+request-scoped stage traces (:mod:`repro.serve.tracing`).  Failure
 behaviour — deadlines, graceful degradation down the paper's own solver
 ladder, deterministic fault injection, crash-safe snapshots — lives in
 :mod:`repro.serve.resilience`.  A closed-loop load generator
@@ -29,6 +30,15 @@ from .resilience import (
     degradation_ladder,
 )
 from .scheduler import SolveScheduler
+from .tracing import (
+    NULL_TRACE,
+    SolveContext,
+    Span,
+    SpanMetrics,
+    Trace,
+    TraceRecorder,
+    summarize_trace_file,
+)
 
 __all__ = [
     "AssignmentDaemon",
@@ -45,12 +55,19 @@ __all__ = [
     "LoadgenConfig",
     "LoadgenResult",
     "MetricsRegistry",
+    "NULL_TRACE",
     "ResilienceConfig",
     "ServeConfig",
+    "SolveContext",
     "SolveEngine",
     "SolveScheduler",
+    "Span",
+    "SpanMetrics",
+    "Trace",
+    "TraceRecorder",
     "degradation_ladder",
     "run_daemon",
     "run_loadgen",
     "run_self_contained",
+    "summarize_trace_file",
 ]

@@ -55,6 +55,7 @@ from .resilience import (
     ResilienceConfig,
     degradation_ladder,
 )
+from .tracing import SolveContext, SpanMetrics, TraceRecorder
 
 #: Snapshot kind under which the daemon persists its state.
 SNAPSHOT_KIND = "serve"
@@ -78,6 +79,9 @@ class ServeConfig:
     snapshot_path: str | None = None
     snapshot_every: int = 20
     restore: bool = False
+    trace_file: str | None = None
+    trace_sample_rate: float = 0.0
+    trace_capacity: int = 512
 
 
 class AssignmentDaemon:
@@ -117,6 +121,13 @@ class AssignmentDaemon:
             else None
         )
         self._solves_since_snapshot = 0
+        self.tracer = TraceRecorder(
+            self.registry,
+            sample_rate=self.config.trace_sample_rate,
+            capacity=self.config.trace_capacity,
+            path=self.config.trace_file,
+            span_metrics=SpanMetrics(self.registry, auto_prefix="serve_stage"),
+        )
         r = self.registry
         self._requests = r.counter("serve_requests_total", "HTTP requests handled")
         self._errors = r.counter("serve_errors_total", "HTTP error responses sent")
@@ -212,6 +223,7 @@ class AssignmentDaemon:
             await self.engine.close()
             self.engine = None
         self.snapshot_now()
+        self.tracer.close()
 
     async def serve_forever(self) -> None:
         """Run until cancelled (the ``repro serve`` CLI entry point)."""
@@ -229,8 +241,9 @@ class AssignmentDaemon:
 
     # -- solve batching -----------------------------------------------------
 
-    def _solve_batch(self, worker_ids) -> dict[str, TasksAssigned]:
+    def _solve_batch(self, worker_ids, ctx: SolveContext) -> dict[str, TasksAssigned]:
         """One assignment iteration for a scheduler batch."""
+        ctx.attrs["tier"] = self.degradation.strategy
         if self.fault is not None:
             try:
                 self.fault.on_solve()
@@ -238,17 +251,23 @@ class AssignmentDaemon:
                 self.degradation.observe_solve_failure()
                 raise
         try:
-            events = self.service.reassign_workers(worker_ids, self._wall_time())
+            with ctx.span("solve", tier=self.degradation.strategy):
+                events = self.service.reassign_workers(
+                    worker_ids, self._wall_time()
+                )
         except Exception:
             self.degradation.observe_solve_failure()
             raise
-        for event in events.values():
-            self._register_display(event)
-            self._reassignments.inc()
-        self._maybe_snapshot()
+        with ctx.span("commit"):
+            for event in events.values():
+                self._register_display(event)
+                self._reassignments.inc()
+            self._maybe_snapshot()
         return events
 
-    async def _solve_batch_async(self, worker_ids) -> dict[str, TasksAssigned]:
+    async def _solve_batch_async(
+        self, worker_ids, ctx: SolveContext
+    ) -> dict[str, TasksAssigned]:
         """Engine-mode batch: hooks run here, the solve in a pool worker.
 
         Fault injection and the degradation controller stay in this process;
@@ -256,27 +275,35 @@ class AssignmentDaemon:
         budget is checked against the wall time the worker measured around
         its solver call, so the signal means the same thing it does in-loop.
         """
+        ctx.attrs["tier"] = self.degradation.strategy
+        crash = False
         if self.fault is not None:
             try:
                 self.fault.on_solve()
             except InjectedFault:
                 self.degradation.observe_solve_failure()
                 raise
+            crash = self.fault.crash_worker()
         try:
             events, solve_seconds = await self.engine.solve_batch(
                 worker_ids,
                 self._wall_time(),
                 solver_name=self.degradation.strategy,
+                ctx=ctx,
+                crash=crash,
             )
         except Exception:
             self.degradation.observe_solve_failure()
             raise
         if solve_seconds > 0.0:
             self.degradation.observe_solve(solve_seconds)
-        for event in events.values():
-            self._register_display(event)
-            self._reassignments.inc()
-        self._maybe_snapshot()
+        # The engine committed the displays; install the C2 ledger entries
+        # and snapshot cadence here, where the daemon's state lives.
+        with ctx.span("snapshot"):
+            for event in events.values():
+                self._register_display(event)
+                self._reassignments.inc()
+            self._maybe_snapshot()
         return events
 
     def _register_display(self, event: TasksAssigned) -> None:
@@ -376,27 +403,47 @@ class AssignmentDaemon:
         self._requests.inc()
         started = time.perf_counter()
         keep_alive = request.keep_alive
+        trace = self.tracer.start(
+            "request", method=request.method, path=request.path
+        )
+        # Sampled requests echo their trace id so clients (and the loadgen's
+        # differential suite) can correlate a measured latency with a trace.
+        headers = {"x-trace-id": trace.trace_id} if trace else None
+        status = 200
         try:
-            payload = await self._route(request)
+            payload = await self._route(request, trace)
             response = (
                 payload
                 if isinstance(payload, bytes)
-                else json_response(200, payload, keep_alive=keep_alive)
+                else json_response(
+                    200, payload, keep_alive=keep_alive, extra_headers=headers
+                )
             )
         except HttpError as exc:
             self._errors.inc()
+            status = exc.status
             response = json_response(
-                exc.status, {"error": exc.message}, keep_alive=keep_alive
+                exc.status,
+                {"error": exc.message},
+                keep_alive=keep_alive,
+                extra_headers=headers,
             )
         except Exception as exc:  # don't let one request kill the daemon
             self._errors.inc()
+            status = 500
             response = json_response(
-                500, {"error": f"{type(exc).__name__}: {exc}"}, keep_alive=keep_alive
+                500,
+                {"error": f"{type(exc).__name__}: {exc}"},
+                keep_alive=keep_alive,
+                extra_headers=headers,
             )
         self._request_seconds.observe(time.perf_counter() - started)
+        trace.close(
+            status="ok" if status < 500 else "error", http_status=status
+        )
         return response
 
-    async def _route(self, request: Request) -> object:
+    async def _route(self, request: Request, trace) -> object:
         method, path = request.method, request.path.rstrip("/") or "/"
         if path == "/healthz" and method == "GET":
             return self._healthz()
@@ -407,11 +454,13 @@ class AssignmentDaemon:
         if path == "/vocabulary" and method == "GET":
             return {"keywords": list(self._vocabulary.keywords)}
         if path == "/workers" and method == "POST":
-            return await self._post_workers(request)
+            return await self._post_workers(request, trace)
         if path == "/complete" and method == "POST":
-            return await self._post_complete(request)
+            return await self._post_complete(request, trace)
         if path.startswith("/display/") and method == "GET":
             return self._get_display(path.removeprefix("/display/"))
+        if path.startswith("/trace/") and method == "GET":
+            return self._get_trace(path.removeprefix("/trace/"))
         if path.startswith("/workers/") and method == "DELETE":
             return self._delete_worker(path.removeprefix("/workers/"))
         raise HttpError(404, f"no route for {method} {request.path}")
@@ -446,7 +495,15 @@ class AssignmentDaemon:
             }
         return payload
 
-    async def _post_workers(self, request: Request) -> dict:
+    def _get_trace(self, trace_id: str) -> dict:
+        trace = self.tracer.get(trace_id)
+        if trace is None:
+            raise HttpError(
+                404, f"no retained trace {trace_id!r} (unsampled, open, or evicted)"
+            )
+        return trace.to_dict()
+
+    async def _post_workers(self, request: Request, trace) -> dict:
         body = request.json()
         if not isinstance(body, dict):
             raise HttpError(400, "expected a JSON object")
@@ -456,10 +513,12 @@ class AssignmentDaemon:
         vector = self._decode_interest(body)
         if self.service.remaining_tasks() == 0:
             raise HttpError(503, "task pool exhausted")
+        trace.set_attrs(worker_id=worker_id)
         try:
-            event = self.service.register_worker(
-                Worker(worker_id, vector), self._wall_time()
-            )
+            with trace.span("register"):
+                event = self.service.register_worker(
+                    Worker(worker_id, vector), self._wall_time()
+                )
         except SimulationError as exc:
             raise HttpError(409, str(exc)) from None
         self._register_display(event)
@@ -489,7 +548,7 @@ class AssignmentDaemon:
             return array
         raise HttpError(400, "provide either 'keywords' or 'vector'")
 
-    async def _post_complete(self, request: Request) -> dict:
+    async def _post_complete(self, request: Request, trace) -> dict:
         body = request.json()
         if not isinstance(body, dict):
             raise HttpError(400, "expected a JSON object")
@@ -505,26 +564,39 @@ class AssignmentDaemon:
         except SimulationError as exc:
             raise HttpError(409, str(exc)) from None
         self._completions.inc()
+        trace.set_attrs(worker_id=worker_id)
         reassigned = False
         deadline_exceeded = False
         if self.service.needs_reassignment(worker_id) and self.scheduler is not None:
             try:
                 event = await asyncio.wait_for(
-                    self.scheduler.submit(worker_id), timeout=deadline
+                    self.scheduler.submit(worker_id, trace=trace), timeout=deadline
                 )
                 reassigned = event is not None
             except asyncio.TimeoutError:
                 # The solve is still running and will install the display
                 # when it lands; this request answers *now* with the stale
-                # one rather than blowing its budget.
+                # one rather than blowing its budget.  The trace closes with
+                # the response; the in-flight batch's spans arrive after
+                # close and are counted as late spans, not recorded.
                 deadline_exceeded = True
                 self._deadline_exceeded.inc()
                 self.degradation.observe_deadline_miss()
+                trace.add_span(
+                    "deadline",
+                    deadline,
+                    status="error",
+                    error="request deadline expired before the solve landed",
+                )
             except Exception:
                 # The batched solve failed (injected or real).  The error is
-                # already counted by the scheduler; this worker keeps its
-                # current display and the daemon stays within its contract.
+                # already counted by the scheduler (and the trace carries the
+                # batch's solve_error span); this worker keeps its current
+                # display and the daemon stays within its contract.
                 self._degraded_responses.inc()
+        trace.set_attrs(
+            reassigned=reassigned, deadline_exceeded=deadline_exceeded
+        )
         try:
             display = self.service.display_of(worker_id)
         except SimulationError:

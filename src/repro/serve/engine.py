@@ -17,10 +17,17 @@ batched HTA solve therefore stalls request handling for its full duration.
 Worker processes keep *warm* solver instances: the pool initializer
 resolves every solver tier of the degradation ladder once per process, so a
 tier switch under overload never pays construction cost mid-solve.  The
-solve wall time measured inside the worker travels back with the outcome —
-that is the degradation controller's solve-budget signal, unchanged in
-meaning across the process boundary (queueing time is deliberately
-excluded; the controller budgets the solver, not the pool).
+wall times measured inside the worker (unpickle and solve) travel back with
+the outcome — the solve time is the degradation controller's solve-budget
+signal, unchanged in meaning across the process boundary (queueing time is
+deliberately excluded; the controller budgets the solver, not the pool) —
+and both become trace spans in every member request's trace.
+
+A worker process dying mid-solve (OOM killer, fault injection) breaks the
+whole :class:`ProcessPoolExecutor`, not just the one future; the engine
+catches that, rebuilds a fresh warm pool, and fails only the affected
+batch, so one crashed solve never takes the daemon's solve capacity down
+with it (``serve_engine_pool_rebuilds_total`` counts these).
 """
 
 from __future__ import annotations
@@ -31,7 +38,8 @@ import os
 import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -39,6 +47,7 @@ import numpy as np
 from ..core.solvers import get_solver
 from ..crowd.events import TasksAssigned
 from .metrics import MetricsRegistry
+from .tracing import SolveContext, Span, SpanMetrics
 
 if TYPE_CHECKING:
     from ..core.instance import HTAInstance
@@ -56,22 +65,35 @@ def _warm_worker(solver_names: tuple[str, ...]) -> None:
 
 @dataclass(frozen=True)
 class EngineRequest:
-    """The picklable slice of a prepared solve shipped to a worker process."""
+    """The picklable slice of a prepared solve shipped to a worker process.
+
+    ``trace_id`` is the first member trace's id (debug correlation only);
+    ``crash`` is the fault-injection seam — a worker receiving it dies
+    mid-solve exactly like an OOM-killed process would.
+    """
 
     worker_ids: tuple[str, ...]
     instance: "HTAInstance"
     solver_name: str
     seed: int
+    trace_id: str | None = None
+    crash: bool = False
 
 
 @dataclass(frozen=True)
 class EngineOutcome:
-    """What a worker process sends back: the assignment and its cost."""
+    """What a worker process sends back: the assignment and its cost.
+
+    ``solve_seconds`` and ``unpickle_seconds`` are wall times measured
+    *inside* the worker — real stage durations for the request traces, not
+    loop-side approximations.
+    """
 
     assigned: dict[str, tuple[str, ...]]
     objective: float
     solve_seconds: float
     pid: int
+    unpickle_seconds: float = 0.0
 
 
 def _solve_blob(blob: bytes) -> EngineOutcome:
@@ -82,11 +104,19 @@ def _solve_blob(blob: bytes) -> EngineOutcome:
     the executor's feeder thread; shipping pre-pickled bytes through the
     pool is then a cheap memcpy.
     """
-    return _solve_request(pickle.loads(blob))
+    started = time.perf_counter()
+    request = pickle.loads(blob)
+    unpickle_seconds = time.perf_counter() - started
+    outcome = _solve_request(request)
+    return replace(outcome, unpickle_seconds=unpickle_seconds)
 
 
 def _solve_request(request: EngineRequest) -> EngineOutcome:
     """Run one HTA solve in a pool worker (module-level: must pickle)."""
+    if request.crash:
+        # Injected worker death: skip every interpreter-level cleanup, like
+        # a SIGKILL would.  The parent sees a BrokenProcessPool.
+        os._exit(1)
     solver = _WARM_SOLVERS.get(request.solver_name)
     if solver is None:  # cold fallback, e.g. a tier added after pool start
         solver = _WARM_SOLVERS[request.solver_name] = get_solver(request.solver_name)
@@ -107,7 +137,8 @@ class SolveEngine:
         service: The assignment service owning pool, workers, and displays.
         registry: Metrics sink; the engine owns the ``serve_engine_*``
             family (worker/queue/in-flight gauges, solve counter + errors,
-            in-worker solve-seconds histogram).
+            pool rebuilds, in-worker solve-seconds histogram), updated
+            through one :class:`SpanMetrics` seam.
         n_workers: Solver processes to keep warm (the ``--solver-workers``
             flag; the daemon only builds an engine when it is positive).
         solver_names: Solver tiers to pre-construct in every worker.
@@ -124,11 +155,8 @@ class SolveEngine:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         self._service = service
         self.n_workers = n_workers
-        self._executor = ProcessPoolExecutor(
-            max_workers=n_workers,
-            initializer=_warm_worker,
-            initargs=(tuple(solver_names),),
-        )
+        self._solver_names = tuple(solver_names)
+        self._executor = self._new_executor()
         self._slots = asyncio.Semaphore(n_workers)
         self._closed = False
         registry.gauge(
@@ -142,21 +170,51 @@ class SolveEngine:
             "serve_engine_in_flight",
             "Solve batches currently executing in worker processes",
         )
-        self._solves = registry.counter(
-            "serve_engine_solves_total", "Solve batches executed off-loop"
+        self._rebuilds = registry.counter(
+            "serve_engine_pool_rebuilds_total",
+            "Process pools rebuilt after a worker died mid-solve",
         )
-        self._errors = registry.counter(
-            "serve_engine_solve_errors_total", "Off-loop solve batches that raised"
+        self._span_metrics = SpanMetrics().route(
+            "solve",
+            seconds=registry.histogram(
+                "serve_engine_solve_seconds",
+                "Solver wall time per batch, measured inside the worker process",
+            ),
+            count=registry.counter(
+                "serve_engine_solves_total", "Solve batches executed off-loop"
+            ),
+            errors=registry.counter(
+                "serve_engine_solve_errors_total",
+                "Off-loop solve batches that raised",
+            ),
+        ).route(
+            "engine_loop",
+            seconds=registry.histogram(
+                "serve_engine_loop_seconds",
+                "Event-loop occupancy per off-loop solve: prepare + request "
+                "serialization + commit (the non-overlappable cost)",
+            ),
         )
-        self._solve_seconds = registry.histogram(
-            "serve_engine_solve_seconds",
-            "Solver wall time per batch, measured inside the worker process",
+
+    def _new_executor(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.n_workers,
+            initializer=_warm_worker,
+            initargs=(self._solver_names,),
         )
-        self._loop_seconds = registry.histogram(
-            "serve_engine_loop_seconds",
-            "Event-loop occupancy per off-loop solve: prepare + request "
-            "serialization + commit (the non-overlappable cost)",
-        )
+
+    def _rebuild_pool(self) -> None:
+        """Replace a broken executor with a fresh warm pool.
+
+        The broken pool's shutdown is non-blocking (its processes are
+        already dead); in-flight futures were failed by the executor
+        itself.  Without this, one crashed worker would permanently wedge
+        every future solve behind ``BrokenProcessPool``.
+        """
+        broken = self._executor
+        self._executor = self._new_executor()
+        self._rebuilds.inc()
+        broken.shutdown(wait=False, cancel_futures=True)
 
     async def solve_batch(
         self,
@@ -164,61 +222,104 @@ class SolveEngine:
         wall_time: float,
         solver_name: str | None = None,
         session_times: dict[str, float] | None = None,
+        ctx: SolveContext | None = None,
+        crash: bool = False,
     ) -> tuple[dict[str, TasksAssigned], float]:
         """Prepare on the loop, solve in a worker process, commit on the loop.
 
         Returns ``(events, solve_seconds)`` where ``solve_seconds`` is the
         solver wall time measured *inside* the worker — the degradation
         controller's budget signal — and ``0.0`` when there was nothing to
-        solve.  On a worker-side failure the lease is released untouched and
-        the exception propagates (the scheduler fails that batch's waiters).
+        solve.  On a worker-side failure the lease is released untouched,
+        the pool is rebuilt if the failure killed it, and the exception
+        propagates (the scheduler fails that batch's waiters).  Stage spans
+        (pool_wait / prepare / pickle / unpickle / solve / commit) land in
+        ``ctx``; ``crash`` ships an injected worker death with the request.
         """
         if self._closed:
             raise RuntimeError("solve engine is closed")
+        ctx = ctx if ctx is not None else SolveContext()
         self._queue_depth.inc()
         try:
-            await self._slots.acquire()
+            with ctx.span("pool_wait"):
+                await self._slots.acquire()
         finally:
             self._queue_depth.dec()
         try:
-            prepare_started = time.perf_counter()
-            prepared = self._service.prepare_solve(worker_ids, solver_name)
+            with ctx.span("prepare") as prepare_span:
+                prepared = self._service.prepare_solve(worker_ids, solver_name)
             if prepared is None:
                 return {}, 0.0
-            # Ship bits, not floats: drop the primed (k, k) diversity matrix
-            # from the pickled copy — the worker recomputes it from the
-            # boolean keyword matrix with the packed kernel, which is
-            # bit-identical (differential suite) and far smaller on the wire.
-            slim_instance = copy.copy(prepared.instance)
-            slim_instance.__dict__.pop("diversity", None)
-            request = EngineRequest(
-                worker_ids=tuple(prepared.worker_ids),
-                instance=slim_instance,
-                solver_name=prepared.solver_name,
-                seed=prepared.seed,
-            )
-            blob = pickle.dumps(request, protocol=pickle.HIGHEST_PROTOCOL)
-            loop_busy = time.perf_counter() - prepare_started
+            with ctx.span("pickle") as pickle_span:
+                # Ship bits, not floats: drop the primed (k, k) diversity
+                # matrix from the pickled copy — the worker recomputes it
+                # from the boolean keyword matrix with the packed kernel,
+                # which is bit-identical (differential suite) and far
+                # smaller on the wire.
+                slim_instance = copy.copy(prepared.instance)
+                slim_instance.__dict__.pop("diversity", None)
+                request = EngineRequest(
+                    worker_ids=tuple(prepared.worker_ids),
+                    instance=slim_instance,
+                    solver_name=prepared.solver_name,
+                    seed=prepared.seed,
+                    trace_id=ctx.attrs.get("trace_id"),
+                    crash=crash,
+                )
+                blob = pickle.dumps(request, protocol=pickle.HIGHEST_PROTOCOL)
+            ctx.attrs.setdefault("tier", prepared.solver_name)
+            ctx.attrs["payload_bytes"] = len(blob)
             loop = asyncio.get_running_loop()
             self._in_flight.inc()
+            dispatched = time.perf_counter()
             try:
                 outcome = await loop.run_in_executor(
                     self._executor, _solve_blob, blob
                 )
-            except BaseException:
-                self._errors.inc()
+            except BaseException as exc:
+                error_span = Span(
+                    "solve",
+                    start=dispatched,
+                    duration=time.perf_counter() - dispatched,
+                    attrs={"tier": prepared.solver_name},
+                    status="error",
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                ctx.spans.append(error_span)
+                self._span_metrics.observe(error_span)
                 self._service.abandon_solve(prepared)
+                if isinstance(exc, BrokenProcessPool) and not self._closed:
+                    self._rebuild_pool()
                 raise
             finally:
                 self._in_flight.dec()
-            self._solves.inc()
-            self._solve_seconds.observe(outcome.solve_seconds)
-            commit_started = time.perf_counter()
-            events = self._service.commit_solve(
-                prepared, outcome.assigned, wall_time, session_times
+            # The worker measured unpickle and solve with its own clock;
+            # durations are exact, starts are placed inside the dispatch
+            # window (attrs say so).
+            ctx.add_span(
+                "unpickle",
+                outcome.unpickle_seconds,
+                abs_start=dispatched,
+                measured="worker",
+                pid=outcome.pid,
             )
-            loop_busy += time.perf_counter() - commit_started
-            self._loop_seconds.observe(loop_busy)
+            solve_span = ctx.add_span(
+                "solve",
+                outcome.solve_seconds,
+                abs_start=dispatched + outcome.unpickle_seconds,
+                measured="worker",
+                pid=outcome.pid,
+                tier=prepared.solver_name,
+            )
+            self._span_metrics.observe(solve_span)
+            with ctx.span("commit") as commit_span:
+                events = self._service.commit_solve(
+                    prepared, outcome.assigned, wall_time, session_times
+                )
+            loop_busy = (
+                prepare_span.duration + pickle_span.duration + commit_span.duration
+            )
+            self._span_metrics.observe(Span("engine_loop", 0.0, loop_busy))
             return events, outcome.solve_seconds
         finally:
             self._slots.release()
@@ -229,8 +330,12 @@ class SolveEngine:
             "workers": self.n_workers,
             "queue_depth": int(self._queue_depth.value),
             "in_flight": int(self._in_flight.value),
-            "solves": int(self._solves.value),
+            "solves": int(self._solves_value()),
+            "pool_rebuilds": int(self._rebuilds.value),
         }
+
+    def _solves_value(self) -> float:
+        return self._span_metrics._routes["solve"]["count"].value
 
     async def close(self) -> None:
         """Shut the worker pool down without blocking the event loop."""

@@ -93,6 +93,12 @@ class LoadgenResult:
     duplicate_display_violations: int = 0
     duration_seconds: float = 0.0
     requests: int = 0
+    #: Responses that carried an ``x-trace-id`` header (sampled requests).
+    traced_requests: int = 0
+    #: trace_id -> client-measured latency of that request's final attempt;
+    #: the differential trace suite joins these against the daemon's JSONL
+    #: trace file.  Not serialized (unbounded for long runs).
+    trace_latencies: dict[str, float] = field(default_factory=dict)
     latency: dict[str, float] = field(default_factory=dict)
     #: Latency of ``/complete`` requests whose response carried a *fresh*
     #: assignment — the client-observed per-iteration solve latency.
@@ -131,6 +137,7 @@ class LoadgenResult:
             "duplicate_display_violations": self.duplicate_display_violations,
             "duration_seconds": round(self.duration_seconds, 4),
             "requests": self.requests,
+            "traced_requests": self.traced_requests,
             "requests_per_second": round(self.requests_per_second, 2),
             "latency_seconds": {k: round(v, 6) for k, v in self.latency.items()},
             "assign_latency_seconds": {
@@ -246,6 +253,12 @@ class _SimulatedWorker:
                 self.shared.result.http_errors += 1
             if isinstance(body, dict) and body.get("deadline_exceeded"):
                 self.shared.result.deadline_exceeded_responses += 1
+            trace_id = self.client.last_headers.get("x-trace-id")
+            if trace_id:
+                self.shared.result.traced_requests += 1
+                self.shared.result.trace_latencies[trace_id] = (
+                    time.perf_counter() - started
+                )
             return status, body
 
     @staticmethod
@@ -458,6 +471,18 @@ def main(argv: list[str] | None = None) -> int:
         help="corpus size for --spawn-server",
     )
     parser.add_argument("--strategy", default="hta-gre")
+    parser.add_argument(
+        "--solver-workers", type=int, default=0,
+        help="solver worker processes for --spawn-server (0 = in-loop solves)",
+    )
+    parser.add_argument(
+        "--trace-file", default=None,
+        help="JSONL trace file for the spawned daemon (--spawn-server only)",
+    )
+    parser.add_argument(
+        "--trace-sample-rate", type=float, default=0.0,
+        help="fraction of requests the spawned daemon traces, in [0, 1]",
+    )
     args = parser.parse_args(argv)
     config = LoadgenConfig(
         host=args.host,
@@ -472,8 +497,24 @@ def main(argv: list[str] | None = None) -> int:
         request_deadline=args.deadline_ms / 1000.0,
     )
     if args.spawn_server:
+        serve_config = None
+        if args.trace_file or args.trace_sample_rate > 0 or args.solver_workers > 0:
+            from .app import ServeConfig
+
+            serve_config = ServeConfig(
+                strategy=args.strategy,
+                seed=args.seed,
+                solver_workers=args.solver_workers,
+                trace_file=args.trace_file,
+                trace_sample_rate=args.trace_sample_rate,
+            )
         result, snapshot = asyncio.run(
-            run_self_contained(config, n_tasks=args.tasks, strategy=args.strategy)
+            run_self_contained(
+                config,
+                n_tasks=args.tasks,
+                strategy=args.strategy,
+                serve_config=serve_config,
+            )
         )
         payload = {"loadgen": result.to_dict(), "daemon_metrics": snapshot}
     else:

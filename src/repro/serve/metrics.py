@@ -12,6 +12,7 @@ the per-request hot path of the daemon.
 
 from __future__ import annotations
 
+import bisect
 import math
 import threading
 from collections import deque
@@ -133,10 +134,11 @@ class Histogram:
             self._count += 1
             self._sum += value
             self._reservoir.append(value)
-            for i, edge in enumerate(self.buckets):
-                if value <= edge:
-                    self._bucket_counts[i] += 1
-                    break
+            # First bucket whose edge >= value, i.e. Prometheus `le`
+            # semantics; values beyond the last edge land only in +Inf.
+            index = bisect.bisect_left(self.buckets, value)
+            if index < len(self.buckets):
+                self._bucket_counts[index] += 1
 
     @property
     def count(self) -> int:
@@ -186,6 +188,12 @@ class Histogram:
 
 
 def _format_value(value: float) -> str:
+    if not math.isfinite(value):
+        # Prometheus exposition spelling for non-finite samples (an observed
+        # +inf makes a histogram's _sum legitimately infinite).
+        if math.isnan(value):
+            return "NaN"
+        return "+Inf" if value > 0 else "-Inf"
     if value == int(value) and abs(value) < 1e15:
         return str(int(value))
     return repr(float(value))

@@ -104,23 +104,39 @@ def encode_response(
     body: bytes,
     content_type: str = "application/json",
     keep_alive: bool = True,
+    extra_headers: "dict[str, str] | None" = None,
 ) -> bytes:
-    """Serialize one HTTP/1.1 response."""
+    """Serialize one HTTP/1.1 response.
+
+    ``extra_headers`` (e.g. ``x-trace-id``) are appended after the standard
+    set; names and values must be latin-1 encodable.
+    """
     reason = _REASONS.get(status, "Unknown")
     connection = "keep-alive" if keep_alive else "close"
+    extra = "".join(
+        f"{name}: {value}\r\n" for name, value in (extra_headers or {}).items()
+    )
     head = (
         f"HTTP/1.1 {status} {reason}\r\n"
         f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
         f"Connection: {connection}\r\n"
+        f"{extra}"
         "\r\n"
     )
     return head.encode("latin-1") + body
 
 
-def json_response(status: int, payload: object, keep_alive: bool = True) -> bytes:
+def json_response(
+    status: int,
+    payload: object,
+    keep_alive: bool = True,
+    extra_headers: "dict[str, str] | None" = None,
+) -> bytes:
     body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
-    return encode_response(status, body, keep_alive=keep_alive)
+    return encode_response(
+        status, body, keep_alive=keep_alive, extra_headers=extra_headers
+    )
 
 
 def text_response(
@@ -147,6 +163,10 @@ class HttpClient:
         self._port = port
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
+        #: Response headers of the most recent request (lower-cased names);
+        #: lets callers read e.g. ``x-trace-id`` without changing the
+        #: ``(status, body)`` return shape.
+        self.last_headers: dict[str, str] = {}
 
     async def _ensure_connected(self) -> None:
         if self._writer is None or self._writer.is_closing():
@@ -206,6 +226,7 @@ class HttpClient:
             if line:
                 name, _, value = line.partition(":")
                 headers[name.strip().lower()] = value.strip()
+        self.last_headers = headers
         length = int(headers.get("content-length", "0"))
         body = await self._reader.readexactly(length) if length else b""
         if headers.get("connection", "").lower() == "close":

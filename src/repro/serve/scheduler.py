@@ -14,6 +14,13 @@ invocation per tick instead of one per request).  With a *coroutine*
 ``solve_batch`` — the :class:`repro.serve.engine.SolveEngine` path — batches
 are dispatched as concurrent tasks (bounded by ``max_concurrency``) and the
 solve compute leaves the loop entirely.
+
+Tracing: :meth:`submit` accepts the request's trace and opens its ``queue``
+span; when the batch lands, the stage spans collected in the batch's
+:class:`~repro.serve.tracing.SolveContext` are adopted into every member
+trace.  All scheduler metrics — sync and async paths alike — flow through
+one :class:`~repro.serve.tracing.SpanMetrics` seam fed with the batch span,
+so the ``serve_solve*`` family cannot drift from what the traces record.
 """
 
 from __future__ import annotations
@@ -25,23 +32,47 @@ from collections.abc import Callable, Sequence
 
 from ..crowd.events import TasksAssigned
 from .metrics import MetricsRegistry
+from .tracing import NULL_TRACE, SolveContext, Span, SpanMetrics, Trace
 
 #: Batch-size histogram buckets (1..256 workers per solve).
 _BATCH_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
 
-BatchSolveFn = Callable[[Sequence[str]], dict[str, TasksAssigned]]
+#: A batch-solve callable: ``(worker_ids)`` or ``(worker_ids, ctx)`` where
+#: ``ctx`` is the batch's :class:`SolveContext` (stage-span sink).
+BatchSolveFn = Callable[..., dict[str, TasksAssigned]]
+
+#: One parked request: its future, its trace, and its open queue span.
+_Waiter = tuple
+
+
+def _accepts_context(solve_batch: BatchSolveFn) -> bool:
+    """Whether ``solve_batch`` takes a second (SolveContext) parameter."""
+    try:
+        parameters = inspect.signature(solve_batch).parameters.values()
+    except (TypeError, ValueError):
+        return False
+    positional = [
+        p for p in parameters
+        if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+    ]
+    return len(positional) >= 2 or any(
+        p.kind == p.VAR_POSITIONAL for p in parameters
+    )
 
 
 class SolveScheduler:
     """Coalesces due-for-reassignment workers into batched HTA solves.
 
     Args:
-        solve_batch: Called with the deduplicated worker ids of one batch;
-            returns the installed display events keyed by worker (a worker
-            may be absent when the pool had nothing left for it).
+        solve_batch: Called with the deduplicated worker ids of one batch
+            (plus the batch's :class:`SolveContext` when its signature has a
+            second parameter); returns the installed display events keyed by
+            worker (a worker may be absent when the pool had nothing left
+            for it).
         registry: Metrics sink; the scheduler owns ``serve_solves_total``,
             ``serve_solve_seconds``, ``serve_solve_batch_size`` and
-            ``serve_solve_errors_total``.
+            ``serve_solve_errors_total``, all updated through one
+            :class:`SpanMetrics` route.
         max_batch_delay: Seconds the loop waits after the first due worker
             for stragglers to join the batch (the latency/batching knob).
             Overflow left behind by a size-capped batch skips this wait and
@@ -74,30 +105,36 @@ class SolveScheduler:
             raise ValueError(f"max_concurrency must be >= 1, got {max_concurrency}")
         self._solve_batch = solve_batch
         self._is_async = inspect.iscoroutinefunction(solve_batch)
+        self._accepts_ctx = _accepts_context(solve_batch)
         self._max_batch_delay = max_batch_delay
         self._max_batch_size = max_batch_size
         self._solve_observer = solve_observer
         self._concurrency = asyncio.Semaphore(max_concurrency)
         self._inflight: set[asyncio.Task] = set()
         self._due: dict[str, None] = {}  # insertion-ordered set
-        self._waiters: dict[str, list[asyncio.Future]] = {}
+        self._waiters: dict[str, list[_Waiter]] = {}
         self._wakeup: asyncio.Event = asyncio.Event()
         self._runner: asyncio.Task | None = None
         self._drain_overflow = False
         self._closed = False
-        self._solves = registry.counter(
-            "serve_solves_total", "Background HTA solve batches executed"
-        )
-        self._solve_errors = registry.counter(
-            "serve_solve_errors_total", "Solve batches that raised"
-        )
-        self._solve_seconds = registry.histogram(
-            "serve_solve_seconds", "Latency of one batched HTA solve in seconds"
-        )
-        self._batch_size = registry.histogram(
-            "serve_solve_batch_size",
-            "Workers reassigned per solve batch",
-            buckets=_BATCH_BUCKETS,
+        self._span_metrics = SpanMetrics().route(
+            "solve_batch",
+            seconds=registry.histogram(
+                "serve_solve_seconds", "Latency of one batched HTA solve in seconds"
+            ),
+            count=registry.counter(
+                "serve_solves_total", "Background HTA solve batches executed"
+            ),
+            errors=registry.counter(
+                "serve_solve_errors_total", "Solve batches that raised"
+            ),
+            attr_histograms={
+                "batch_size": registry.histogram(
+                    "serve_solve_batch_size",
+                    "Workers reassigned per solve batch",
+                    buckets=_BATCH_BUCKETS,
+                )
+            },
         )
 
     @property
@@ -122,22 +159,30 @@ class SolveScheduler:
         if self._inflight:
             await asyncio.gather(*self._inflight, return_exceptions=True)
         for waiters in self._waiters.values():
-            for future in waiters:
+            for future, _, _ in waiters:
                 if not future.done():
                     future.set_exception(RuntimeError("scheduler stopped"))
         self._waiters.clear()
         self._due.clear()
 
-    def submit(self, worker_id: str) -> "asyncio.Future[TasksAssigned | None]":
+    def submit(
+        self, worker_id: str, trace: "Trace | None" = None
+    ) -> "asyncio.Future[TasksAssigned | None]":
         """Mark ``worker_id`` due; the future resolves with its new display.
 
         Resolves with ``None`` when the solve ran but the pool had nothing
-        left for this worker (its current display stands).
+        left for this worker (its current display stands).  ``trace``, when
+        given, gets a ``queue`` span (submit until batch dispatch) and the
+        batch's stage spans adopted on completion.
         """
         if self._closed:
             raise RuntimeError("scheduler is stopped")
+        trace = trace if trace is not None else NULL_TRACE
+        queue_span = trace.begin("queue", queue_depth=len(self._due))
         future = asyncio.get_running_loop().create_future()
-        self._waiters.setdefault(worker_id, []).append(future)
+        self._waiters.setdefault(worker_id, []).append(
+            (future, trace, queue_span)
+        )
         self._due[worker_id] = None
         self._wakeup.set()
         return future
@@ -167,6 +212,9 @@ class SolveScheduler:
             # Capture this batch's waiters now: a worker resubmitted while
             # its solve is in flight must resolve with the *next* batch.
             waiters = {w: self._waiters.pop(w, []) for w in batch}
+            for entries in waiters.values():
+                for _, _, queue_span in entries:
+                    queue_span.end(batch_size=len(batch))
             if self._is_async:
                 await self._dispatch_async(batch, waiters)
             else:
@@ -190,7 +238,7 @@ class SolveScheduler:
                 return
 
     async def _dispatch_async(
-        self, batch: list[str], waiters: dict[str, list[asyncio.Future]]
+        self, batch: list[str], waiters: dict[str, list[_Waiter]]
     ) -> None:
         """Launch one batch as a task, bounded by ``max_concurrency``."""
         await self._concurrency.acquire()
@@ -204,56 +252,84 @@ class SolveScheduler:
         self._inflight.add(task)
         task.add_done_callback(self._inflight.discard)
 
+    def _call_solve(self, batch: list[str], ctx: SolveContext):
+        if self._accepts_ctx:
+            return self._solve_batch(batch, ctx)
+        return self._solve_batch(batch)
+
     async def _execute_async(
-        self, batch: list[str], waiters: dict[str, list[asyncio.Future]]
+        self, batch: list[str], waiters: dict[str, list[_Waiter]]
     ) -> None:
+        ctx = SolveContext()
         started = time.perf_counter()
         try:
-            events = await self._solve_batch(batch)
+            events = await self._call_solve(batch, ctx)
         except Exception as exc:  # resolve waiters; the daemon stays up
-            self._solve_errors.inc()
-            self._fail_waiters(waiters, exc)
+            self._finish_batch(batch, waiters, ctx, started, error=exc)
             return
         finally:
             self._concurrency.release()
-        self._record(len(batch), time.perf_counter() - started)
-        for worker_id in batch:
-            self._resolve(waiters.get(worker_id, ()), events.get(worker_id))
+        self._finish_batch(batch, waiters, ctx, started, events=events)
 
     def _execute(
-        self, batch: list[str], waiters: dict[str, list[asyncio.Future]]
+        self, batch: list[str], waiters: dict[str, list[_Waiter]]
     ) -> None:
+        ctx = SolveContext()
         started = time.perf_counter()
         try:
-            events = self._solve_batch(batch)
+            events = self._call_solve(batch, ctx)
         except Exception as exc:  # resolve waiters; the daemon stays up
-            self._solve_errors.inc()
-            self._fail_waiters(waiters, exc)
+            self._finish_batch(batch, waiters, ctx, started, error=exc)
             return
-        self._record(len(batch), time.perf_counter() - started)
-        for worker_id in batch:
-            self._resolve(waiters.get(worker_id, ()), events.get(worker_id))
+        self._finish_batch(batch, waiters, ctx, started, events=events)
 
-    def _record(self, batch_len: int, elapsed: float) -> None:
-        self._solves.inc()
-        self._solve_seconds.observe(elapsed)
-        self._batch_size.observe(batch_len)
-        if self._solve_observer is not None:
+    def _finish_batch(
+        self,
+        batch: list[str],
+        waiters: dict[str, list[_Waiter]],
+        ctx: SolveContext,
+        started: float,
+        events: dict[str, TasksAssigned] | None = None,
+        error: Exception | None = None,
+    ) -> None:
+        """One exit point for both solve paths: metrics through the span
+        seam, stage spans into member traces, futures resolved or failed."""
+        elapsed = time.perf_counter() - started
+        batch_span = Span(
+            "solve_batch",
+            start=started,
+            duration=elapsed,
+            attrs={"batch_size": len(batch), **ctx.attrs},
+            status="ok" if error is None else "error",
+            error=None if error is None else f"{type(error).__name__}: {error}",
+        )
+        self._span_metrics.observe(batch_span)
+        if error is None and self._solve_observer is not None:
             self._solve_observer(elapsed)
+        for worker_id, entries in waiters.items():
+            for future, trace, _ in entries:
+                for span in ctx.spans:
+                    trace.adopt(span)
+                if error is not None:
+                    trace.adopt(
+                        Span(
+                            "solve_error",
+                            start=started,
+                            duration=elapsed,
+                            status="error",
+                            error=batch_span.error,
+                        )
+                    )
+                    if not future.done():
+                        future.set_exception(error)
+                elif not future.done():
+                    future.set_result(events.get(worker_id))
 
     @staticmethod
     def _fail_waiters(
-        waiters: dict[str, list[asyncio.Future]], error: Exception
+        waiters: dict[str, list[_Waiter]], error: Exception
     ) -> None:
-        for futures in waiters.values():
-            for future in futures:
+        for entries in waiters.values():
+            for future, _, _ in entries:
                 if not future.done():
                     future.set_exception(error)
-
-    @staticmethod
-    def _resolve(
-        futures: "Sequence[asyncio.Future]", event: TasksAssigned | None
-    ) -> None:
-        for future in futures:
-            if not future.done():
-                future.set_result(event)

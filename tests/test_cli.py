@@ -81,3 +81,59 @@ class TestDiagnoseCommand:
                      "--x-max", "1", "--seed", "0"])
         assert code == 1
         assert "xmax-one" in capsys.readouterr().out
+
+
+class TestTraceSummarizeCommand:
+    @staticmethod
+    def write_trace_file(path, include_unclosed=False):
+        import json
+
+        records = [
+            {"trace_id": "r-1", "name": "request", "status": "ok",
+             "closed": True, "duration": 0.1,
+             "spans": [
+                 {"name": "queue", "start": 0.0, "duration": 0.02,
+                  "status": "ok"},
+                 {"name": "solve", "start": 0.02, "duration": 0.07,
+                  "status": "ok"},
+             ]},
+            {"trace_id": "r-2", "name": "request", "status": "ok",
+             "closed": True, "duration": 0.05,
+             "spans": [
+                 {"name": "queue", "start": 0.0, "duration": 0.04,
+                  "status": "ok"},
+             ]},
+        ]
+        if include_unclosed:
+            records.append(
+                {"trace_id": "r-3", "name": "request", "status": "ok",
+                 "closed": False, "duration": None, "spans": []}
+            )
+        path.write_text(
+            "\n".join(json.dumps(record) for record in records) + "\n"
+        )
+
+    def test_summarize_renders_the_stage_table(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        self.write_trace_file(path)
+        assert main(["trace", "summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "queue" in out and "solve" in out and "(root)" in out
+        assert "traces: 2" in out
+        assert "unclosed roots: 0" in out
+
+    def test_strict_fails_on_unclosed_roots(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        self.write_trace_file(path, include_unclosed=True)
+        assert main(["trace", "summarize", str(path)]) == 0  # lenient default
+        assert main(["trace", "summarize", str(path), "--strict"]) == 1
+        assert "trace leak" in capsys.readouterr().err
+
+    def test_strict_fails_on_an_empty_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("")
+        assert main(["trace", "summarize", str(path)]) == 0
+        assert main(["trace", "summarize", str(path), "--strict"]) == 1
+
+    def test_missing_file_is_a_usage_error(self, tmp_path):
+        assert main(["trace", "summarize", str(tmp_path / "nope.jsonl")]) == 2

@@ -93,3 +93,90 @@ class TestRegistry:
         snap = registry.snapshot()
         assert snap["ops_total"] == 2.0
         assert snap["lat_seconds"]["count"] == 1.0
+
+
+class TestHistogramProperties:
+    """Property-based checks on the bucket math (hypothesis)."""
+
+    hypothesis = pytest.importorskip("hypothesis")
+    given = hypothesis.given
+    settings = hypothesis.settings
+    st = hypothesis.strategies
+
+    #: Finite, strictly sorted bucket-edge lists.
+    edges = st.lists(
+        st.floats(
+            min_value=-1e6, max_value=1e6,
+            allow_nan=False, allow_infinity=False,
+        ),
+        min_size=1, max_size=8, unique=True,
+    ).map(sorted)
+    #: Observation values; +inf is legal (it lands only in the implicit
+    #: +Inf bucket), NaN is not meaningful for a latency histogram.
+    values = st.lists(
+        st.floats(
+            min_value=-1e9, max_value=1e9,
+            allow_nan=False, allow_infinity=False,
+        )
+        | st.just(float("inf")),
+        min_size=0, max_size=60,
+    )
+
+    @staticmethod
+    def parse_buckets(h: Histogram) -> list[tuple[str, int]]:
+        """(le, cumulative_count) pairs in render order, +Inf last."""
+        out = []
+        for line in h.render().splitlines():
+            if "_bucket{" in line:
+                le = line.split('le="')[1].split('"')[0]
+                out.append((le, int(line.rsplit(" ", 1)[1])))
+        return out
+
+    @given(edges=edges, values=values)
+    @settings(max_examples=60, deadline=None)
+    def test_cumulative_counts_are_monotone_and_end_at_count(
+        self, edges, values
+    ):
+        h = Histogram("p_seconds", buckets=edges)
+        for value in values:
+            h.observe(value)
+        rendered = self.parse_buckets(h)
+        counts = [count for _, count in rendered]
+        assert counts == sorted(counts)  # cumulative ⇒ monotone
+        assert rendered[-1][0] == "+Inf"
+        assert rendered[-1][1] == h.count == len(values)
+
+    @given(edges=edges, values=values)
+    @settings(max_examples=60, deadline=None)
+    def test_each_bucket_counts_exactly_le_values(self, edges, values):
+        h = Histogram("p_seconds", buckets=edges)
+        for value in values:
+            h.observe(value)
+        for edge, cumulative in zip(h.buckets, self.parse_buckets(h)):
+            assert cumulative[1] == sum(1 for v in values if v <= edge)
+
+    @given(edges=edges, values=values)
+    @settings(max_examples=60, deadline=None)
+    def test_sum_and_count_are_consistent(self, edges, values):
+        h = Histogram("p_seconds", buckets=edges)
+        for value in values:
+            h.observe(value)
+        assert h.count == len(values)
+        assert h.sum == sum(values)  # same accumulation order ⇒ exact
+        assert f"p_seconds_count {len(values)}" in h.render()
+
+    def test_exact_boundaries_at_edge_values(self):
+        h = Histogram("edge_seconds", buckets=(0.0, 0.5, 1.0))
+        h.observe(0.0)   # le="0" is inclusive
+        h.observe(0.5)   # sits IN the 0.5 bucket, not above it
+        h.observe(0.5000001)
+        h.observe(float("inf"))  # only the implicit +Inf bucket
+        rendered = dict(self.parse_buckets(h))
+        assert rendered["0"] == 1
+        assert rendered["0.5"] == 2
+        assert rendered["1"] == 3
+        assert rendered["+Inf"] == 4
+
+    def test_infinite_finite_edges_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            Histogram("bad_seconds", buckets=(0.1, float("inf")))

@@ -707,3 +707,142 @@ class TestSnapshotRestore:
         assert taken >= 8  # snapshot_every=1 fires per solve, plus one at stop
         # ... but the store keeps a bounded history.
         assert 1 <= daemon._snapshots.count(SNAPSHOT_KIND) <= 5
+
+
+# -- e2e: traced failure edges ------------------------------------------------
+
+
+class TestTracedFailureEdges:
+    """The two untested windows: a deadline expiring after the scheduler
+    dequeued the batch but before the solve landed, and a worker process
+    dying mid-solve.  Both must answer the request AND leave a complete,
+    closed trace carrying an error span — never a hung request or a leak."""
+
+    def test_deadline_expires_between_dequeue_and_solve_completion(self):
+        async def scenario():
+            daemon = AssignmentDaemon(
+                make_pool(300),
+                serve_config(
+                    max_batch_delay=0.0,
+                    service=ServiceConfig(
+                        x_max=5, n_random_pad=2, reassign_after=1,
+                        min_pending=1, candidate_cap=None,
+                    ),
+                    resilience=ResilienceConfig(request_deadline=0.08),
+                    trace_sample_rate=1.0,
+                ),
+            )
+            # Shadow the batch solve with a slow coroutine BEFORE start():
+            # the scheduler dequeues and dispatches immediately (async
+            # path), then the request's deadline expires while the solve is
+            # still in flight — the exact window under test.
+            original = daemon._solve_batch
+
+            async def slow_solve(worker_ids, ctx):
+                await asyncio.sleep(0.25)
+                return original(worker_ids, ctx)
+
+            daemon._solve_batch = slow_solve
+            await daemon.start()
+            client = HttpClient("127.0.0.1", daemon.port)
+            try:
+                status, body = await client.request(
+                    "POST", "/workers", {"worker_id": "dee", "keywords": ["k1"]}
+                )
+                assert status == 200
+                first = body["display"]["pending"][0]
+                status, body = await client.request(
+                    "POST", "/complete", {"worker_id": "dee", "task_id": first}
+                )
+                trace_id = client.last_headers["x-trace-id"]
+                # The solve lands after the response; wait for it so the
+                # straggler spans hit the closed trace (late-span path).
+                for _ in range(60):
+                    await asyncio.sleep(0.05)
+                    if daemon.registry.get(
+                        "serve_trace_late_spans_total"
+                    ).value > 0:
+                        break
+                _, polled = await client.request("GET", "/display/dee")
+                trace = daemon.tracer.get(trace_id)
+                return (
+                    status, body, trace.to_dict(), polled,
+                    daemon.registry.snapshot(),
+                )
+            finally:
+                await client.close()
+                await daemon.stop()
+
+        status, body, trace, polled, metrics = asyncio.run(
+            asyncio.wait_for(scenario(), timeout=30.0)
+        )
+        # The request answered in time, from the stale display.
+        assert status == 200
+        assert body["deadline_exceeded"] is True
+        assert body["reassigned"] is False
+        # Its trace is complete: closed root, queue span from the dequeue,
+        # and a deadline error span marking why it ended early.
+        assert trace["closed"] is True
+        names = [span["name"] for span in trace["spans"]]
+        assert "queue" in names
+        deadline_span = trace["spans"][names.index("deadline")]
+        assert deadline_span["status"] == "error"
+        assert "deadline" in deadline_span["error"]
+        # The straggler solve's spans were dropped and counted, not leaked
+        # into the closed trace.
+        assert metrics["serve_trace_late_spans_total"] > 0
+        assert "solve" not in names
+        # And the solve still installed the fresh display afterwards.
+        assert polled["display"]["iteration"] == 1
+        assert metrics["serve_deadline_exceeded_total"] == 1
+
+    def test_worker_process_crash_mid_solve(self):
+        async def check(daemon, client):
+            status, body = await client.request(
+                "POST", "/workers", {"worker_id": "vic", "keywords": ["k2"]}
+            )
+            assert status == 200
+            first = body["display"]["pending"][0]
+            # First reassignment: the injected crash kills the solver
+            # process mid-solve (BrokenProcessPool).
+            status, body = await client.request(
+                "POST", "/complete", {"worker_id": "vic", "task_id": first}
+            )
+            crash_trace_id = client.last_headers["x-trace-id"]
+            assert status == 200  # stale display, not a 5xx
+            assert body["reassigned"] is False
+            # Second reassignment: the crash budget is spent and the pool
+            # was rebuilt, so this one must solve normally.
+            second = body["display"]["pending"][0]
+            status, recovered = await client.request(
+                "POST", "/complete", {"worker_id": "vic", "task_id": second}
+            )
+            assert status == 200
+            trace = daemon.tracer.get(crash_trace_id)
+            return trace.to_dict(), recovered, daemon.registry.snapshot()
+
+        trace, recovered, metrics = with_daemon(
+            check,
+            timeout=60.0,
+            service=ServiceConfig(
+                x_max=5, n_random_pad=2, reassign_after=1, min_pending=1,
+                candidate_cap=None,
+            ),
+            solver_workers=1,
+            fault_plan=FaultPlan(worker_crash_p=1.0, max_worker_crashes=1),
+            trace_sample_rate=1.0,
+        )
+        # The crashed request's trace is complete and carries error spans.
+        assert trace["closed"] is True
+        spans = {span["name"]: span for span in trace["spans"]}
+        assert spans["solve"]["status"] == "error"
+        assert "BrokenProcessPool" in spans["solve"]["error"]
+        assert spans["solve_error"]["status"] == "error"
+        # One injected crash, one pool rebuild, one degraded answer.
+        assert metrics["serve_fault_worker_crashes_total"] == 1
+        assert metrics["serve_engine_pool_rebuilds_total"] == 1
+        assert metrics["serve_degraded_responses_total"] == 1
+        assert metrics["serve_engine_solve_errors_total"] == 1
+        # The rebuilt pool serves the very next solve.
+        assert recovered["reassigned"] is True
+        assert metrics["serve_engine_solves_total"] == 1

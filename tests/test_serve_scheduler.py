@@ -334,3 +334,121 @@ class TestFailureModes:
             await asyncio.wait_for(run(), timeout=5.0)
 
         asyncio.run(scenario())
+
+
+class TestTraceThreading:
+    """Traces ride through submit(); batch stage spans are adopted into
+    every member trace, and metrics flow through the one SpanMetrics seam."""
+
+    def test_queue_span_and_ctx_adoption(self):
+        from repro.serve.scheduler import SolveContext
+        from repro.serve.tracing import Trace
+
+        def solve(worker_ids, ctx: SolveContext):
+            with ctx.span("solve", tier="hta-gre"):
+                pass
+            return {w: FakeEvent(w) for w in worker_ids}
+
+        async def scenario():
+            scheduler = SolveScheduler(
+                solve, MetricsRegistry(), max_batch_delay=0.01
+            )
+            scheduler.start()
+            traces = [Trace(f"t-{i}") for i in range(2)]
+            futures = [
+                scheduler.submit(f"w{i}", trace=traces[i]) for i in range(2)
+            ]
+            await asyncio.gather(*futures)
+            await scheduler.stop()
+            return traces
+
+        traces = asyncio.run(scenario())
+        for trace in traces:
+            names = [span.name for span in trace.spans]
+            assert names == ["queue", "solve"]
+            queue_span = trace.spans[0]
+            assert queue_span.attrs["batch_size"] == 2
+            assert "queue_depth" in queue_span.attrs
+            assert trace.spans[1].attrs == {"tier": "hta-gre"}
+
+    def test_solve_fn_without_ctx_parameter_still_works(self):
+        from repro.serve.tracing import Trace
+
+        async def scenario():
+            log = []
+            scheduler = SolveScheduler(
+                make_solver(log), MetricsRegistry(), max_batch_delay=0.0
+            )
+            scheduler.start()
+            trace = Trace("t-0")
+            await scheduler.submit("w0", trace=trace)
+            await scheduler.stop()
+            return log, trace
+
+        log, trace = asyncio.run(scenario())
+        assert log == [["w0"]]
+        assert [span.name for span in trace.spans] == ["queue"]
+
+    def test_error_batch_adopts_a_solve_error_span(self):
+        from repro.serve.tracing import Trace
+
+        def explode(worker_ids):
+            raise RuntimeError("bad batch")
+
+        async def scenario():
+            registry = MetricsRegistry()
+            scheduler = SolveScheduler(
+                explode, registry, max_batch_delay=0.0
+            )
+            scheduler.start()
+            trace = Trace("t-err")
+            with pytest.raises(RuntimeError, match="bad batch"):
+                await scheduler.submit("w0", trace=trace)
+            await scheduler.stop()
+            return registry, trace
+
+        registry, trace = asyncio.run(scenario())
+        names = [span.name for span in trace.spans]
+        assert "solve_error" in names
+        error_span = trace.spans[names.index("solve_error")]
+        assert error_span.status == "error"
+        assert "bad batch" in error_span.error
+        assert registry.get("serve_solve_errors_total").value == 1
+        assert registry.get("serve_solves_total").value == 0
+
+    def test_sync_and_async_paths_share_the_metrics_seam(self):
+        """The satellite fix: both execute paths exit through one
+        _finish_batch, so their metric updates are structurally identical."""
+
+        async def async_solve(worker_ids):
+            return {w: FakeEvent(w) for w in worker_ids}
+
+        def sync_solve(worker_ids):
+            return {w: FakeEvent(w) for w in worker_ids}
+
+        def run(solve):
+            async def scenario():
+                registry = MetricsRegistry()
+                scheduler = SolveScheduler(
+                    solve, registry, max_batch_delay=0.01
+                )
+                scheduler.start()
+                await asyncio.gather(
+                    scheduler.submit("w0"), scheduler.submit("w1")
+                )
+                await scheduler.stop()
+                return registry.snapshot()
+
+            return asyncio.run(scenario())
+
+        sync_snap, async_snap = run(sync_solve), run(async_solve)
+        keys = (
+            "serve_solves_total",
+            "serve_solve_errors_total",
+        )
+        for key in keys:
+            assert sync_snap[key] == async_snap[key]
+        assert sync_snap["serve_solve_batch_size"]["mean"] == 2.0
+        assert async_snap["serve_solve_batch_size"]["mean"] == 2.0
+        assert sync_snap["serve_solve_seconds"]["count"] == 1.0
+        assert async_snap["serve_solve_seconds"]["count"] == 1.0
