@@ -9,6 +9,7 @@ Subcommands:
 * ``teams`` — team formation for collaborative tasks (future-work demo);
 * ``report`` — run every experiment and write a markdown report;
 * ``serve`` — run the online assignment daemon (JSON over HTTP);
+* ``replay`` — re-drive a recorded serve journal and check bit-identity;
 * ``solvers`` — list registered solvers.
 """
 
@@ -154,7 +155,31 @@ def _build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--trace-sample-rate", type=float, default=0.0,
                          help="fraction of requests to trace, in [0, 1] "
                               "(0 disables tracing, 1 traces everything)")
+    p_serve.add_argument("--journal", default=None, metavar="JOURNAL.jsonl",
+                         help="record a deterministic flight journal of every "
+                              "request and solve (replay it with "
+                              "`repro replay`)")
     p_serve.set_defaults(handler=_cmd_serve)
+
+    p_replay = sub.add_parser(
+        "replay",
+        help="re-drive a recorded serve journal and check bit-identity",
+    )
+    p_replay.add_argument("journal", help="JSONL journal written by "
+                                          "`repro serve --journal`")
+    p_replay.add_argument("--engine", action="store_true",
+                          help="replay with the engine's worker-process solve "
+                               "semantics instead of in-loop semantics")
+    p_replay.add_argument("--differential", action="store_true",
+                          help="replay under every configuration that must "
+                               "agree (in-loop, engine, oracle kernels) and "
+                               "report each variant's first divergence")
+    p_replay.add_argument("--pin-tier", default=None, metavar="SOLVER",
+                          help="with --differential, also replay with every "
+                               "solve pinned to this degradation-ladder tier "
+                               "(a diagnostic; divergence is reported but "
+                               "not fatal)")
+    p_replay.set_defaults(handler=_cmd_replay)
 
     p_trace = sub.add_parser(
         "trace", help="work with request trace files (see docs/SERVING.md)"
@@ -322,6 +347,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         restore=args.restore,
         trace_file=args.trace_file,
         trace_sample_rate=args.trace_sample_rate,
+        journal_path=args.journal,
+        corpus_spec={
+            "kind": "crowdflower", "n_tasks": args.tasks, "seed": args.seed,
+        },
     )
     if fault_plan is not None:
         print(f"fault injection active: {fault_plan.to_dict()}")
@@ -334,6 +363,64 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         print("daemon stopped")
     return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from .serve.replay import (
+        ReplayError,
+        ReplayVariant,
+        default_variants,
+        load_journal,
+        pool_from_corpus_spec,
+        replay_differential,
+        replay_journal,
+    )
+
+    path = Path(args.journal)
+    if not path.exists():
+        print(f"no such journal: {path}", file=sys.stderr)
+        return 2
+    try:
+        journal = load_journal(path)
+        pool = pool_from_corpus_spec(journal.corpus_spec)
+    except ReplayError as exc:
+        print(f"cannot replay {path}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.differential:
+            reports = replay_differential(
+                journal, pool, variants=default_variants(pin_tier=args.pin_tier)
+            )
+        else:
+            label = "engine" if args.engine else "in-loop"
+            reports = [
+                replay_journal(
+                    journal,
+                    pool,
+                    ReplayVariant(label, engine_semantics=args.engine),
+                )
+            ]
+    except ReplayError as exc:
+        print(f"cannot replay {path}: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps([r.to_dict() for r in reports], indent=2, sort_keys=True))
+    # A pinned tier diverging from an adaptively-recorded run is the
+    # diagnostic, not a failure; every other variant must match.
+    failed = [
+        r for r in reports if not r.ok and not r.variant.startswith("pin:")
+    ]
+    for report in failed:
+        print(
+            f"divergence [{report.variant}]: {report.divergence.describe()}"
+            if report.divergence is not None
+            else f"divergence [{report.variant}]: "
+                 f"{report.disjointness_violations} disjointness violation(s)",
+            file=sys.stderr,
+        )
+    return 1 if failed else 0
 
 
 def _cmd_trace_summarize(args: argparse.Namespace) -> int:

@@ -150,6 +150,27 @@ class PreparedSolve:
     instance: HTAInstance
     solver_name: str
     seed: int
+    #: Monotonic per-service lease number; identifies this solve in the
+    #: service's outstanding-lease table (and in replay journals).
+    lease_id: int = -1
+
+
+def execute_prepared(prepared: PreparedSolve) -> dict[str, tuple[str, ...]]:
+    """Run a prepared solve with its own derived RNG stream.
+
+    This is the *same* computation the serving layer's process-pool engine
+    performs in a worker (:func:`repro.serve.engine._solve_request`, minus
+    the pickling): the solver named at prepare time, fed a generator seeded
+    with the seed drawn at prepare time.  In-loop serving and replay both
+    call this, which is what makes an in-loop run, an engine run, and a
+    journal replay bit-identical for the same lease sequence.
+    """
+    solver = get_solver(prepared.solver_name)
+    rng = np.random.default_rng(prepared.seed)
+    result = solver.solve(prepared.instance, rng)
+    return {
+        w: tuple(result.assignment.tasks_of(w)) for w in prepared.worker_ids
+    }
 
 
 @dataclass(frozen=True)
@@ -227,6 +248,8 @@ class AssignmentService:
         self._workers: dict[str, Worker] = {}
         self._displays: dict[str, _Display] = {}
         self._iterations: dict[str, int] = {}
+        self._outstanding: dict[int, PreparedSolve] = {}
+        self._lease_seq = 0
 
     # -- queries -------------------------------------------------------------
 
@@ -254,6 +277,10 @@ class AssignmentService:
     def active_workers(self) -> list[str]:
         """Ids of every registered worker, in registration order."""
         return list(self._workers)
+
+    def worker_of(self, worker_id: str) -> "Worker | None":
+        """The registered :class:`Worker`, or ``None`` if not registered."""
+        return self._workers.get(worker_id)
 
     def set_diversity_provider(self, provider: DiversityProvider | None) -> None:
         """Install a cache that serves per-solve diversity submatrices.
@@ -314,11 +341,17 @@ class AssignmentService:
                 assigned = self._draw_random(self._config.x_max)
         return self._install_display(worker.worker_id, assigned, wall_time, 0.0)
 
-    def unregister_worker(self, worker_id: str) -> None:
-        """Session over; displayed-but-pending tasks stay dropped (paper)."""
-        self._workers.pop(worker_id, None)
+    def unregister_worker(self, worker_id: str) -> bool:
+        """Session over; displayed-but-pending tasks stay dropped (paper).
+
+        Returns whether the worker was registered — ``False`` makes retried
+        DELETEs distinguishable from first deliveries (and keeps them out of
+        replay journals).
+        """
+        present = self._workers.pop(worker_id, None) is not None
         self._displays.pop(worker_id, None)
         self._iterations.pop(worker_id, None)
+        return present
 
     def observe_completion(self, worker_id: str, task_id: str) -> None:
         """Record a completion: estimator gains + display bookkeeping."""
@@ -442,14 +475,18 @@ class AssignmentService:
             cached = self._diversity_provider([t.task_id for t in candidates])
             if cached is not None:
                 instance.prime(diversity=cached)
-        return PreparedSolve(
+        prepared = PreparedSolve(
             worker_ids=live,
             candidates=candidates,
             task_pool=tasks,
             instance=instance,
             solver_name=solver_name or self._strategy,
             seed=int(self._rng.integers(0, 2**63)),
+            lease_id=self._lease_seq,
         )
+        self._lease_seq += 1
+        self._outstanding[prepared.lease_id] = prepared
+        return prepared
 
     def commit_solve(
         self,
@@ -471,6 +508,7 @@ class AssignmentService:
         commit atomically with respect to each other.
         """
         times = session_times or {}
+        self._outstanding.pop(prepared.lease_id, None)
         self._pool_state.restore(prepared.candidates)
         events: dict[str, TasksAssigned] = {}
         for w in prepared.worker_ids:
@@ -490,7 +528,12 @@ class AssignmentService:
 
     def abandon_solve(self, prepared: PreparedSolve) -> None:
         """Release a prepared solve's lease untouched (the solve failed)."""
+        self._outstanding.pop(prepared.lease_id, None)
         self._pool_state.restore(prepared.candidates)
+
+    def outstanding_leases(self) -> list[int]:
+        """Lease ids of every prepared solve not yet committed or abandoned."""
+        return list(self._outstanding)
 
     # -- snapshot / restore ----------------------------------------------------
 
@@ -504,10 +547,21 @@ class AssignmentService:
         match what the uninterrupted process would have drawn).  Display
         matrices are not stored — they are recomputed bit-identically from
         the keyword vectors on restore.
+
+        Candidates leased to an in-flight off-loop solve are *logically*
+        still unassigned — the lease only guarantees disjointness between
+        concurrent solves — so they are part of the remaining pool here,
+        appended in lease order exactly where :meth:`TaskPoolState.restore`
+        would put them if the solve were abandoned.  Without this, a
+        snapshot taken mid-solve would silently lose every leased task on
+        restore.
         """
+        remaining = self._pool_state.task_ids()
+        for prepared in self._outstanding.values():
+            remaining.extend(t.task_id for t in prepared.candidates)
         return {
             "strategy": self._strategy,
-            "remaining_task_ids": self._pool_state.task_ids(),
+            "remaining_task_ids": remaining,
             "workers": {
                 worker_id: {
                     "interest": np.flatnonzero(worker.vector).tolist(),
@@ -548,6 +602,11 @@ class AssignmentService:
             raise SimulationError(
                 f"snapshot was taken with strategy {state.get('strategy')!r}, "
                 f"this service runs {self._strategy!r}"
+            )
+        if self._outstanding:
+            raise SimulationError(
+                f"cannot restore state with {len(self._outstanding)} solve "
+                f"lease(s) outstanding; commit or abandon them first"
             )
         n_keywords = len(self._vocabulary)
         workers: dict[str, Worker] = {}

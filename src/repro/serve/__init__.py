@@ -11,7 +11,9 @@ request-scoped stage traces (:mod:`repro.serve.tracing`).  Failure
 behaviour — deadlines, graceful degradation down the paper's own solver
 ladder, deterministic fault injection, crash-safe snapshots — lives in
 :mod:`repro.serve.resilience`.  A closed-loop load generator
-(:mod:`repro.serve.loadgen`) drives and verifies a running daemon.  See
+(:mod:`repro.serve.loadgen`) drives and verifies a running daemon, and a
+deterministic flight recorder (:mod:`repro.serve.replay`) journals every
+request and solve so a run can be replayed bit-for-bit offline.  See
 docs/SERVING.md.
 """
 
@@ -21,6 +23,19 @@ from .engine import SolveEngine
 from .loadgen import LoadgenConfig, LoadgenResult, run_loadgen, run_self_contained
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .protocol import HttpClient, HttpError
+from .replay import (
+    Divergence,
+    FlightRecorder,
+    Journal,
+    ReplayError,
+    ReplayReport,
+    ReplayVariant,
+    default_variants,
+    load_journal,
+    pool_fingerprint,
+    replay_differential,
+    replay_journal,
+)
 from .resilience import (
     DegradationController,
     FaultInjector,
@@ -44,18 +59,24 @@ __all__ = [
     "AssignmentDaemon",
     "Counter",
     "DegradationController",
+    "Divergence",
     "FaultInjector",
     "FaultPlan",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "HttpClient",
     "HttpError",
     "IncrementalDiversityCache",
     "InjectedFault",
+    "Journal",
     "LoadgenConfig",
     "LoadgenResult",
     "MetricsRegistry",
     "NULL_TRACE",
+    "ReplayError",
+    "ReplayReport",
+    "ReplayVariant",
     "ResilienceConfig",
     "ServeConfig",
     "SolveContext",
@@ -65,7 +86,12 @@ __all__ = [
     "SpanMetrics",
     "Trace",
     "TraceRecorder",
+    "default_variants",
     "degradation_ladder",
+    "load_journal",
+    "pool_fingerprint",
+    "replay_differential",
+    "replay_journal",
     "run_daemon",
     "run_loadgen",
     "run_self_contained",

@@ -28,16 +28,18 @@ from __future__ import annotations
 import asyncio
 import os
 import time
-from dataclasses import dataclass, field
+from collections import OrderedDict
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
 from ..core.task import Task, TaskPool
 from ..core.worker import Worker
 from ..crowd.events import TasksAssigned
-from ..crowd.service import AssignmentService, ServiceConfig
+from ..crowd.service import AssignmentService, ServiceConfig, execute_prepared
 from ..errors import SimulationError
 from ..storage import SnapshotStore
+from .replay import FlightRecorder, pool_fingerprint, state_fingerprint
 from .cache import IncrementalDiversityCache
 from .metrics import MetricsRegistry
 from .protocol import (
@@ -59,6 +61,9 @@ from .tracing import SolveContext, SpanMetrics, TraceRecorder
 
 #: Snapshot kind under which the daemon persists its state.
 SNAPSHOT_KIND = "serve"
+
+#: Completion responses remembered for duplicate delivery (per daemon).
+COMPLETION_CACHE_CAP = 4096
 
 
 @dataclass(frozen=True)
@@ -82,6 +87,13 @@ class ServeConfig:
     trace_file: str | None = None
     trace_sample_rate: float = 0.0
     trace_capacity: int = 512
+    #: Record every state-mutating event to this JSONL flight journal
+    #: (see :mod:`repro.serve.replay`); requires an explicit ``seed``.
+    journal_path: str | None = None
+    #: How the served corpus was generated, e.g. ``{"kind": "crowdflower",
+    #: "n_tasks": 2000, "seed": 0}`` — stored in the journal header so
+    #: ``repro replay`` can rebuild the pool without the original process.
+    corpus_spec: dict | None = None
 
 
 class AssignmentDaemon:
@@ -164,6 +176,40 @@ class AssignmentDaemon:
         self._restores = r.counter(
             "serve_restores_total", "State restores from a snapshot"
         )
+        self._deduplicated = r.counter(
+            "serve_deduplicated_completions_total",
+            "Retried completions answered from the completion cache",
+        )
+        # (worker_id, completion_key) -> the original /complete response.
+        # Scoped per registration epoch: entries are purged when the worker
+        # unregisters or registers afresh, so a later worker reusing the
+        # same key never receives a stale cached event.
+        self._completion_cache: OrderedDict[tuple[str, str], dict] = OrderedDict()
+        self._recorder: FlightRecorder | None = None
+        if self.config.journal_path:
+            if self.config.seed is None:
+                raise ValueError(
+                    "journal recording requires an explicit seed: a journal "
+                    "without the RNG origin cannot replay deterministically"
+                )
+            self._recorder = FlightRecorder(
+                self.config.journal_path,
+                header={
+                    "strategy": self.config.strategy,
+                    "seed": self.config.seed,
+                    "service": asdict(self.config.service),
+                    "pool_sha": pool_fingerprint(pool),
+                    "corpus": self.config.corpus_spec,
+                    "recorded_with": {
+                        "solver_workers": self.config.solver_workers,
+                        "fault_plan": (
+                            None
+                            if self.config.fault_plan is None
+                            else self.config.fault_plan.to_dict()
+                        ),
+                    },
+                },
+            )
         if self.config.restore:
             self.restore_latest()
 
@@ -188,6 +234,7 @@ class AssignmentDaemon:
                 self.config.solver_workers,
                 solver_names=self.degradation.ladder,
             )
+            self.engine.recorder = self._recorder
         # Engine mode: batches are coroutines, several may be in flight, and
         # the degradation controller is fed the in-worker solve time from
         # _solve_batch_async instead of the scheduler's end-to-end timing
@@ -223,6 +270,18 @@ class AssignmentDaemon:
             await self.engine.close()
             self.engine = None
         self.snapshot_now()
+        if self._recorder is not None:
+            # Final bit-identity anchor: a replay that matched every event
+            # must also land on this exact state hash, RNG position included.
+            self._recorder.record_end(
+                state_fingerprint(
+                    {
+                        "service": self.service.snapshot_state(),
+                        "displayed_ever": sorted(self._displayed_ever),
+                    }
+                )
+            )
+            self._recorder.close()
         self.tracer.close()
 
     async def serve_forever(self) -> None:
@@ -242,23 +301,42 @@ class AssignmentDaemon:
     # -- solve batching -----------------------------------------------------
 
     def _solve_batch(self, worker_ids, ctx: SolveContext) -> dict[str, TasksAssigned]:
-        """One assignment iteration for a scheduler batch."""
-        ctx.attrs["tier"] = self.degradation.strategy
+        """One assignment iteration for a scheduler batch (in-loop mode).
+
+        Runs the same prepare → solve → commit protocol as the off-loop
+        engine, with the solver on a derived per-solve seed, so the two
+        serving configurations consume the service RNG identically: a
+        journal recorded under either replays bit-identically under both
+        (``repro replay --differential`` proves it per run).
+        """
+        tier = self.degradation.strategy
+        ctx.attrs["tier"] = tier
         if self.fault is not None:
             try:
                 self.fault.on_solve()
             except InjectedFault:
                 self.degradation.observe_solve_failure()
                 raise
+        with ctx.span("prepare"):
+            prepared = self.service.prepare_solve(worker_ids, solver_name=tier)
+        if prepared is None:
+            return {}
+        if self._recorder is not None:
+            self._recorder.record_lease(prepared, ctx.attrs.get("trace_ids"))
         try:
-            with ctx.span("solve", tier=self.degradation.strategy):
-                events = self.service.reassign_workers(
-                    worker_ids, self._wall_time()
-                )
+            with ctx.span("solve", tier=tier):
+                assigned = execute_prepared(prepared)
         except Exception:
+            self.service.abandon_solve(prepared)
+            if self._recorder is not None:
+                self._recorder.record_abandon(prepared)
             self.degradation.observe_solve_failure()
             raise
         with ctx.span("commit"):
+            wall_time = self._wall_time()
+            events = self.service.commit_solve(prepared, assigned, wall_time)
+            if self._recorder is not None:
+                self._recorder.record_commit(prepared, wall_time, events)
             for event in events.values():
                 self._register_display(event)
                 self._reassignments.inc()
@@ -317,17 +395,26 @@ class AssignmentDaemon:
     # -- snapshot / restore --------------------------------------------------
 
     def snapshot_now(self) -> bool:
-        """Persist the daemon's full mutable state; no-op without a store."""
+        """Persist the daemon's full mutable state; no-op without a store.
+
+        Safe to call while engine solves are in flight: the service
+        snapshots the *logically-restored* pool (leased candidates
+        included), so a restore from a mid-solve snapshot loses nothing.
+        """
         if self._snapshots is None:
             return False
-        self._snapshots.save(
-            SNAPSHOT_KIND,
-            {
-                "service": self.service.snapshot_state(),
-                "displayed_ever": sorted(self._displayed_ever),
-            },
-        )
+        payload = {
+            "service": self.service.snapshot_state(),
+            "displayed_ever": sorted(self._displayed_ever),
+        }
+        if self._recorder is not None:
+            # Journal/snapshot rendezvous: a restored daemon's journal can be
+            # stitched to its predecessor's at this seq.
+            payload["journal_seq"] = self._recorder.seq
+        snapshot_id = self._snapshots.save(SNAPSHOT_KIND, payload)
         self._snapshots_taken.inc()
+        if self._recorder is not None:
+            self._recorder.record_snapshot(snapshot_id)
         return True
 
     def restore_latest(self) -> bool:
@@ -340,9 +427,10 @@ class AssignmentDaemon:
         """
         if self._snapshots is None:
             return False
-        state = self._snapshots.latest(SNAPSHOT_KIND)
-        if state is None:
+        record = self._snapshots.latest_record(SNAPSHOT_KIND)
+        if record is None:
             return False
+        state = record.state
         self.service.restore_state(state["service"], self._task_index)
         self._displayed_ever = set(state["displayed_ever"])
         pool_state = self.service.pool_state
@@ -350,6 +438,8 @@ class AssignmentDaemon:
             [tid for tid in self._task_index if tid not in pool_state]
         )
         self._restores.inc()
+        if self._recorder is not None:
+            self._recorder.record_restore(state, record.snapshot_id)
         return True
 
     def _maybe_snapshot(self) -> None:
@@ -386,6 +476,11 @@ class AssignmentDaemon:
                     if self.fault.drop_connection():
                         return
                 response = await self._dispatch(request)
+                if self.fault is not None and self.fault.drop_response():
+                    # Lost-ack injection: the request *ran* (state mutated,
+                    # completions recorded) but the client never hears back
+                    # and will retry.  Retried mutations must be idempotent.
+                    return
                 writer.write(response)
                 await writer.drain()
                 if not request.keep_alive:
@@ -514,6 +609,23 @@ class AssignmentDaemon:
         if self.service.remaining_tasks() == 0:
             raise HttpError(503, "task pool exhausted")
         trace.set_attrs(worker_id=worker_id)
+        existing = self.service.worker_of(worker_id)
+        if existing is not None:
+            if np.array_equal(existing.vector, vector):
+                # Idempotent re-registration: a client whose original
+                # response was lost retries with the same interests; hand
+                # back the current display instead of failing the retry.
+                display = self.service.display_of(worker_id)
+                return {
+                    "worker_id": worker_id,
+                    "already_registered": True,
+                    "display": self._current_display_payload(worker_id, display),
+                }
+            raise HttpError(
+                409,
+                f"worker {worker_id!r} already registered with different "
+                f"interests",
+            )
         try:
             with trace.span("register"):
                 event = self.service.register_worker(
@@ -521,8 +633,17 @@ class AssignmentDaemon:
                 )
         except SimulationError as exc:
             raise HttpError(409, str(exc)) from None
+        self._forget_completions(worker_id)
         self._register_display(event)
         self._registrations.inc()
+        if self._recorder is not None:
+            self._recorder.record_register(
+                worker_id,
+                vector,
+                self.degradation.strategy,
+                event,
+                trace.trace_id,
+            )
         return {"worker_id": worker_id, "display": self._display_payload(worker_id, event)}
 
     def _decode_interest(self, body: dict) -> np.ndarray:
@@ -556,14 +677,30 @@ class AssignmentDaemon:
         task_id = body.get("task_id")
         if not isinstance(worker_id, str) or not isinstance(task_id, str):
             raise HttpError(400, "worker_id and task_id must be strings")
+        completion_key = body.get("completion_key")
+        if completion_key is not None and not isinstance(completion_key, str):
+            raise HttpError(400, "completion_key must be a string")
         # Parse the deadline before mutating any state: a malformed header
         # must not leave a recorded completion behind its 400.
         deadline = self._request_deadline(request)
+        if completion_key is not None:
+            cached = self._completion_cache.get((worker_id, completion_key))
+            if cached is not None:
+                # Duplicate delivery (the original response was lost and the
+                # client retried): the completion is already recorded, so
+                # re-deliver the original response instead of 409ing.
+                self._deduplicated.inc()
+                trace.set_attrs(worker_id=worker_id, deduplicated=True)
+                return {**cached, "deduplicated": True}
         try:
             self.service.observe_completion(worker_id, task_id)
         except SimulationError as exc:
             raise HttpError(409, str(exc)) from None
         self._completions.inc()
+        if self._recorder is not None:
+            self._recorder.record_complete(
+                worker_id, task_id, trace.trace_id, completion_key
+            )
         trace.set_attrs(worker_id=worker_id)
         reassigned = False
         deadline_exceeded = False
@@ -601,20 +738,41 @@ class AssignmentDaemon:
             display = self.service.display_of(worker_id)
         except SimulationError:
             # The worker unregistered while this request waited on the solve.
-            return {
+            payload = {
                 "worker_id": worker_id,
                 "completed": task_id,
                 "reassigned": False,
                 "deadline_exceeded": deadline_exceeded,
                 "display": None,
             }
-        return {
-            "worker_id": worker_id,
-            "completed": task_id,
-            "reassigned": reassigned,
-            "deadline_exceeded": deadline_exceeded,
-            "display": self._current_display_payload(worker_id, display),
-        }
+        else:
+            payload = {
+                "worker_id": worker_id,
+                "completed": task_id,
+                "reassigned": reassigned,
+                "deadline_exceeded": deadline_exceeded,
+                "display": self._current_display_payload(worker_id, display),
+            }
+        self._remember_completion(worker_id, completion_key, payload)
+        return payload
+
+    def _remember_completion(
+        self, worker_id: str, key: "str | None", payload: dict
+    ) -> None:
+        """Cache a completion response for duplicate delivery (bounded)."""
+        if key is None:
+            return
+        self._completion_cache[(worker_id, key)] = payload
+        while len(self._completion_cache) > COMPLETION_CACHE_CAP:
+            self._completion_cache.popitem(last=False)
+
+    def _forget_completions(self, worker_id: str) -> None:
+        """Drop a worker's cached completions when its registration epoch
+        ends: keys are client-chosen and a future registration under the
+        same worker id may legitimately reuse them."""
+        stale = [k for k in self._completion_cache if k[0] == worker_id]
+        for k in stale:
+            del self._completion_cache[k]
 
     def _request_deadline(self, request: Request) -> float:
         """Effective deadline: the server budget, tightened by the client.
@@ -645,7 +803,13 @@ class AssignmentDaemon:
         }
 
     def _delete_worker(self, worker_id: str) -> dict:
-        self.service.unregister_worker(worker_id)
+        removed = self.service.unregister_worker(worker_id)
+        if removed:
+            self._forget_completions(worker_id)
+            if self._recorder is not None:
+                self._recorder.record_unregister(worker_id)
+        # Idempotent by construction: a retried DELETE finds the worker
+        # already gone and still reports success.
         return {"worker_id": worker_id, "status": "unregistered"}
 
     # -- payload shaping ------------------------------------------------------

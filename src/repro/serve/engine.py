@@ -156,6 +156,10 @@ class SolveEngine:
         self._service = service
         self.n_workers = n_workers
         self._solver_names = tuple(solver_names)
+        #: Optional :class:`repro.serve.replay.FlightRecorder`; when set, the
+        #: engine journals lease/commit/abandon in event-loop order — the
+        #: interleaving concurrency would otherwise erase.
+        self.recorder = None
         self._executor = self._new_executor()
         self._slots = asyncio.Semaphore(n_workers)
         self._closed = False
@@ -250,6 +254,8 @@ class SolveEngine:
                 prepared = self._service.prepare_solve(worker_ids, solver_name)
             if prepared is None:
                 return {}, 0.0
+            if self.recorder is not None:
+                self.recorder.record_lease(prepared, ctx.attrs.get("trace_ids"))
             with ctx.span("pickle") as pickle_span:
                 # Ship bits, not floats: drop the primed (k, k) diversity
                 # matrix from the pickled copy — the worker recomputes it
@@ -288,6 +294,8 @@ class SolveEngine:
                 ctx.spans.append(error_span)
                 self._span_metrics.observe(error_span)
                 self._service.abandon_solve(prepared)
+                if self.recorder is not None:
+                    self.recorder.record_abandon(prepared)
                 if isinstance(exc, BrokenProcessPool) and not self._closed:
                     self._rebuild_pool()
                 raise
@@ -316,6 +324,8 @@ class SolveEngine:
                 events = self._service.commit_solve(
                     prepared, outcome.assigned, wall_time, session_times
                 )
+                if self.recorder is not None:
+                    self.recorder.record_commit(prepared, wall_time, events)
             loop_busy = (
                 prepare_span.duration + pickle_span.duration + commit_span.duration
             )

@@ -90,6 +90,11 @@ class LoadgenResult:
     transport_errors: int = 0
     retries: int = 0
     deadline_exceeded_responses: int = 0
+    #: Responses served from the daemon's idempotency caches — a retried
+    #: completion answered with the original event, or a retried
+    #: registration answered with the current display.  Nonzero only when
+    #: responses were lost (chaos) and the retry was absorbed cleanly.
+    deduplicated_responses: int = 0
     duplicate_display_violations: int = 0
     duration_seconds: float = 0.0
     requests: int = 0
@@ -134,6 +139,7 @@ class LoadgenResult:
             "transport_errors": self.transport_errors,
             "retries": self.retries,
             "deadline_exceeded_responses": self.deadline_exceeded_responses,
+            "deduplicated_responses": self.deduplicated_responses,
             "duplicate_display_violations": self.duplicate_display_violations,
             "duration_seconds": round(self.duration_seconds, 4),
             "requests": self.requests,
@@ -318,9 +324,13 @@ class _SimulatedWorker:
             )
             if status != 200:
                 return
+            if body.get("already_registered"):
+                # A lost response made the retry land on an existing
+                # registration; the daemon answered with the current display.
+                self.shared.result.deduplicated_responses += 1
             self._absorb_display(body["display"], count_display=True)
             last_iteration = body["display"]["iteration"]
-            for _ in range(self.config.completions_per_worker):
+            for completion_index in range(self.config.completions_per_worker):
                 if not self.pending:
                     break
                 task_id = self._choose_task()
@@ -329,13 +339,22 @@ class _SimulatedWorker:
                         self._rng.exponential(self.config.think_time)
                     )
                 complete_started = time.perf_counter()
+                # The key is built once per *logical* completion, so every
+                # retry of a lost response carries the same key and the
+                # daemon can recognize the duplicate delivery.
                 status, body = await self._request(
                     "POST",
                     "/complete",
-                    {"worker_id": self.worker_id, "task_id": task_id},
+                    {
+                        "worker_id": self.worker_id,
+                        "task_id": task_id,
+                        "completion_key": f"{self.worker_id}:{completion_index}",
+                    },
                 )
                 if status != 200:
                     break
+                if body.get("deduplicated"):
+                    self.shared.result.deduplicated_responses += 1
                 self.shared.result.completions += 1
                 display = body["display"]
                 is_new = display["iteration"] != last_iteration
@@ -361,7 +380,17 @@ async def run_loadgen(config: LoadgenConfig | None = None) -> LoadgenResult:
     shared = _SharedState()
     probe = HttpClient(config.host, config.port)
     try:
-        status, body = await probe.request("GET", "/vocabulary")
+        # The probe runs against the same (possibly fault-injected) daemon
+        # as the workers, so give it the same transport-retry budget: a
+        # chaos plan may drop the probe's response just like any other.
+        for remaining in range(config.max_retries, -1, -1):
+            try:
+                status, body = await probe.request("GET", "/vocabulary")
+                break
+            except (OSError, asyncio.IncompleteReadError, EOFError):
+                if not remaining:
+                    raise
+                await asyncio.sleep(0.05)
     finally:
         await probe.close()
     if status != 200:
@@ -423,12 +452,21 @@ async def run_self_contained(
     corpus = generate_crowdflower_corpus(
         CrowdFlowerConfig(n_tasks=n_tasks), rng=config.seed
     )
+    # The spec lets a journal recorded against this daemon rebuild the exact
+    # pool later (``repro replay`` re-derives the corpus from it).
+    corpus_spec = {"kind": "crowdflower", "n_tasks": n_tasks, "seed": config.seed}
     if serve_config is None:
         serve_config = ServeConfig(
-            host=config.host, port=0, strategy=strategy, seed=config.seed
+            host=config.host,
+            port=0,
+            strategy=strategy,
+            seed=config.seed,
+            corpus_spec=corpus_spec,
         )
     else:
         serve_config = replace(serve_config, host=config.host, port=0)
+        if serve_config.corpus_spec is None:
+            serve_config = replace(serve_config, corpus_spec=corpus_spec)
     daemon = AssignmentDaemon(corpus.pool, serve_config)
     await daemon.start()
     try:
@@ -483,6 +521,16 @@ def main(argv: list[str] | None = None) -> int:
         "--trace-sample-rate", type=float, default=0.0,
         help="fraction of requests the spawned daemon traces, in [0, 1]",
     )
+    parser.add_argument(
+        "--journal", default=None,
+        help="record the spawned daemon's flight journal to this JSONL file "
+             "(--spawn-server only; replay it with `repro replay`)",
+    )
+    parser.add_argument(
+        "--fault-plan", default=None,
+        help="JSON file with a FaultPlan for the spawned daemon "
+             "(--spawn-server only)",
+    )
     args = parser.parse_args(argv)
     config = LoadgenConfig(
         host=args.host,
@@ -498,15 +546,27 @@ def main(argv: list[str] | None = None) -> int:
     )
     if args.spawn_server:
         serve_config = None
-        if args.trace_file or args.trace_sample_rate > 0 or args.solver_workers > 0:
+        if (
+            args.trace_file
+            or args.trace_sample_rate > 0
+            or args.solver_workers > 0
+            or args.journal
+            or args.fault_plan
+        ):
             from .app import ServeConfig
+            from .resilience import FaultPlan
 
+            fault_plan = (
+                FaultPlan.from_file(args.fault_plan) if args.fault_plan else None
+            )
             serve_config = ServeConfig(
                 strategy=args.strategy,
                 seed=args.seed,
                 solver_workers=args.solver_workers,
                 trace_file=args.trace_file,
                 trace_sample_rate=args.trace_sample_rate,
+                fault_plan=fault_plan,
+                journal_path=args.journal,
             )
         result, snapshot = asyncio.run(
             run_self_contained(

@@ -218,7 +218,14 @@ class FaultPlan:
             capping lets chaos tests exercise recovery after a burst.
         solve_fail_p: Probability a solve raises :class:`InjectedFault`.
         drop_connection_p: Probability a parsed request's connection is
-            closed without a response.
+            closed without a response, *before* the request is dispatched
+            (the request never happened server-side; retrying is safe).
+        drop_response_p: Probability the connection is closed *after* the
+            request was dispatched but before its response is written — the
+            classic lost-ack failure.  The client cannot distinguish this
+            from ``drop_connection_p`` and retries; the daemon must make
+            retried mutations idempotent (completion keys) or the retry
+            surfaces as a 409.
         corrupt_body_p: Probability a non-empty request body is corrupted
             before dispatch (the daemon must reject it with a 400).
         worker_crash_p: Probability a solve shipped to the process-pool
@@ -236,6 +243,7 @@ class FaultPlan:
     max_solve_delays: int | None = None
     solve_fail_p: float = 0.0
     drop_connection_p: float = 0.0
+    drop_response_p: float = 0.0
     corrupt_body_p: float = 0.0
     worker_crash_p: float = 0.0
     max_worker_crashes: int | None = None
@@ -243,7 +251,7 @@ class FaultPlan:
     def __post_init__(self) -> None:
         for name in (
             "solve_delay_p", "solve_fail_p", "drop_connection_p",
-            "corrupt_body_p", "worker_crash_p",
+            "drop_response_p", "corrupt_body_p", "worker_crash_p",
         ):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
@@ -302,6 +310,10 @@ class FaultInjector:
         self._dropped = registry.counter(
             "serve_fault_dropped_connections_total", "Injected connection drops"
         )
+        self._dropped_responses = registry.counter(
+            "serve_fault_dropped_responses_total",
+            "Responses dropped after dispatch (lost-ack injection)",
+        )
         self._corrupted = registry.counter(
             "serve_fault_corrupted_bodies_total", "Injected body corruptions"
         )
@@ -338,6 +350,13 @@ class FaultInjector:
         """Whether to close the current connection without responding."""
         if self._draw(self.plan.drop_connection_p):
             self._dropped.inc()
+            return True
+        return False
+
+    def drop_response(self) -> bool:
+        """Whether to drop the current *response* (the request already ran)."""
+        if self._draw(self.plan.drop_response_p):
+            self._dropped_responses.inc()
             return True
         return False
 

@@ -257,10 +257,30 @@ class SolveScheduler:
             return self._solve_batch(batch, ctx)
         return self._solve_batch(batch)
 
+    @staticmethod
+    def _seed_context(
+        ctx: SolveContext, waiters: dict[str, list[_Waiter]]
+    ) -> None:
+        """Carry the member requests' trace ids into the batch context.
+
+        The solve path (engine requests, replay journals) correlates its
+        records back to the requests that rode the batch through these.
+        """
+        trace_ids = [
+            trace.trace_id
+            for entries in waiters.values()
+            for _, trace, _ in entries
+            if trace
+        ]
+        if trace_ids:
+            ctx.attrs["trace_id"] = trace_ids[0]
+            ctx.attrs["trace_ids"] = trace_ids
+
     async def _execute_async(
         self, batch: list[str], waiters: dict[str, list[_Waiter]]
     ) -> None:
         ctx = SolveContext()
+        self._seed_context(ctx, waiters)
         started = time.perf_counter()
         try:
             events = await self._call_solve(batch, ctx)
@@ -275,6 +295,7 @@ class SolveScheduler:
         self, batch: list[str], waiters: dict[str, list[_Waiter]]
     ) -> None:
         ctx = SolveContext()
+        self._seed_context(ctx, waiters)
         started = time.perf_counter()
         try:
             events = self._call_solve(batch, ctx)

@@ -229,6 +229,16 @@ class ResultsStore:
             raise StorageError(f"no run with id {run_id}")
 
 
+@dataclass(frozen=True)
+class SnapshotRecord:
+    """One persisted snapshot, with its identity."""
+
+    snapshot_id: int
+    kind: str
+    taken_at: float
+    state: dict[str, Any]
+
+
 _SNAPSHOT_SCHEMA = """
 CREATE TABLE IF NOT EXISTS snapshots (
     snapshot_id INTEGER PRIMARY KEY AUTOINCREMENT,
@@ -301,12 +311,28 @@ class SnapshotStore:
 
     def latest(self, kind: str) -> dict[str, Any] | None:
         """The most recent snapshot of ``kind``, or ``None`` if none exists."""
+        record = self.latest_record(kind)
+        return None if record is None else record.state
+
+    def latest_record(self, kind: str) -> "SnapshotRecord | None":
+        """Like :meth:`latest`, with the snapshot's identity attached.
+
+        Restore paths that journal *which* snapshot they resumed from (the
+        serving layer's flight recorder) need the id, not just the blob.
+        """
         row = self._connection.execute(
-            "SELECT state_json FROM snapshots WHERE kind = ? "
-            "ORDER BY snapshot_id DESC LIMIT 1",
+            "SELECT snapshot_id, taken_at, state_json FROM snapshots "
+            "WHERE kind = ? ORDER BY snapshot_id DESC LIMIT 1",
             (kind,),
         ).fetchone()
-        return None if row is None else json.loads(row[0])
+        if row is None:
+            return None
+        return SnapshotRecord(
+            snapshot_id=int(row[0]),
+            kind=kind,
+            taken_at=float(row[1]),
+            state=json.loads(row[2]),
+        )
 
     def count(self, kind: str) -> int:
         """Snapshots currently retained for ``kind``."""

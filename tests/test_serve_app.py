@@ -141,9 +141,15 @@ class TestEndpoints:
             await client.request(
                 "POST", "/workers", {"worker_id": "carol", "keywords": ["k3"]}
             )
-            results["double_register"] = (
+            # Same interests again: an idempotent retry, answered with the
+            # current display rather than a 409.
+            results["reregister_same"] = await client.request(
+                "POST", "/workers", {"worker_id": "carol", "keywords": ["k3"]}
+            )
+            # Different interests: a genuine conflict.
+            results["reregister_conflict"] = (
                 await client.request(
-                    "POST", "/workers", {"worker_id": "carol", "keywords": ["k3"]}
+                    "POST", "/workers", {"worker_id": "carol", "keywords": ["k4"]}
                 )
             )[0]
             results["bogus_completion"] = (
@@ -157,7 +163,11 @@ class TestEndpoints:
         assert results["no_route"] == 404
         assert results["bad_json"] == 400
         assert results["unknown_keyword"] == 400
-        assert results["double_register"] == 409
+        status, body = results["reregister_same"]
+        assert status == 200
+        assert body["already_registered"] is True
+        assert body["display"]["pending"]
+        assert results["reregister_conflict"] == 409
         assert results["bogus_completion"] == 409
 
     def test_metrics_exposition_format(self):

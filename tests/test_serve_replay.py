@@ -1,0 +1,648 @@
+"""Record/replay tests: journal schema, bit-identity, and the two bugs
+the recorder exposed (duplicate completion delivery, snapshot/lease race).
+
+The tentpole claims here:
+
+* a journal recorded by a live daemon — in-loop or with a process-pool
+  engine, healthy or under fault injection — replays to *bit-identical*
+  display events and final state hash under every configuration in the
+  differential panel;
+* a tampered journal is pinpointed: first divergent seq, offending lease,
+  the trace ids that rode that solve;
+* schema drift (unknown event type, missing field, seq gap, version bump)
+  refuses to load instead of replaying garbage.
+"""
+
+import asyncio
+import json
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Task, TaskPool, Vocabulary, Worker
+from repro.crowd.service import AssignmentService, ServiceConfig
+from repro.errors import SimulationError
+from repro.serve.app import AssignmentDaemon, ServeConfig
+from repro.serve.loadgen import LoadgenConfig, run_loadgen
+from repro.serve.protocol import HttpClient
+from repro.serve.replay import (
+    JOURNAL_VERSION,
+    ReplayError,
+    ReplayVariant,
+    default_variants,
+    load_journal,
+    replay_differential,
+    replay_journal,
+)
+from repro.serve.resilience import FaultPlan
+
+N_KEYWORDS = 16
+
+
+def make_pool(n_tasks=300, seed=0):
+    vocab = Vocabulary([f"k{i}" for i in range(N_KEYWORDS)])
+    rng = np.random.default_rng(seed)
+    return TaskPool(
+        [
+            Task(f"t{i}", rng.random(N_KEYWORDS) < 0.3, title=f"Task {i}")
+            for i in range(n_tasks)
+        ],
+        vocab,
+    )
+
+
+def serve_config(**overrides):
+    defaults = dict(
+        host="127.0.0.1",
+        port=0,
+        strategy="hta-gre",
+        service=ServiceConfig(
+            x_max=5, n_random_pad=2, reassign_after=3, min_pending=1,
+            candidate_cap=None,
+        ),
+        max_batch_delay=0.01,
+        seed=0,
+    )
+    defaults.update(overrides)
+    return ServeConfig(**defaults)
+
+
+async def drive_session(client, n_workers=4, rounds=8):
+    """A deterministic client session: registers, keyed completions, one
+    unregister — enough traffic to cross several reassignment solves."""
+    pending = {}
+    counters = {}
+    for i in range(n_workers):
+        wid = f"w{i}"
+        status, body = await client.request(
+            "POST",
+            "/workers",
+            {
+                "worker_id": wid,
+                "keywords": [
+                    f"k{(2 * i) % N_KEYWORDS}",
+                    f"k{(2 * i + 1) % N_KEYWORDS}",
+                ],
+            },
+        )
+        assert status == 200, body
+        pending[wid] = list(body["display"]["pending"])
+        counters[wid] = 0
+    for _ in range(rounds):
+        for wid in list(pending):
+            if not pending[wid]:
+                continue
+            counters[wid] += 1
+            status, body = await client.request(
+                "POST",
+                "/complete",
+                {
+                    "worker_id": wid,
+                    "task_id": pending[wid][0],
+                    "completion_key": f"{wid}:{counters[wid]}",
+                },
+            )
+            assert status == 200, body
+            pending[wid] = list(body["display"]["pending"])
+    status, _ = await client.request("DELETE", "/workers/w0")
+    assert status == 200
+    pending.pop("w0", None)
+
+
+def record_journal(journal_path, n_tasks=300, pool_seed=0, n_workers=4,
+                   rounds=8, loadgen=None, **overrides):
+    """Run a journaling daemon through one session; returns when closed."""
+
+    async def scenario():
+        daemon = AssignmentDaemon(
+            make_pool(n_tasks, pool_seed),
+            serve_config(journal_path=str(journal_path), **overrides),
+        )
+        await daemon.start()
+        client = HttpClient("127.0.0.1", daemon.port)
+        try:
+            if loadgen is not None:
+                from dataclasses import replace
+
+                result = await run_loadgen(replace(loadgen, port=daemon.port))
+            else:
+                result = await drive_session(
+                    client, n_workers=n_workers, rounds=rounds
+                )
+        finally:
+            await client.close()
+            await daemon.stop()
+        return daemon, result
+
+    return asyncio.run(asyncio.wait_for(scenario(), timeout=120.0))
+
+
+@pytest.fixture(scope="module")
+def recorded(tmp_path_factory):
+    """One in-loop recorded run, shared by the read-only tests."""
+    journal = tmp_path_factory.mktemp("replay") / "run.jsonl"
+    record_journal(journal)
+    return journal
+
+
+def rewrite(journal: Path, out: Path, mutate) -> Path:
+    """Copy a journal through a per-record mutation (None drops the line)."""
+    lines = []
+    for line in journal.read_text().splitlines():
+        record = mutate(json.loads(line))
+        if record is not None:
+            lines.append(json.dumps(record, sort_keys=True))
+    out.write_text("\n".join(lines) + "\n")
+    return out
+
+
+class TestJournalSchema:
+    def test_loads_and_validates(self, recorded):
+        journal = load_journal(recorded)
+        assert journal.header["version"] == JOURNAL_VERSION
+        assert journal.strategy == "hta-gre"
+        types = {event["type"] for event in journal.events}
+        assert {"register", "complete", "unregister", "lease", "commit",
+                "end"} <= types
+        assert [e["seq"] for e in journal.events] == list(
+            range(1, len(journal.events) + 1)
+        )
+
+    def test_empty_file_rejected(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(ReplayError, match="empty"):
+            load_journal(empty)
+
+    def test_version_mismatch_rejected(self, recorded, tmp_path):
+        def bump(record):
+            if record["type"] == "header":
+                record["version"] = JOURNAL_VERSION + 1
+            return record
+
+        with pytest.raises(ReplayError, match="version"):
+            load_journal(rewrite(recorded, tmp_path / "v.jsonl", bump))
+
+    def test_unknown_event_type_is_schema_drift(self, recorded, tmp_path):
+        def relabel(record):
+            if record["type"] == "complete":
+                record["type"] = "completion_v2"
+            return record
+
+        with pytest.raises(ReplayError, match="unknown event type"):
+            load_journal(rewrite(recorded, tmp_path / "u.jsonl", relabel))
+
+    def test_missing_field_is_schema_drift(self, recorded, tmp_path):
+        def strip(record):
+            if record["type"] == "lease":
+                record.pop("candidates_sha", None)
+            return record
+
+        with pytest.raises(ReplayError, match="missing"):
+            load_journal(rewrite(recorded, tmp_path / "m.jsonl", strip))
+
+    def test_seq_gap_rejected(self, recorded, tmp_path):
+        dropped = []
+
+        def drop_first_complete(record):
+            if record["type"] == "complete" and not dropped:
+                dropped.append(record["seq"])
+                return None
+            return record
+
+        with pytest.raises(ReplayError, match="seq"):
+            load_journal(
+                rewrite(recorded, tmp_path / "g.jsonl", drop_first_complete)
+            )
+        assert dropped
+
+    def test_header_missing_key_rejected(self, recorded, tmp_path):
+        def strip(record):
+            if record["type"] == "header":
+                record.pop("pool_sha", None)
+            return record
+
+        with pytest.raises(ReplayError, match="pool_sha"):
+            load_journal(rewrite(recorded, tmp_path / "h.jsonl", strip))
+
+
+class TestBitIdentity:
+    def test_inloop_journal_replays_under_both_semantics(self, recorded):
+        journal = load_journal(recorded)
+        pool = make_pool()
+        for variant in (
+            ReplayVariant("in-loop"),
+            ReplayVariant("engine", engine_semantics=True),
+        ):
+            report = replay_journal(journal, pool, variant)
+            assert report.ok, report.to_dict()
+            assert report.state_verified
+            assert report.registers == 4
+            assert report.solves_committed >= 2
+            assert report.displays_checked >= 4
+            assert report.disjointness_violations == 0
+
+    def test_differential_panel_agrees(self, recorded):
+        reports = replay_differential(load_journal(recorded), make_pool())
+        assert [r.variant for r in reports] == [
+            "in-loop", "engine", "jaccard-dense", "lsap-reference",
+            "engine+dense",
+        ]
+        for report in reports:
+            assert report.ok and report.state_verified, report.to_dict()
+
+    def test_wrong_pool_refused(self, recorded):
+        with pytest.raises(ReplayError, match="corpus mismatch"):
+            replay_journal(load_journal(recorded), make_pool(seed=1))
+
+    def test_engine_recorded_journal_replays_in_loop(self, tmp_path):
+        journal = tmp_path / "engine.jsonl"
+        record_journal(journal, solver_workers=2)
+        reports = replay_differential(load_journal(journal), make_pool())
+        for report in reports:
+            assert report.ok and report.state_verified, report.to_dict()
+            assert report.solves_committed >= 2
+
+    def test_chaos_recorded_journal_replays_clean(self, tmp_path):
+        journal = tmp_path / "chaos.jsonl"
+        plan = FaultPlan(
+            seed=11,
+            drop_connection_p=0.05,
+            drop_response_p=0.1,
+            solve_fail_p=0.15,
+        )
+        daemon, result = record_journal(
+            journal,
+            n_tasks=400,
+            fault_plan=plan,
+            loadgen=LoadgenConfig(
+                n_workers=8, completions_per_worker=10, seed=3, max_retries=8
+            ),
+        )
+        assert result.clean, result.to_dict()
+        reports = replay_differential(load_journal(journal), make_pool(400))
+        for report in reports:
+            assert report.ok and report.state_verified, report.to_dict()
+
+    def test_tampered_commit_pinpoints_divergence(self, recorded, tmp_path):
+        def corrupt(record):
+            if record["type"] == "commit" and not corrupt.done:
+                worker_id = sorted(record["events"])[0]
+                record["events"][worker_id]["task_ids"][0] = "t_bogus"
+                corrupt.done = record["seq"]
+            return record
+
+        corrupt.done = None
+        tampered = rewrite(recorded, tmp_path / "t.jsonl", corrupt)
+        report = replay_journal(load_journal(tampered), make_pool())
+        assert not report.ok
+        assert report.divergence.seq == corrupt.done
+        assert report.divergence.event_type == "commit"
+        assert report.divergence.field == "task_ids"
+        assert report.divergence.lease_id is not None
+        assert "t_bogus" in report.divergence.describe()
+
+    def test_tampered_register_pinpoints_divergence(self, recorded, tmp_path):
+        def corrupt(record):
+            if record["type"] == "register" and corrupt.done is None:
+                record["event"]["alpha"] = 0.123456789
+                corrupt.done = record["seq"]
+            return record
+
+        corrupt.done = None
+        tampered = rewrite(recorded, tmp_path / "r.jsonl", corrupt)
+        report = replay_journal(load_journal(tampered), make_pool())
+        assert not report.ok
+        assert report.divergence.seq == corrupt.done
+        assert report.divergence.field == "alpha"
+
+    def test_replay_cli_exit_codes(self, tmp_path):
+        """`repro replay` needs the header's corpus spec to rebuild the
+        pool, so this records against a crowdflower corpus."""
+        from repro.cli import main
+        from repro.data import CrowdFlowerConfig, generate_crowdflower_corpus
+
+        journal = tmp_path / "cli.jsonl"
+
+        async def scenario():
+            from dataclasses import replace
+
+            corpus = generate_crowdflower_corpus(
+                CrowdFlowerConfig(n_tasks=200), rng=0
+            )
+            daemon = AssignmentDaemon(
+                corpus.pool,
+                serve_config(
+                    journal_path=str(journal),
+                    corpus_spec={
+                        "kind": "crowdflower", "n_tasks": 200, "seed": 0,
+                    },
+                ),
+            )
+            await daemon.start()
+            try:
+                config = LoadgenConfig(
+                    n_workers=4, completions_per_worker=6, seed=0
+                )
+                await run_loadgen(replace(config, port=daemon.port))
+            finally:
+                await daemon.stop()
+
+        asyncio.run(asyncio.wait_for(scenario(), timeout=60.0))
+        assert main(["replay", str(journal)]) == 0
+        assert main(["replay", str(journal), "--differential"]) == 0
+        assert main(["replay", str(tmp_path / "nope.jsonl")]) == 2
+
+        def corrupt(record):
+            if record["type"] == "commit":
+                record["wall_time"] = record["wall_time"] + 1.0
+            return record
+
+        tampered = rewrite(journal, tmp_path / "tampered.jsonl", corrupt)
+        assert main(["replay", str(tampered)]) == 1
+
+
+class TestDuplicateCompletion:
+    """Regression: a retried ``/complete`` whose original response was lost
+    used to 409 (``task ... was already completed``); with a completion key
+    the daemon re-delivers the original event instead."""
+
+    @staticmethod
+    def with_daemon(coro_fn, n_tasks=300, **overrides):
+        async def scenario():
+            daemon = AssignmentDaemon(
+                make_pool(n_tasks), serve_config(**overrides)
+            )
+            await daemon.start()
+            client = HttpClient("127.0.0.1", daemon.port)
+            try:
+                return await coro_fn(daemon, client)
+            finally:
+                await client.close()
+                await daemon.stop()
+
+        return asyncio.run(asyncio.wait_for(scenario(), timeout=60.0))
+
+    def test_keyed_retry_returns_original_event(self):
+        async def check(daemon, client):
+            _, body = await client.request(
+                "POST", "/workers", {"worker_id": "a", "keywords": ["k1"]}
+            )
+            task_id = body["display"]["pending"][0]
+            payload = {
+                "worker_id": "a", "task_id": task_id, "completion_key": "a:1",
+            }
+            first = await client.request("POST", "/complete", payload)
+            second = await client.request("POST", "/complete", payload)
+            return daemon, first, second
+
+        daemon, (s1, b1), (s2, b2) = self.with_daemon(check)
+        assert s1 == 200 and "deduplicated" not in b1
+        assert s2 == 200 and b2["deduplicated"] is True
+        assert b2["completed"] == b1["completed"]
+        assert b2["display"] == b1["display"]
+        assert daemon.registry.get(
+            "serve_deduplicated_completions_total"
+        ).value == 1
+
+    def test_cache_scoped_to_registration_epoch(self):
+        """A worker that unregisters and registers afresh starts a new
+        registration epoch: reusing an old completion key must perform a
+        real completion, not replay the previous epoch's cached event."""
+
+        async def check(daemon, client):
+            _, body = await client.request(
+                "POST", "/workers", {"worker_id": "a", "keywords": ["k1"]}
+            )
+            first_task = body["display"]["pending"][0]
+            payload = {
+                "worker_id": "a", "task_id": first_task, "completion_key": "a:0",
+            }
+            _, first = await client.request("POST", "/complete", payload)
+            await client.request("DELETE", "/workers/a")
+            _, rebody = await client.request(
+                "POST", "/workers", {"worker_id": "a", "keywords": ["k1"]}
+            )
+            next_task = rebody["display"]["pending"][0]
+            status, second = await client.request(
+                "POST",
+                "/complete",
+                {"worker_id": "a", "task_id": next_task, "completion_key": "a:0"},
+            )
+            return daemon, first, status, second
+
+        daemon, first, status, second = self.with_daemon(check)
+        assert status == 200
+        assert "deduplicated" not in second
+        assert second["completed"] != first["completed"]
+        assert daemon.registry.get(
+            "serve_deduplicated_completions_total"
+        ).value == 0
+
+    def test_unkeyed_duplicate_still_conflicts(self):
+        async def check(daemon, client):
+            _, body = await client.request(
+                "POST", "/workers", {"worker_id": "a", "keywords": ["k1"]}
+            )
+            task_id = body["display"]["pending"][0]
+            payload = {"worker_id": "a", "task_id": task_id}
+            first = await client.request("POST", "/complete", payload)
+            second = await client.request("POST", "/complete", payload)
+            return first[0], second
+        s1, (s2, b2) = self.with_daemon(check)
+        assert s1 == 200
+        assert s2 == 409
+        assert "already completed" in b2["error"]
+
+    def test_lost_responses_absorbed_under_chaos(self):
+        """The end-to-end regression: lost acks force retransmissions, and
+        the run must stay clean — no 409s, no duplicate displays."""
+
+        async def check(daemon, client):
+            from dataclasses import replace
+
+            config = LoadgenConfig(
+                n_workers=8, completions_per_worker=10, seed=5, max_retries=8
+            )
+            return daemon, await run_loadgen(replace(config, port=daemon.port))
+
+        daemon, result = self.with_daemon(
+            check,
+            n_tasks=400,
+            fault_plan=FaultPlan(seed=13, drop_response_p=0.25),
+        )
+        assert result.clean, result.to_dict()
+        assert result.http_errors == 0
+        dropped = daemon.registry.get(
+            "serve_fault_dropped_responses_total"
+        ).value
+        deduplicated = daemon.registry.get(
+            "serve_deduplicated_completions_total"
+        ).value
+        assert dropped > 0
+        assert deduplicated > 0
+        # No exact relation holds: a dedup response can itself be dropped
+        # (daemon counts it, the client never sees it), and the client-side
+        # counter also includes absorbed re-registrations.
+        assert result.deduplicated_responses > 0
+
+
+class TestSnapshotLeaseRace:
+    """Regression: ``snapshot_now()`` during an in-flight solve lease used
+    to persist a pool *missing* the leased candidates — a restore from that
+    snapshot silently lost tasks forever."""
+
+    @staticmethod
+    def make_service(pool):
+        return AssignmentService(
+            pool,
+            "hta-gre",
+            ServiceConfig(
+                x_max=4, n_random_pad=2, reassign_after=3, min_pending=1,
+                candidate_cap=None,
+            ),
+            rng=0,
+        )
+
+    def register_two(self, service):
+        rng = np.random.default_rng(1)
+        for wid in ("w0", "w1"):
+            service.register_worker(
+                Worker(wid, rng.random(N_KEYWORDS) < 0.35), 0.0
+            )
+
+    def test_snapshot_mid_lease_keeps_leased_tasks(self):
+        pool = make_pool(n_tasks=120)
+        service = self.make_service(pool)
+        self.register_two(service)
+        before = set(service.pool_state.task_ids())
+        prepared = service.prepare_solve(["w0", "w1"])
+        assert prepared is not None
+        leased = {t.task_id for t in prepared.candidates}
+        assert leased and leased.isdisjoint(service.pool_state.task_ids())
+        snapshot = service.snapshot_state()
+        snapshot_ids = snapshot["remaining_task_ids"]
+        assert set(snapshot_ids) == before
+        # The snapshot equals the logically-restored pool: remaining ids
+        # first, leased candidates re-appended — exactly what abandoning
+        # the lease produces, order included.
+        service.abandon_solve(prepared)
+        assert list(service.pool_state.task_ids()) == list(snapshot_ids)
+
+    def test_restore_refused_mid_lease(self):
+        pool = make_pool(n_tasks=120)
+        service = self.make_service(pool)
+        self.register_two(service)
+        snapshot = service.snapshot_state()
+        prepared = service.prepare_solve(["w0", "w1"])
+        assert prepared is not None
+        with pytest.raises(SimulationError, match="outstanding"):
+            service.restore_state(snapshot, {t.task_id: t for t in pool})
+        service.abandon_solve(prepared)
+
+    def test_daemon_restore_from_mid_solve_snapshot_loses_nothing(self):
+        """Snapshot while a lease is in flight, restore a fresh daemon from
+        it: every task is accounted for (pool ∪ displayed = corpus)."""
+
+        async def scenario():
+            with tempfile.TemporaryDirectory() as tmp:
+                store = str(Path(tmp) / "snap.db")
+                daemon = AssignmentDaemon(
+                    make_pool(200), serve_config(snapshot_path=store)
+                )
+                await daemon.start()
+                client = HttpClient("127.0.0.1", daemon.port)
+                try:
+                    await drive_session(client, n_workers=3, rounds=4)
+                    # An in-flight engine lease, held across the snapshot.
+                    prepared = daemon.service.prepare_solve(["w1", "w2"])
+                    assert prepared is not None
+                    leased = {t.task_id for t in prepared.candidates}
+                    assert daemon.snapshot_now()
+                    daemon.service.abandon_solve(prepared)
+                finally:
+                    await client.close()
+                    await daemon.stop()
+                restored = AssignmentDaemon(
+                    make_pool(200),
+                    serve_config(snapshot_path=store, restore=True),
+                )
+                remaining = set(restored.service.pool_state.task_ids())
+                displayed = set(restored._displayed_ever)
+                return leased, remaining, displayed
+
+        leased, remaining, displayed = asyncio.run(
+            asyncio.wait_for(scenario(), timeout=60.0)
+        )
+        corpus = {f"t{i}" for i in range(200)}
+        assert leased <= remaining
+        assert remaining | displayed == corpus
+        assert remaining & displayed == set()
+
+
+class TestReplayProperty:
+    """Any recorded journal replays bit-identically, in-loop and under the
+    engine's worker-process solve semantics."""
+
+    @settings(max_examples=5, deadline=None)
+    @given(
+        seed=st.integers(0, 2**16),
+        n_workers=st.integers(2, 5),
+        rounds=st.integers(3, 8),
+        max_batch_size=st.integers(1, 8),
+        fault=st.sampled_from(
+            [None, (0.1, 0.0), (0.0, 0.2), (0.15, 0.15)]
+        ),
+    )
+    def test_recorded_journal_replays_bit_identically(
+        self, seed, n_workers, rounds, max_batch_size, fault
+    ):
+        plan = None
+        if fault is not None:
+            drop_response_p, solve_fail_p = fault
+            plan = FaultPlan(
+                seed=seed,
+                drop_response_p=drop_response_p,
+                solve_fail_p=solve_fail_p,
+            )
+        with tempfile.TemporaryDirectory() as tmp:
+            journal_path = Path(tmp) / "prop.jsonl"
+            record_journal(
+                journal_path,
+                n_tasks=200,
+                n_workers=n_workers,
+                rounds=rounds,
+                seed=seed,
+                max_batch_size=max_batch_size,
+                fault_plan=plan,
+                loadgen=LoadgenConfig(
+                    n_workers=n_workers,
+                    completions_per_worker=rounds,
+                    seed=seed,
+                    max_retries=8,
+                ),
+            )
+            journal = load_journal(journal_path)
+            pool = make_pool(200)
+            for variant in (
+                ReplayVariant("in-loop"),
+                ReplayVariant("engine", engine_semantics=True),
+            ):
+                report = replay_journal(journal, pool, variant)
+                assert report.ok, report.to_dict()
+                assert report.state_verified
+
+
+class TestDefaultVariants:
+    def test_panel_composition(self):
+        labels = [v.label for v in default_variants()]
+        assert labels == [
+            "in-loop", "engine", "jaccard-dense", "lsap-reference",
+            "engine+dense",
+        ]
+        pinned = default_variants(pin_tier="hta-gre-rel")[-1]
+        assert pinned.label == "pin:hta-gre-rel"
+        assert pinned.pinned_solver == "hta-gre-rel"

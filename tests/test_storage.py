@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.storage import ResultsStore, StorageError
+from repro.storage import ResultsStore, SnapshotRecord, SnapshotStore, StorageError
 
 
 @pytest.fixture
@@ -127,3 +127,23 @@ class TestPersistence:
             stored = store.points_of(run_id)
             assert len(stored) == 2
             assert stored[0].metrics["total_s"] > 0
+
+
+class TestSnapshotStoreRecords:
+    def test_latest_record_carries_identity(self):
+        with SnapshotStore(":memory:") as store:
+            first = store.save("daemon", {"n": 1}, taken_at=10.0)
+            second = store.save("daemon", {"n": 2}, taken_at=20.0)
+            record = store.latest_record("daemon")
+            assert isinstance(record, SnapshotRecord)
+            assert record.snapshot_id == second > first
+            assert record.kind == "daemon"
+            assert record.taken_at == 20.0
+            assert record.state == {"n": 2}
+            # latest() stays the blob-only view of the same record.
+            assert store.latest("daemon") == {"n": 2}
+
+    def test_latest_record_none_for_unknown_kind(self):
+        with SnapshotStore(":memory:") as store:
+            assert store.latest_record("nope") is None
+            assert store.latest("nope") is None
