@@ -159,6 +159,23 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="record a deterministic flight journal of every "
                               "request and solve (replay it with "
                               "`repro replay`)")
+    p_serve.add_argument("--gold-rate", type=float, default=0.0,
+                         help="per-display probability of injecting a gold "
+                              "question into each worker's assignment "
+                              "(0 disables the quality subsystem's gold path)")
+    p_serve.add_argument("--redundancy", type=int, default=1,
+                         help="answers to collect per task before "
+                              "adjudicating (1 disables redundancy)")
+    p_serve.add_argument("--reputation-weight", type=float, default=0.0,
+                         help="blend factor in [0, 1] scaling the relevance "
+                              "term by worker reputation (0 keeps the seed "
+                              "assignment behaviour bit-identical)")
+    p_serve.add_argument("--quality-seed", type=int, default=0,
+                         help="seed for gold-bank selection and probe "
+                              "injection decisions")
+    p_serve.add_argument("--answer-labels", type=int, default=4,
+                         help="size of the categorical answer space used for "
+                              "gold truth labels (>= 2)")
     p_serve.set_defaults(handler=_cmd_serve)
 
     p_replay = sub.add_parser(
@@ -322,6 +339,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.restore and not args.snapshot_path:
         print("--restore requires --snapshot-path", file=sys.stderr)
         return 2
+    quality = None
+    if args.gold_rate > 0 or args.redundancy > 1:
+        from .quality import AdjudicationConfig, GoldConfig, QualityConfig
+
+        quality = QualityConfig(
+            gold=GoldConfig(
+                rate=args.gold_rate,
+                seed=args.quality_seed,
+                n_labels=max(2, args.answer_labels),
+            ),
+            adjudication=AdjudicationConfig(redundancy=args.redundancy),
+        )
     config = ServeConfig(
         host=args.host,
         port=args.port,
@@ -332,7 +361,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             reassign_after=args.reassign_after,
             min_pending=args.min_pending,
             candidate_cap=args.candidate_cap or None,
+            reputation_weight=args.reputation_weight,
         ),
+        quality=quality,
         max_batch_delay=args.batch_delay_ms / 1000.0,
         max_batch_size=args.max_batch_size,
         solver_workers=args.solver_workers,

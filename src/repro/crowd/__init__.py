@@ -4,8 +4,10 @@ from .campaign import CampaignConfig, CampaignResult, run_campaign
 from .behavior import (
     BehaviorParams,
     LatentProfile,
+    Persona,
     WorkerBehavior,
     sample_latent_profiles,
+    sample_personas,
 )
 from .events import (
     SessionEndReason,
@@ -40,6 +42,7 @@ __all__ = [
     "Curve",
     "DeploymentResult",
     "LatentProfile",
+    "Persona",
     "PlatformConfig",
     "ServiceConfig",
     "SessionEndReason",
@@ -56,6 +59,7 @@ __all__ = [
     "run_campaign",
     "run_deployment",
     "sample_latent_profiles",
+    "sample_personas",
     "session_summary",
     "throughput_curve",
 ]

@@ -88,6 +88,80 @@ class BehaviorParams:
 
 
 @dataclass(frozen=True)
+class Persona:
+    """A worker's *answer-generation* archetype (the quality layer's foe).
+
+    The motivation model above governs which task a worker picks and how
+    long it takes; the persona governs what they *answer*.  Honest workers
+    answer correctly with their behavioural accuracy; the three adversarial
+    archetypes are the standard threat models the reputation/adjudication
+    pipeline must defeat:
+
+    * ``spammer`` — answers uniformly at random, ignoring the task;
+    * ``drifting`` — starts honest, accuracy decays per completed task
+      (a worker burning out or handing the session to someone else);
+    * ``colluder`` — members of a clique submit the *same* content-derived
+      label, so they agree with each other far more than with the truth.
+    """
+
+    kind: str = "honest"  # honest | spammer | drifting | colluder
+    clique: int = 0  # colluders with equal clique ids answer identically
+    drift_per_task: float = 0.0  # accuracy multiplier lost per completion
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("honest", "spammer", "drifting", "colluder"):
+            raise ValueError(f"unknown persona kind {self.kind!r}")
+        if self.drift_per_task < 0.0:
+            raise ValueError(
+                f"drift_per_task must be >= 0, got {self.drift_per_task}"
+            )
+
+
+def sample_personas(
+    n_workers: int,
+    rng: "int | np.random.Generator | None" = None,
+    spammer_fraction: float = 0.0,
+    drifting_fraction: float = 0.0,
+    colluder_fraction: float = 0.0,
+    clique_size: int = 3,
+    drift_per_task: float = 0.03,
+) -> list[Persona]:
+    """Assign a persona to each of ``n_workers`` (seeded, order-stable).
+
+    Adversaries are placed by a seeded permutation, so the same seed yields
+    the same persona stream in every process — the quality benchmarks and
+    the load generator rely on that to know, client-side, which workers the
+    daemon *should* detect.  Fractions are floored to worker counts;
+    colluders are grouped into cliques of ``clique_size``.
+    """
+    if not 0.0 <= spammer_fraction + drifting_fraction + colluder_fraction <= 1.0:
+        raise ValueError("adversarial fractions must sum to within [0, 1]")
+    if clique_size < 2:
+        raise ValueError(f"clique_size must be >= 2, got {clique_size}")
+    generator = ensure_rng(rng)
+    order = generator.permutation(n_workers)
+    n_spam = int(spammer_fraction * n_workers)
+    n_drift = int(drifting_fraction * n_workers)
+    n_collude = int(colluder_fraction * n_workers)
+    personas = [Persona() for _ in range(n_workers)]
+    cursor = 0
+    for _ in range(n_spam):
+        personas[int(order[cursor])] = Persona(kind="spammer")
+        cursor += 1
+    for _ in range(n_drift):
+        personas[int(order[cursor])] = Persona(
+            kind="drifting", drift_per_task=drift_per_task
+        )
+        cursor += 1
+    for i in range(n_collude):
+        personas[int(order[cursor])] = Persona(
+            kind="colluder", clique=i // clique_size
+        )
+        cursor += 1
+    return personas
+
+
+@dataclass(frozen=True)
 class LatentProfile:
     """A worker's ground-truth (unobservable) preference and skill.
 
@@ -146,12 +220,15 @@ class WorkerBehavior:
         profile: LatentProfile,
         params: BehaviorParams,
         rng: np.random.Generator,
+        persona: "Persona | None" = None,
     ):
         self.profile = profile
         self.params = params
+        self.persona = persona or Persona()
         self._rng = rng
         self.boredom = 0.0
         self.familiarity = 0.0
+        self.completed_count = 0
 
     # -- perception --------------------------------------------------------
 
@@ -209,6 +286,42 @@ class WorkerBehavior:
         )
         return float(np.clip(raw, p.min_accuracy, p.max_accuracy))
 
+    def answer_label(
+        self,
+        truth: int,
+        n_labels: int,
+        novelty: float,
+        relevance: float,
+        collusion_label: "int | None" = None,
+    ) -> int:
+        """The label this worker submits for a graded question.
+
+        Honest (and drifting) workers answer ``truth`` with their current
+        accuracy and a uniformly random *wrong* label otherwise; spammers
+        ignore the task entirely; colluders parrot the caller-computed
+        ``collusion_label`` their clique agreed on (falling back to spam if
+        none is supplied).  Drifting accuracy shrinks multiplicatively with
+        :attr:`completed_count`, which :meth:`register_completion` advances.
+        """
+        if n_labels < 2:
+            raise ValueError(f"n_labels must be >= 2, got {n_labels}")
+        kind = self.persona.kind
+        if kind == "spammer":
+            return int(self._rng.integers(0, n_labels))
+        if kind == "colluder":
+            if collusion_label is None:
+                return int(self._rng.integers(0, n_labels))
+            return int(collusion_label) % n_labels
+        accuracy = self.answer_accuracy(novelty, relevance)
+        if kind == "drifting":
+            accuracy *= max(
+                0.0, 1.0 - self.persona.drift_per_task * self.completed_count
+            )
+        if self._rng.random() < accuracy:
+            return int(truth) % n_labels
+        wrong = int(self._rng.integers(0, n_labels - 1))
+        return wrong if wrong < int(truth) % n_labels else wrong + 1
+
     def quit_probability(self, mismatch: float) -> float:
         """Per-completed-task probability of abandoning the session."""
         p = self.params
@@ -232,6 +345,7 @@ class WorkerBehavior:
         )
         # Familiarity accrues on similar work and decays like boredom does.
         self.familiarity = self.familiarity * p.boredom_decay + (1.0 - novelty)
+        self.completed_count += 1
 
     def preference_mismatch(self, set_diversity: float, mean_relevance: float) -> float:
         """How badly the pending display fails the worker's latent taste.

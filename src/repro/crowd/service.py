@@ -189,6 +189,16 @@ class ServiceConfig:
             the per-iteration solve within the online latency the paper
             requires ("executed in the background while workers complete
             tasks").  ``None`` disables shortlisting.
+        reputation_weight: How much a worker's reputation posterior shrinks
+            their relevance term in the solve: the effective relevance
+            weight is ``beta * (1 - w + w * r)`` with ``r`` the posterior
+            mean from the quality layer (see :mod:`repro.quality`).  A
+            low-reputation worker's stated interests steer assignment less;
+            the freed mass goes to diversity, which pushes probabilistic
+            answerers toward broader coverage instead of letting them
+            monopolise the tasks they claim to like.  0 (the default)
+            bypasses the adjustment entirely — solves are bit-identical to
+            a service without the quality layer.
     """
 
     x_max: int = 15
@@ -196,12 +206,18 @@ class ServiceConfig:
     reassign_after: int = 8
     min_pending: int = 3
     candidate_cap: int | None = 400
+    reputation_weight: float = 0.0
 
     def __post_init__(self) -> None:
         if self.x_max < 1:
             raise ValueError(f"x_max must be >= 1, got {self.x_max}")
         if self.n_random_pad < 0:
             raise ValueError(f"n_random_pad must be >= 0, got {self.n_random_pad}")
+        if not 0.0 <= self.reputation_weight <= 1.0:
+            raise ValueError(
+                f"reputation_weight must be in [0, 1], "
+                f"got {self.reputation_weight}"
+            )
         if self.reassign_after < 1:
             raise ValueError(f"reassign_after must be >= 1, got {self.reassign_after}")
         if self.min_pending < 0:
@@ -245,6 +261,7 @@ class AssignmentService:
         self._pool_state = TaskPoolState(pool, self._rng)
         self._diversity_provider: DiversityProvider | None = None
         self._solver_provider: "Callable[[], object] | None" = None
+        self._reputation_provider: "Callable[[str], float] | None" = None
         self._workers: dict[str, Worker] = {}
         self._displays: dict[str, _Display] = {}
         self._iterations: dict[str, int] = {}
@@ -303,6 +320,17 @@ class AssignmentService:
         """
         self._solver_provider = provider
 
+    def set_reputation_provider(
+        self, provider: "Callable[[str], float] | None"
+    ) -> None:
+        """Feed worker reputations (posterior mean accuracy in [0, 1]) into
+        the solve when ``config.reputation_weight > 0``.
+
+        The quality layer installs its tracker here; ``None`` (or weight 0)
+        leaves every solve identical to a reputation-free service.
+        """
+        self._reputation_provider = provider
+
     def weights_of(self, worker_id: str) -> MotivationWeights:
         """Current (alpha, beta) the service would use for this worker."""
         if self._strategy == "hta-gre-div":
@@ -310,6 +338,24 @@ class AssignmentService:
         if self._strategy == "hta-gre-rel":
             return MotivationWeights.relevance_only()
         return self._estimator.weights_for(worker_id)
+
+    def solve_weights_of(self, worker_id: str) -> MotivationWeights:
+        """The weights actually fed to the solver: :meth:`weights_of`, with
+        the relevance term shrunk by reputation when configured.
+
+        ``beta' = beta * (1 - w + w * r)`` and ``alpha' = 1 - beta'`` keeps
+        the alpha+beta==1 invariant while moving mass from relevance to
+        diversity as the posterior mean ``r`` falls.  The early return at
+        weight 0 is load-bearing: it guarantees bit-identical floats, not
+        merely close ones, for the seed configuration.
+        """
+        weights = self.weights_of(worker_id)
+        w = self._config.reputation_weight
+        if w <= 0.0 or self._reputation_provider is None:
+            return weights
+        r = min(1.0, max(0.0, float(self._reputation_provider(worker_id))))
+        beta = weights.beta * (1.0 - w + w * r)
+        return MotivationWeights(1.0 - beta, beta)
 
     def display_of(self, worker_id: str) -> _Display:
         try:
@@ -465,7 +511,7 @@ class AssignmentService:
         tasks = TaskPool(candidates, self._vocabulary)
         workers = WorkerPool(
             (
-                self._workers[w].with_weights(self.weights_of(w))
+                self._workers[w].with_weights(self.solve_weights_of(w))
                 for w in live
             ),
             self._vocabulary,
@@ -662,7 +708,7 @@ class AssignmentService:
         tasks = TaskPool(candidates, self._vocabulary)
         workers = WorkerPool(
             (
-                self._workers[w].with_weights(self.weights_of(w))
+                self._workers[w].with_weights(self.solve_weights_of(w))
                 for w in worker_ids
             ),
             self._vocabulary,

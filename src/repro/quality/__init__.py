@@ -1,0 +1,43 @@
+"""Worker reputation and quality control for the serving path.
+
+The paper's assignment model optimises worker *motivation* (relevance and
+diversity) but trusts every answer equally; real deployments cannot.  This
+package adds the standard quality-control triad on top of the assignment
+service — gold questions, redundancy with adjudication, and per-worker
+reputation — wired so that a daemon with the subsystem disabled is
+bit-identical to one without it.
+
+* :mod:`repro.quality.reputation` — per-worker Beta accuracy posteriors,
+  tick-batched, with decay.
+* :mod:`repro.quality.gold` — a seeded gold-task holdout, content-derived
+  truth labels, and deterministic probe injection under opaque aliases.
+* :mod:`repro.quality.adjudication` — per-task answer ballots,
+  reputation-weighted plurality voting, and tie escalation.
+* :mod:`repro.quality.controller` — the facade the serving daemon drives
+  from its display / complete / commit hooks.
+"""
+
+from .adjudication import (
+    AdjudicationConfig,
+    AdjudicationResult,
+    Adjudicator,
+    Ballot,
+)
+from .controller import QualityConfig, QualityController
+from .gold import GoldBank, GoldConfig, GoldProbe, truth_label
+from .reputation import ReputationConfig, ReputationTracker
+
+__all__ = [
+    "AdjudicationConfig",
+    "AdjudicationResult",
+    "Adjudicator",
+    "Ballot",
+    "GoldBank",
+    "GoldConfig",
+    "GoldProbe",
+    "QualityConfig",
+    "QualityController",
+    "ReputationConfig",
+    "ReputationTracker",
+    "truth_label",
+]

@@ -1,0 +1,239 @@
+"""Redundant answer collection and reputation-weighted adjudication.
+
+With redundancy ``k > 1`` every real task wants ``k`` independent answers
+before the platform commits to a label.  A :class:`Ballot` accumulates the
+answers; when full, :meth:`Adjudicator.adjudicate` runs a weighted
+plurality vote where each worker's weight is their reputation posterior
+mean (weight 1 for the unweighted baseline — plain majority).
+
+Ties escalate: the ballot's target grows by ``escalation_extra`` answers
+(capped at ``max_answers``) and the task goes back on the replication
+queue.  A ballot that is still tied at the cap resolves to the smallest
+tied label — an arbitrary but deterministic choice, counted separately in
+the outcome metrics so operators can see how often the cap bites.
+
+Everything is plain dict arithmetic over sorted keys: adjudication of the
+same ballot state is bit-reproducible regardless of answer arrival order.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class AdjudicationConfig:
+    """Redundancy and escalation knobs.
+
+    Attributes:
+        redundancy: Answers wanted per real task before adjudication
+            (``k``).  1 keeps the seed's single-answer flow: the lone
+            answer wins and no replication traffic is generated.
+        escalation_extra: Additional answers requested when a vote ties.
+        max_answers: Hard ceiling on answers per task (stops a pathological
+            ballot from consuming the whole worker pool).
+    """
+
+    redundancy: int = 1
+    escalation_extra: int = 2
+    max_answers: int = 7
+
+    def __post_init__(self) -> None:
+        if self.redundancy < 1:
+            raise ValueError(f"redundancy must be >= 1, got {self.redundancy}")
+        if self.escalation_extra < 1:
+            raise ValueError(
+                f"escalation_extra must be >= 1, got {self.escalation_extra}"
+            )
+        if self.max_answers < self.redundancy:
+            raise ValueError(
+                f"max_answers ({self.max_answers}) must be >= redundancy "
+                f"({self.redundancy})"
+            )
+
+
+@dataclass
+class Ballot:
+    """Answers collected so far for one task."""
+
+    task_id: str
+    target: int
+    answers: dict[str, int] = field(default_factory=dict)  # worker -> label
+
+    def add(self, worker_id: str, label: int) -> bool:
+        """Record an answer; the first answer per worker wins.  Returns
+        whether the ballot changed."""
+        if worker_id in self.answers:
+            return False
+        self.answers[worker_id] = label
+        return True
+
+    @property
+    def full(self) -> bool:
+        return len(self.answers) >= self.target
+
+    @property
+    def needed(self) -> int:
+        return max(0, self.target - len(self.answers))
+
+
+@dataclass(frozen=True)
+class AdjudicationResult:
+    """Outcome of one adjudication pass over a full ballot.
+
+    ``outcome`` is one of ``resolved`` (clear weighted winner),
+    ``escalated`` (tie, more answers requested) or ``tie`` (tie at the
+    answer cap, smallest tied label chosen).
+    """
+
+    task_id: str
+    outcome: str
+    label: int | None
+    tally: dict[int, float]
+    answers: dict[str, int]
+
+
+class Adjudicator:
+    """The ballot table plus the queue of tasks still wanting answers."""
+
+    def __init__(self, config: AdjudicationConfig | None = None):
+        self.config = config or AdjudicationConfig()
+        self._ballots: dict[str, Ballot] = {}
+        self._resolved: dict[str, int] = {}  # task -> final label
+
+    def __len__(self) -> int:
+        return len(self._ballots)
+
+    @property
+    def open_tasks(self) -> list[str]:
+        """Tasks with open ballots, in ballot-open order."""
+        return list(self._ballots)
+
+    @property
+    def resolved_labels(self) -> dict[str, int]:
+        return dict(self._resolved)
+
+    def ballot_of(self, task_id: str) -> Ballot | None:
+        return self._ballots.get(task_id)
+
+    def needing_answers(self) -> list[tuple[str, int]]:
+        """``(task_id, answers_still_needed)`` for under-filled open
+        ballots, in ballot-open (FIFO) order."""
+        return [
+            (task_id, ballot.needed)
+            for task_id, ballot in self._ballots.items()
+            if ballot.needed > 0
+        ]
+
+    # -- answer intake ---------------------------------------------------------
+
+    def add_answer(self, task_id: str, worker_id: str, label: int) -> Ballot:
+        """Record one answer, opening the ballot if this is the first."""
+        ballot = self._ballots.get(task_id)
+        if ballot is None:
+            ballot = Ballot(task_id=task_id, target=self.config.redundancy)
+            self._ballots[task_id] = ballot
+        ballot.add(worker_id, label)
+        return ballot
+
+    # -- adjudication ----------------------------------------------------------
+
+    def adjudicate(
+        self, task_id: str, weight_fn: Callable[[str], float] | None = None
+    ) -> AdjudicationResult:
+        """Run the weighted vote on a full ballot and retire or escalate it.
+
+        ``weight_fn`` maps a worker id to their vote weight (reputation
+        mean); ``None`` gives every vote weight 1 — the unweighted
+        baseline.
+        """
+        ballot = self._ballots[task_id]
+        if not ballot.full:
+            raise RuntimeError(
+                f"ballot for {task_id!r} has {len(ballot.answers)} of "
+                f"{ballot.target} answers; adjudicating early would bias "
+                "toward fast workers"
+            )
+        tally: dict[int, float] = {}
+        for worker_id in sorted(ballot.answers):
+            label = ballot.answers[worker_id]
+            weight = 1.0 if weight_fn is None else float(weight_fn(worker_id))
+            tally[label] = tally.get(label, 0.0) + weight
+        best = max(tally.values())
+        winners = sorted(label for label, mass in tally.items() if mass == best)
+        if len(winners) == 1:
+            label = winners[0]
+            del self._ballots[task_id]
+            self._resolved[task_id] = label
+            return AdjudicationResult(
+                task_id=task_id,
+                outcome="resolved",
+                label=label,
+                tally=tally,
+                answers=dict(ballot.answers),
+            )
+        if ballot.target < self.config.max_answers:
+            ballot.target = min(
+                self.config.max_answers,
+                ballot.target + self.config.escalation_extra,
+            )
+            return AdjudicationResult(
+                task_id=task_id,
+                outcome="escalated",
+                label=None,
+                tally=tally,
+                answers=dict(ballot.answers),
+            )
+        label = winners[0]
+        del self._ballots[task_id]
+        self._resolved[task_id] = label
+        return AdjudicationResult(
+            task_id=task_id,
+            outcome="tie",
+            label=label,
+            tally=tally,
+            answers=dict(ballot.answers),
+        )
+
+    @staticmethod
+    def agreement_pairs(result: AdjudicationResult) -> list[tuple[str, bool]]:
+        """Pairwise (dis)agreement events implied by a terminal result.
+
+        For each ordered pair of distinct answerers ``(w, v)`` emit
+        ``(w, label_w == label_v)``; each worker collects one event per
+        peer.  Sorted iteration keeps the event list deterministic.
+        """
+        events: list[tuple[str, bool]] = []
+        workers = sorted(result.answers)
+        for w in workers:
+            for v in workers:
+                if v == w:
+                    continue
+                events.append((w, result.answers[w] == result.answers[v]))
+        return events
+
+    # -- snapshot / restore ----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "ballots": {
+                task_id: {
+                    "target": ballot.target,
+                    "answers": dict(ballot.answers),
+                }
+                for task_id, ballot in self._ballots.items()
+            },
+            "resolved": dict(self._resolved),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._ballots = {
+            task_id: Ballot(
+                task_id=task_id,
+                target=int(spec["target"]),
+                answers={w: int(l) for w, l in spec["answers"].items()},
+            )
+            for task_id, spec in state["ballots"].items()
+        }
+        self._resolved = {t: int(l) for t, l in state["resolved"].items()}

@@ -1,0 +1,426 @@
+"""The quality-control facade the serving daemon drives.
+
+:class:`QualityController` owns the three quality primitives — the
+:class:`~repro.quality.gold.GoldBank`, the
+:class:`~repro.quality.reputation.ReputationTracker` and the
+:class:`~repro.quality.adjudication.Adjudicator` — and exposes exactly the
+hooks the daemon's request path needs:
+
+* :meth:`on_display` — called once per installed display; decides (by pure
+  hash) whether this (worker, iteration) gets a gold probe, and tops the
+  display up with replica aliases for tasks whose ballots still need
+  answers.  Returns the alias :class:`~repro.core.task.Task` objects to
+  merge into the display payload — the client sees ordinary tasks.
+* :meth:`on_answer` — called from ``/complete``; routes gold aliases to
+  gold scoring, replica aliases and first answers into ballots, and runs
+  adjudication when a ballot fills.
+* :meth:`on_tick` — called when a solve batch commits; folds pending
+  reputation evidence (the tick boundary of the Beta posterior).
+
+Every decision is deterministic in (config seed, call order): replaying a
+journal that drives these hooks in the recorded order reconstructs the
+same aliases, ballots and posteriors bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+from ..core.task import Task, TaskPool
+from .adjudication import AdjudicationConfig, Adjudicator
+from .gold import GoldBank, GoldConfig, _digest, truth_label
+from .reputation import ReputationConfig, ReputationTracker
+
+#: Buckets for the ``quality_reputation`` histogram (posterior means).
+REPUTATION_BUCKETS: tuple[float, ...] = (
+    0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0,
+)
+
+
+@dataclass(frozen=True)
+class QualityConfig:
+    """Everything the quality subsystem needs, in one serializable knob.
+
+    Attributes:
+        gold: Gold bank and injection settings.
+        reputation: Posterior settings.
+        adjudication: Redundancy and escalation settings.
+        weighted_vote: Use reputation means as vote weights.  ``False``
+            gives the unweighted-majority baseline the benchmark compares
+            against.
+        max_replicas_per_display: Replica aliases appended to one display at
+            most (keeps probe traffic a bounded fraction of real work).
+    """
+
+    gold: GoldConfig = field(default_factory=GoldConfig)
+    reputation: ReputationConfig = field(default_factory=ReputationConfig)
+    adjudication: AdjudicationConfig = field(default_factory=AdjudicationConfig)
+    weighted_vote: bool = True
+    max_replicas_per_display: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_replicas_per_display < 0:
+            raise ValueError(
+                f"max_replicas_per_display must be >= 0, "
+                f"got {self.max_replicas_per_display}"
+            )
+
+    @property
+    def active(self) -> bool:
+        """Whether the subsystem changes serving behavior at all."""
+        return self.gold.rate > 0.0 or self.adjudication.redundancy > 1
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, spec: dict) -> "QualityConfig":
+        return cls(
+            gold=GoldConfig(**spec["gold"]),
+            reputation=ReputationConfig(**spec["reputation"]),
+            adjudication=AdjudicationConfig(**spec["adjudication"]),
+            weighted_vote=bool(spec["weighted_vote"]),
+            max_replicas_per_display=int(spec["max_replicas_per_display"]),
+        )
+
+
+@dataclass(frozen=True)
+class _Replica:
+    """One replica alias: a real task re-served to another worker."""
+
+    alias_id: str
+    task_id: str
+    worker_id: str
+
+
+class QualityController:
+    """Gold + reputation + adjudication behind the daemon's request path."""
+
+    def __init__(
+        self,
+        pool: TaskPool,
+        config: QualityConfig | None = None,
+        registry=None,
+    ):
+        self.config = config or QualityConfig()
+        self.gold = GoldBank(pool, self.config.gold)
+        self.reputation = ReputationTracker(self.config.reputation)
+        self.adjudicator = Adjudicator(self.config.adjudication)
+        self._vocabulary = pool.vocabulary
+        self._tasks = {task.task_id: task for task in pool}
+        # worker -> alias ids currently shown and unanswered
+        self._overlays: dict[str, list[str]] = {}
+        self._replicas: dict[str, _Replica] = {}
+        # real task -> replica aliases currently outstanding
+        self._replica_outstanding: dict[str, int] = {}
+        if registry is not None:
+            self._gold_served = registry.counter(
+                "quality_gold_served_total", "Gold probes injected into displays"
+            )
+            self._gold_outcomes = registry.labeled_counter(
+                "quality_gold_outcomes_total",
+                "Gold answers scored, by correctness",
+                ("outcome",),
+            )
+            self._adjudications = registry.labeled_counter(
+                "quality_adjudications_total",
+                "Adjudication passes, by outcome",
+                ("outcome",),
+            )
+            self._reputation_hist = registry.histogram(
+                "quality_reputation",
+                "Posterior mean accuracy of tracked workers, sampled per tick",
+                buckets=REPUTATION_BUCKETS,
+            )
+        else:
+            self._gold_served = None
+            self._gold_outcomes = None
+            self._adjudications = None
+            self._reputation_hist = None
+
+    @property
+    def active(self) -> bool:
+        return self.config.active
+
+    # -- the serving pool ------------------------------------------------------
+
+    @staticmethod
+    def serving_pool(pool: TaskPool, config: QualityConfig) -> TaskPool:
+        """The corpus minus the gold holdout (identity when gold is off).
+
+        Static so the daemon can shrink the pool *before* constructing the
+        service; the controller built afterwards re-derives the same bank
+        from the same seed.
+        """
+        if config.gold.rate <= 0.0:
+            return pool
+        bank = GoldBank(pool, config.gold)
+        return TaskPool(
+            [t for t in pool if t.task_id not in set(bank.gold_ids)],
+            pool.vocabulary,
+        )
+
+    # -- display hook ----------------------------------------------------------
+
+    def on_display(self, worker_id: str, iteration: int) -> list[Task]:
+        """Quality tasks to append to a freshly installed display.
+
+        At most one gold probe (a pure hash decision on
+        ``(seed, worker, iteration)``) plus up to
+        ``max_replicas_per_display`` replica aliases drawn FIFO from
+        ballots still needing answers.  Flagged workers get neither — a
+        detected spammer's answers are worthless, so probe budget is not
+        spent on them.
+
+        Aliases left unanswered from the worker's previous display expire
+        first: a new display replaces the old one wholesale on the client,
+        and a stale alias re-appearing there would trip the client-side
+        duplicate-display check.
+        """
+        if not self.active:
+            return []
+        self._expire_overlay(worker_id)
+        if self.reputation.is_flagged(worker_id):
+            return []
+        extras: list[Task] = []
+        if self.gold.wants_probe(worker_id, iteration):
+            probe = self.gold.make_probe(worker_id, iteration)
+            self._overlays.setdefault(worker_id, []).append(probe.alias_id)
+            extras.append(self.gold.alias_task(probe.alias_id))
+            if self._gold_served is not None:
+                self._gold_served.inc()
+        budget = self.config.max_replicas_per_display
+        for task_id, needed in self.adjudicator.needing_answers():
+            if budget <= 0:
+                break
+            ballot = self.adjudicator.ballot_of(task_id)
+            if ballot is None or worker_id in ballot.answers:
+                continue
+            outstanding = self._replica_outstanding.get(task_id, 0)
+            if outstanding >= needed:
+                continue
+            if any(
+                replica.task_id == task_id and replica.worker_id == worker_id
+                for replica in self._replicas.values()
+            ):
+                continue
+            digest = _digest(
+                "replica", self.config.gold.seed, task_id, worker_id, iteration
+            )
+            alias_id = f"rep-{digest[:8].hex()}"
+            self._replicas[alias_id] = _Replica(
+                alias_id=alias_id, task_id=task_id, worker_id=worker_id
+            )
+            self._replica_outstanding[task_id] = outstanding + 1
+            self._overlays.setdefault(worker_id, []).append(alias_id)
+            extras.append(self._alias_task(alias_id, task_id))
+            budget -= 1
+        return extras
+
+    def _alias_task(self, alias_id: str, task_id: str) -> Task:
+        real = self._tasks[task_id]
+        return Task(
+            task_id=alias_id,
+            vector=real.vector,
+            group=real.group,
+            title=real.title,
+            reward=real.reward,
+            n_questions=real.n_questions,
+        )
+
+    # -- task-id resolution ----------------------------------------------------
+
+    def is_quality_task(self, task_id: str) -> bool:
+        """Whether this id is an alias owned by the quality layer (and so
+        must not reach the assignment service)."""
+        return self.gold.is_alias(task_id) or task_id in self._replicas
+
+    def task_for_display(self, task_id: str) -> Task | None:
+        """The alias task for payload rendering, ``None`` for real ids."""
+        if self.gold.is_alias(task_id):
+            return self.gold.alias_task(task_id)
+        replica = self._replicas.get(task_id)
+        if replica is not None:
+            return self._alias_task(task_id, replica.task_id)
+        return None
+
+    def overlay_ids(self, worker_id: str) -> list[str]:
+        """Unanswered quality aliases currently on this worker's display."""
+        return list(self._overlays.get(worker_id, ()))
+
+    def truth_of(self, task_id: str) -> int:
+        """Content-derived truth of a task or live alias (ground truth)."""
+        probe = self.gold.probe_for(task_id)
+        if probe is not None:
+            return probe.truth
+        replica = self._replicas.get(task_id)
+        if replica is not None:
+            task_id = replica.task_id
+        task = self._tasks[task_id]
+        return truth_label(
+            task.keywords(self._vocabulary),
+            self.config.gold.seed,
+            self.config.gold.n_labels,
+        )
+
+    # -- answer hook -----------------------------------------------------------
+
+    def on_answer(
+        self, worker_id: str, task_id: str, answer: "int | None"
+    ) -> dict:
+        """Route one ``/complete`` through the quality pipeline.
+
+        Returns an internal accounting dict (never sent to the client —
+        revealing which tasks were gold would defeat them):
+
+        * ``{"kind": "gold", "correct": bool}`` — a scored gold alias;
+        * ``{"kind": "replica", ...}`` / ``{"kind": "task", ...}`` — an
+          answer that joined a ballot, with the adjudication outcome when
+          the ballot filled;
+        * ``{"kind": "ignored"}`` — quality is off or no answer was given.
+        """
+        self._drop_overlay(worker_id, task_id)
+        probe = self.gold.probe_for(task_id)
+        if probe is not None:
+            self.gold.retire(task_id)
+            if answer is None:
+                return {"kind": "ignored"}
+            correct = int(answer) == probe.truth
+            self.reputation.observe_gold(worker_id, correct)
+            if self._gold_outcomes is not None:
+                self._gold_outcomes.labels(
+                    outcome="correct" if correct else "wrong"
+                ).inc()
+            return {"kind": "gold", "correct": correct}
+        replica = self._replicas.pop(task_id, None)
+        if replica is not None:
+            outstanding = self._replica_outstanding.get(replica.task_id, 0)
+            if outstanding <= 1:
+                self._replica_outstanding.pop(replica.task_id, None)
+            else:
+                self._replica_outstanding[replica.task_id] = outstanding - 1
+            if answer is None:
+                return {"kind": "ignored"}
+            return self._ballot_answer("replica", replica.task_id, worker_id, answer)
+        if not self.active or answer is None:
+            return {"kind": "ignored"}
+        return self._ballot_answer("task", task_id, worker_id, answer)
+
+    def _ballot_answer(
+        self, kind: str, task_id: str, worker_id: str, answer: int
+    ) -> dict:
+        ballot = self.adjudicator.add_answer(task_id, worker_id, int(answer))
+        if not ballot.full:
+            return {"kind": kind, "task_id": task_id, "ballot": "open"}
+        weight_fn = (
+            self.reputation.vote_weight if self.config.weighted_vote else None
+        )
+        result = self.adjudicator.adjudicate(task_id, weight_fn)
+        if self._adjudications is not None:
+            self._adjudications.labels(outcome=result.outcome).inc()
+        if result.outcome != "escalated":
+            for peer, agreed in Adjudicator.agreement_pairs(result):
+                self.reputation.observe_agreement(peer, agreed)
+        return {
+            "kind": kind,
+            "task_id": task_id,
+            "ballot": result.outcome,
+            "label": result.label,
+        }
+
+    def _drop_overlay(self, worker_id: str, task_id: str) -> None:
+        overlay = self._overlays.get(worker_id)
+        if overlay and task_id in overlay:
+            overlay.remove(task_id)
+            if not overlay:
+                del self._overlays[worker_id]
+
+    # -- lifecycle hooks -------------------------------------------------------
+
+    def on_tick(self) -> None:
+        """A solve batch committed: fold pending reputation evidence."""
+        self.reputation.flush_tick()
+        if self._reputation_hist is not None:
+            for worker_id in self.reputation.worker_ids():
+                self._reputation_hist.observe(self.reputation.mean(worker_id))
+
+    def _expire_overlay(self, worker_id: str) -> None:
+        """Retire every unanswered alias the worker still holds."""
+        for alias_id in self._overlays.pop(worker_id, []):
+            if self.gold.retire(alias_id) is not None:
+                continue
+            replica = self._replicas.pop(alias_id, None)
+            if replica is None:
+                continue
+            outstanding = self._replica_outstanding.get(replica.task_id, 0)
+            if outstanding <= 1:
+                self._replica_outstanding.pop(replica.task_id, None)
+            else:
+                self._replica_outstanding[replica.task_id] = outstanding - 1
+
+    def on_unregister(self, worker_id: str) -> None:
+        """Drop the worker's outstanding aliases; their reputation stays."""
+        self._expire_overlay(worker_id)
+        self.gold.retire_worker(worker_id)
+
+    # -- reporting -------------------------------------------------------------
+
+    def quality_payload(self) -> dict:
+        """The ``GET /quality`` response body."""
+        workers = sorted(self.reputation.worker_ids())
+        return {
+            "active": self.active,
+            "config": self.config.to_dict(),
+            "gold": {
+                "bank_size": len(self.gold.gold_ids),
+                "served_total": self.gold.served_total,
+                "outstanding": self.gold.outstanding,
+            },
+            "adjudication": {
+                "open_ballots": len(self.adjudicator),
+                "resolved": len(self.adjudicator.resolved_labels),
+            },
+            "reputation": {
+                "ticks": self.reputation.ticks,
+                "tracked": len(workers),
+                "flagged": self.reputation.flagged_workers(),
+                "workers": {w: self.reputation.summary(w) for w in workers},
+            },
+        }
+
+    # -- snapshot / restore ----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "reputation": self.reputation.state_dict(),
+            "gold": self.gold.state_dict(),
+            "adjudication": self.adjudicator.state_dict(),
+            "overlays": {w: list(ids) for w, ids in self._overlays.items()},
+            "replicas": {
+                alias: {
+                    "task_id": replica.task_id,
+                    "worker_id": replica.worker_id,
+                }
+                for alias, replica in self._replicas.items()
+            },
+            "replica_outstanding": dict(self._replica_outstanding),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.reputation.load_state_dict(state["reputation"])
+        self.gold.load_state_dict(state["gold"])
+        self.adjudicator.load_state_dict(state["adjudication"])
+        self._overlays = {
+            w: list(ids) for w, ids in state["overlays"].items()
+        }
+        self._replicas = {
+            alias: _Replica(
+                alias_id=alias,
+                task_id=str(spec["task_id"]),
+                worker_id=str(spec["worker_id"]),
+            )
+            for alias, spec in state["replicas"].items()
+        }
+        self._replica_outstanding = {
+            t: int(n) for t, n in state["replica_outstanding"].items()
+        }

@@ -1,0 +1,248 @@
+"""Gold-question bank and deterministic probe injection.
+
+Quality control needs questions with known answers mixed invisibly into the
+task stream.  This module provides:
+
+* a **gold bank**: a seeded, deterministic holdout of tasks from the corpus
+  whose "true" label the platform knows;
+* **content-derived truth labels**: the truth of a task is a hash of its
+  keyword set (plus the quality seed), so an aliased copy of a gold task has
+  the same truth as the original, and a simulator that sees the displayed
+  keywords can recompute the truth without any protocol side channel;
+* **probe aliases**: each injection serves a gold task under a fresh opaque
+  task id unique to ``(worker, iteration, slot)``.  Aliasing keeps the
+  serving invariants intact — the daemon's C1/C2 checks require every
+  displayed id to be distinct per display and absent from other displays,
+  which a shared gold id would violate — and stops workers from recognising
+  a repeated gold id;
+* **stateless injection decisions**: whether worker *w* gets a probe at
+  iteration *i* is a pure hash of ``(seed, w, i)``.  No RNG state advances,
+  so replaying a journal reaches identical decisions regardless of the
+  order events were recorded in.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.task import Task, TaskPool
+
+
+def _digest(*parts: object) -> bytes:
+    """A stable hash over heterogeneous parts (order-sensitive)."""
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(str(part).encode("utf-8"))
+        h.update(b"\x1f")
+    return h.digest()
+
+
+def truth_label(keywords: tuple[str, ...] | list[str], seed: int, n_labels: int) -> int:
+    """The ground-truth label of a task, derived from its keyword content.
+
+    Sorted before hashing so any representation that preserves the keyword
+    *set* (server-side vector, client-side payload list) yields the same
+    truth.
+    """
+    if n_labels < 2:
+        raise ValueError(f"n_labels must be >= 2, got {n_labels}")
+    digest = _digest("truth", seed, ",".join(sorted(keywords)))
+    return int.from_bytes(digest[:8], "big") % n_labels
+
+
+@dataclass(frozen=True)
+class GoldConfig:
+    """Gold-injection knobs.
+
+    Attributes:
+        rate: Probability a given (worker, iteration) display carries one
+            gold probe.  0 disables injection entirely — and with it the
+            bank holdout, keeping the serving pool bit-identical to a
+            quality-free daemon.
+        seed: Root seed for bank selection, injection decisions and truth
+            labels.
+        bank_size: Number of corpus tasks held out as gold.
+        n_labels: Size of the categorical answer space.
+    """
+
+    rate: float = 0.0
+    seed: int = 0
+    bank_size: int = 8
+    n_labels: int = 4
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"gold rate must be in [0, 1], got {self.rate}")
+        if self.bank_size < 1:
+            raise ValueError(f"bank_size must be >= 1, got {self.bank_size}")
+        if self.n_labels < 2:
+            raise ValueError(f"n_labels must be >= 2, got {self.n_labels}")
+
+
+@dataclass(frozen=True)
+class GoldProbe:
+    """One outstanding gold alias served to one worker."""
+
+    alias_id: str
+    gold_task_id: str
+    worker_id: str
+    iteration: int
+    truth: int
+
+
+class GoldBank:
+    """The held-out gold tasks plus the live alias table.
+
+    Construction is deterministic in ``(config.seed, pool contents)``: the
+    bank is a seeded sample over the sorted task ids, so two daemons built
+    from the same corpus and seed hold out the same tasks.
+    """
+
+    def __init__(self, pool: TaskPool, config: GoldConfig, vocabulary=None):
+        self.config = config
+        self._vocabulary = vocabulary if vocabulary is not None else pool.vocabulary
+        task_ids = sorted(task.task_id for task in pool)
+        if config.rate > 0.0 and len(task_ids) <= config.bank_size:
+            raise ValueError(
+                f"gold bank of {config.bank_size} needs a corpus larger than "
+                f"that, got {len(task_ids)} tasks"
+            )
+        if config.rate > 0.0:
+            rng = np.random.default_rng(
+                int.from_bytes(_digest("bank", config.seed)[:8], "big")
+            )
+            chosen = rng.choice(
+                len(task_ids), size=config.bank_size, replace=False
+            )
+            self.gold_ids: tuple[str, ...] = tuple(
+                sorted(task_ids[i] for i in chosen)
+            )
+        else:
+            self.gold_ids = ()
+        self._gold_tasks: dict[str, Task] = {}
+        by_id = {task.task_id: task for task in pool}
+        for gold_id in self.gold_ids:
+            self._gold_tasks[gold_id] = by_id[gold_id]
+        self._aliases: dict[str, GoldProbe] = {}
+        self._served_total = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.config.rate > 0.0 and bool(self.gold_ids)
+
+    @property
+    def served_total(self) -> int:
+        return self._served_total
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._aliases)
+
+    def truth_of_task(self, task: Task) -> int:
+        return truth_label(
+            task.keywords(self._vocabulary), self.config.seed, self.config.n_labels
+        )
+
+    # -- injection -------------------------------------------------------------
+
+    def wants_probe(self, worker_id: str, iteration: int) -> bool:
+        """Stateless injection decision for this (worker, iteration)."""
+        if not self.enabled:
+            return False
+        digest = _digest("inject", self.config.seed, worker_id, iteration)
+        draw = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return draw < self.config.rate
+
+    def make_probe(self, worker_id: str, iteration: int) -> GoldProbe:
+        """Mint the gold alias for this (worker, iteration).
+
+        Idempotent: the alias id and the chosen gold task are pure hashes of
+        the arguments, so re-minting after a crash or during replay
+        reproduces the identical probe.
+        """
+        if not self.enabled:
+            raise RuntimeError("gold injection is disabled")
+        digest = _digest("probe", self.config.seed, worker_id, iteration)
+        gold_id = self.gold_ids[
+            int.from_bytes(digest[8:16], "big") % len(self.gold_ids)
+        ]
+        alias_id = f"gold-{digest[:8].hex()}"
+        probe = GoldProbe(
+            alias_id=alias_id,
+            gold_task_id=gold_id,
+            worker_id=worker_id,
+            iteration=iteration,
+            truth=self.truth_of_task(self._gold_tasks[gold_id]),
+        )
+        if alias_id not in self._aliases:
+            self._served_total += 1
+        self._aliases[alias_id] = probe
+        return probe
+
+    # -- alias resolution ------------------------------------------------------
+
+    def is_alias(self, task_id: str) -> bool:
+        return task_id in self._aliases
+
+    def probe_for(self, alias_id: str) -> GoldProbe | None:
+        return self._aliases.get(alias_id)
+
+    def alias_task(self, alias_id: str) -> Task:
+        """The gold task rebadged under its alias id (for display payloads)."""
+        probe = self._aliases[alias_id]
+        gold = self._gold_tasks[probe.gold_task_id]
+        return Task(
+            task_id=alias_id,
+            vector=gold.vector,
+            group=gold.group,
+            title=gold.title,
+            reward=gold.reward,
+            n_questions=gold.n_questions,
+        )
+
+    def retire(self, alias_id: str) -> GoldProbe | None:
+        """Drop an alias once answered or abandoned."""
+        return self._aliases.pop(alias_id, None)
+
+    def retire_worker(self, worker_id: str) -> list[str]:
+        """Drop every outstanding alias held by ``worker_id``."""
+        doomed = [
+            alias
+            for alias, probe in self._aliases.items()
+            if probe.worker_id == worker_id
+        ]
+        for alias in doomed:
+            del self._aliases[alias]
+        return doomed
+
+    # -- snapshot / restore ----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "served_total": self._served_total,
+            "aliases": {
+                alias: {
+                    "gold_task_id": probe.gold_task_id,
+                    "worker_id": probe.worker_id,
+                    "iteration": probe.iteration,
+                    "truth": probe.truth,
+                }
+                for alias, probe in self._aliases.items()
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._served_total = int(state["served_total"])
+        self._aliases = {
+            alias: GoldProbe(
+                alias_id=alias,
+                gold_task_id=str(spec["gold_task_id"]),
+                worker_id=str(spec["worker_id"]),
+                iteration=int(spec["iteration"]),
+                truth=int(spec["truth"]),
+            )
+            for alias, spec in state["aliases"].items()
+        }

@@ -38,6 +38,7 @@ from ..core.worker import Worker
 from ..crowd.events import TasksAssigned
 from ..crowd.service import AssignmentService, ServiceConfig, execute_prepared
 from ..errors import SimulationError
+from ..quality import QualityConfig, QualityController
 from ..storage import SnapshotStore
 from .replay import FlightRecorder, pool_fingerprint, state_fingerprint
 from .cache import IncrementalDiversityCache
@@ -61,6 +62,11 @@ from .tracing import SolveContext, SpanMetrics, TraceRecorder
 
 #: Snapshot kind under which the daemon persists its state.
 SNAPSHOT_KIND = "serve"
+
+#: Layout version of the daemon's snapshot payload.  Bumped to 2 when the
+#: quality layer's state (reputation posteriors, gold aliases, ballots)
+#: joined the payload; the store refuses to restore a mismatched version.
+SNAPSHOT_SCHEMA_VERSION = 2
 
 #: Completion responses remembered for duplicate delivery (per daemon).
 COMPLETION_CACHE_CAP = 4096
@@ -94,6 +100,9 @@ class ServeConfig:
     #: "n_tasks": 2000, "seed": 0}`` — stored in the journal header so
     #: ``repro replay`` can rebuild the pool without the original process.
     corpus_spec: dict | None = None
+    #: Quality-control subsystem (gold injection, redundancy, reputation);
+    #: ``None`` leaves the daemon byte-identical to a quality-free build.
+    quality: QualityConfig | None = None
 
 
 class AssignmentDaemon:
@@ -102,17 +111,30 @@ class AssignmentDaemon:
     def __init__(self, pool: TaskPool, config: ServeConfig | None = None):
         self.config = config or ServeConfig()
         self.registry = MetricsRegistry()
+        self.quality: QualityController | None = None
+        serving_pool = pool
+        if self.config.quality is not None:
+            # The controller sees the full corpus; the service serves the
+            # corpus minus the gold holdout (identical when gold is off).
+            self.quality = QualityController(
+                pool, self.config.quality, registry=self.registry
+            )
+            serving_pool = QualityController.serving_pool(
+                pool, self.config.quality
+            )
         self.service = AssignmentService(
-            pool,
+            serving_pool,
             self.config.strategy,
             self.config.service,
             rng=self.config.seed,
         )
-        self.cache = IncrementalDiversityCache(pool).attach(self.service)
+        if self.quality is not None:
+            self.service.set_reputation_provider(self.quality.reputation.mean)
+        self.cache = IncrementalDiversityCache(serving_pool).attach(self.service)
         self.scheduler = None  # created in start(), needs a running loop
         self.engine = None  # created in start() when solver_workers > 0
         self._vocabulary = pool.vocabulary
-        self._task_index: dict[str, Task] = {t.task_id: t for t in pool}
+        self._task_index: dict[str, Task] = {t.task_id: t for t in serving_pool}
         self._displayed_ever: set[str] = set()
         self._server: asyncio.AbstractServer | None = None
         self._started_at = time.monotonic()
@@ -128,7 +150,10 @@ class AssignmentDaemon:
             else None
         )
         self._snapshots: SnapshotStore | None = (
-            SnapshotStore(self.config.snapshot_path)
+            SnapshotStore(
+                self.config.snapshot_path,
+                schema_version=SNAPSHOT_SCHEMA_VERSION,
+            )
             if self.config.snapshot_path
             else None
         )
@@ -200,6 +225,11 @@ class AssignmentDaemon:
                     "service": asdict(self.config.service),
                     "pool_sha": pool_fingerprint(pool),
                     "corpus": self.config.corpus_spec,
+                    "quality": (
+                        None
+                        if self.config.quality is None
+                        else self.config.quality.to_dict()
+                    ),
                     "recorded_with": {
                         "solver_workers": self.config.solver_workers,
                         "fault_plan": (
@@ -274,12 +304,7 @@ class AssignmentDaemon:
             # Final bit-identity anchor: a replay that matched every event
             # must also land on this exact state hash, RNG position included.
             self._recorder.record_end(
-                state_fingerprint(
-                    {
-                        "service": self.service.snapshot_state(),
-                        "displayed_ever": sorted(self._displayed_ever),
-                    }
-                )
+                state_fingerprint(self._state_payload())
             )
             self._recorder.close()
         self.tracer.close()
@@ -340,6 +365,7 @@ class AssignmentDaemon:
             for event in events.values():
                 self._register_display(event)
                 self._reassignments.inc()
+            self._quality_tick()
             self._maybe_snapshot()
         return events
 
@@ -381,6 +407,7 @@ class AssignmentDaemon:
             for event in events.values():
                 self._register_display(event)
                 self._reassignments.inc()
+            self._quality_tick()
             self._maybe_snapshot()
         return events
 
@@ -391,8 +418,42 @@ class AssignmentDaemon:
             self._violations.inc()
         self._displayed_ever.update(shown)
         self._displayed.inc(len(shown))
+        if self.quality is not None and self.quality.active:
+            # Quality extras for this display: maybe one gold probe plus
+            # replica aliases.  Recorded even when empty — on_display also
+            # expires the worker's stale aliases, so replay must drive it
+            # at every install, in this exact order.
+            extras = self.quality.on_display(event.worker_id, event.iteration)
+            alias_ids = [task.task_id for task in extras]
+            self._displayed_ever.update(alias_ids)
+            if alias_ids:
+                self._displayed.inc(len(alias_ids))
+            if self._recorder is not None:
+                self._recorder.record_probe(
+                    event.worker_id, event.iteration, alias_ids
+                )
+
+    def _quality_tick(self) -> None:
+        """Fold pending reputation evidence after a committed solve batch."""
+        if self.quality is None or not self.quality.active:
+            return
+        self.quality.on_tick()
+        if self._recorder is not None:
+            self._recorder.record_tick()
 
     # -- snapshot / restore --------------------------------------------------
+
+    def _state_payload(self) -> dict:
+        """The daemon's full mutable state: the unit snapshots persist and
+        the ``end`` journal fingerprint covers (replay rebuilds the same
+        payload, see :meth:`repro.serve.replay._ReplayState.end_payload`)."""
+        payload = {
+            "service": self.service.snapshot_state(),
+            "displayed_ever": sorted(self._displayed_ever),
+        }
+        if self.quality is not None:
+            payload["quality"] = self.quality.state_dict()
+        return payload
 
     def snapshot_now(self) -> bool:
         """Persist the daemon's full mutable state; no-op without a store.
@@ -403,10 +464,7 @@ class AssignmentDaemon:
         """
         if self._snapshots is None:
             return False
-        payload = {
-            "service": self.service.snapshot_state(),
-            "displayed_ever": sorted(self._displayed_ever),
-        }
+        payload = self._state_payload()
         if self._recorder is not None:
             # Journal/snapshot rendezvous: a restored daemon's journal can be
             # stitched to its predecessor's at this seq.
@@ -433,6 +491,8 @@ class AssignmentDaemon:
         state = record.state
         self.service.restore_state(state["service"], self._task_index)
         self._displayed_ever = set(state["displayed_ever"])
+        if self.quality is not None and "quality" in state:
+            self.quality.load_state_dict(state["quality"])
         pool_state = self.service.pool_state
         self.cache.on_removed(
             [tid for tid in self._task_index if tid not in pool_state]
@@ -548,6 +608,10 @@ class AssignmentDaemon:
             )
         if path == "/vocabulary" and method == "GET":
             return {"keywords": list(self._vocabulary.keywords)}
+        if path == "/quality" and method == "GET":
+            if self.quality is None:
+                return {"active": False}
+            return self.quality.quality_payload()
         if path == "/workers" and method == "POST":
             return await self._post_workers(request, trace)
         if path == "/complete" and method == "POST":
@@ -680,6 +744,12 @@ class AssignmentDaemon:
         completion_key = body.get("completion_key")
         if completion_key is not None and not isinstance(completion_key, str):
             raise HttpError(400, "completion_key must be a string")
+        answer = body.get("answer")
+        if answer is not None:
+            if not isinstance(answer, int) or isinstance(answer, bool):
+                raise HttpError(400, "answer must be an integer label")
+            if self.quality is None:
+                answer = None  # no quality layer to consume it
         # Parse the deadline before mutating any state: a malformed header
         # must not leave a recorded completion behind its 400.
         deadline = self._request_deadline(request)
@@ -692,6 +762,10 @@ class AssignmentDaemon:
                 self._deduplicated.inc()
                 trace.set_attrs(worker_id=worker_id, deduplicated=True)
                 return {**cached, "deduplicated": True}
+        if self.quality is not None and self.quality.is_quality_task(task_id):
+            return self._complete_quality_task(
+                worker_id, task_id, answer, completion_key, trace
+            )
         try:
             self.service.observe_completion(worker_id, task_id)
         except SimulationError as exc:
@@ -699,8 +773,10 @@ class AssignmentDaemon:
         self._completions.inc()
         if self._recorder is not None:
             self._recorder.record_complete(
-                worker_id, task_id, trace.trace_id, completion_key
+                worker_id, task_id, trace.trace_id, completion_key, answer
             )
+        if self.quality is not None:
+            self.quality.on_answer(worker_id, task_id, answer)
         trace.set_attrs(worker_id=worker_id)
         reassigned = False
         deadline_exceeded = False
@@ -756,6 +832,49 @@ class AssignmentDaemon:
         self._remember_completion(worker_id, completion_key, payload)
         return payload
 
+    def _complete_quality_task(
+        self,
+        worker_id: str,
+        task_id: str,
+        answer: "int | None",
+        completion_key: "str | None",
+        trace,
+    ) -> dict:
+        """A completion for a gold/replica alias.
+
+        The alias never existed in the assignment service, so the service is
+        not consulted and no reassignment is triggered; the response is
+        shaped exactly like an ordinary completion — a client must not be
+        able to tell it just answered a gold question.
+        """
+        if task_id not in self.quality.overlay_ids(worker_id):
+            raise HttpError(
+                409,
+                f"task {task_id!r} is not on worker {worker_id!r}'s display",
+            )
+        if self._recorder is not None:
+            self._recorder.record_complete(
+                worker_id, task_id, trace.trace_id, completion_key, answer
+            )
+        self.quality.on_answer(worker_id, task_id, answer)
+        self._completions.inc()
+        trace.set_attrs(worker_id=worker_id, quality_task=True)
+        try:
+            display = self.service.display_of(worker_id)
+        except SimulationError:
+            display_payload = None
+        else:
+            display_payload = self._current_display_payload(worker_id, display)
+        payload = {
+            "worker_id": worker_id,
+            "completed": task_id,
+            "reassigned": False,
+            "deadline_exceeded": False,
+            "display": display_payload,
+        }
+        self._remember_completion(worker_id, completion_key, payload)
+        return payload
+
     def _remember_completion(
         self, worker_id: str, key: "str | None", payload: dict
     ) -> None:
@@ -806,6 +925,8 @@ class AssignmentDaemon:
         removed = self.service.unregister_worker(worker_id)
         if removed:
             self._forget_completions(worker_id)
+            if self.quality is not None:
+                self.quality.on_unregister(worker_id)
             if self._recorder is not None:
                 self._recorder.record_unregister(worker_id)
         # Idempotent by construction: a retried DELETE finds the worker
@@ -815,7 +936,13 @@ class AssignmentDaemon:
     # -- payload shaping ------------------------------------------------------
 
     def _task_payload(self, task_id: str) -> dict:
-        task = self._task_index[task_id]
+        task = self._task_index.get(task_id)
+        if task is None and self.quality is not None:
+            # A gold/replica alias: render the underlying task under the
+            # alias id — indistinguishable from a real task to the client.
+            task = self.quality.task_for_display(task_id)
+        if task is None:
+            raise KeyError(f"no task {task_id!r} to render")
         return {
             "task_id": task_id,
             "title": task.title,
@@ -823,8 +950,14 @@ class AssignmentDaemon:
             "keywords": list(task.keywords(self._vocabulary)),
         }
 
+    def _overlay_ids(self, worker_id: str) -> list[str]:
+        if self.quality is None:
+            return []
+        return self.quality.overlay_ids(worker_id)
+
     def _display_payload(self, worker_id: str, event: TasksAssigned) -> dict:
         shown = list(event.task_ids) + list(event.random_pad_ids)
+        shown += self._overlay_ids(worker_id)
         return {
             "iteration": event.iteration,
             "alpha": event.alpha,
@@ -838,12 +971,16 @@ class AssignmentDaemon:
     def _current_display_payload(self, worker_id: str, display) -> dict:
         weights = self.service.weights_of(worker_id)
         pending = [display.task_ids[i] for i in display.pending()]
+        overlay = self._overlay_ids(worker_id)
         return {
             "iteration": display.iteration,
             "alpha": weights.alpha,
             "beta": weights.beta,
-            "tasks": [self._task_payload(tid) for tid in display.task_ids],
-            "pending": pending,
+            "tasks": [
+                self._task_payload(tid)
+                for tid in list(display.task_ids) + overlay
+            ],
+            "pending": pending + overlay,
         }
 
 

@@ -35,7 +35,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..crowd.behavior import BehaviorParams, WorkerBehavior, sample_latent_profiles
+from ..crowd.behavior import (
+    BehaviorParams,
+    Persona,
+    WorkerBehavior,
+    sample_latent_profiles,
+    sample_personas,
+)
+from ..quality.gold import _digest, truth_label
 from ..rng import ensure_rng
 from .metrics import Histogram
 from .protocol import HttpClient
@@ -58,10 +65,37 @@ class LoadgenConfig:
     backoff_cap: float = 1.0  # ceiling on any single backoff sleep
     request_deadline: float = 0.0  # seconds per logical request (0 = none);
     # the remaining budget is propagated to the daemon via x-deadline-ms
+    #: When > 0, workers answer every completion with an integer label in
+    #: ``[0, answer_labels)`` derived from the displayed keywords — the same
+    #: content hash the daemon's quality layer uses, so honest answers score
+    #: as correct on gold probes.  0 sends no answers (the seed protocol).
+    answer_labels: int = 0
+    #: Must match the daemon's ``GoldConfig.seed`` for truth labels to agree.
+    quality_seed: int = 0
+    #: Adversarial persona mix (fractions of ``n_workers``; the rest are
+    #: honest).  See :func:`repro.crowd.behavior.sample_personas`.
+    spammer_fraction: float = 0.0
+    drifting_fraction: float = 0.0
+    colluder_fraction: float = 0.0
+    clique_size: int = 3
+    drift_per_task: float = 0.03
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
+        if self.answer_labels < 0:
+            raise ValueError(
+                f"answer_labels must be >= 0, got {self.answer_labels}"
+            )
+        if self.answer_labels == 1:
+            raise ValueError("answer_labels needs at least 2 labels (or 0)")
+        if (
+            self.spammer_fraction or self.drifting_fraction
+            or self.colluder_fraction
+        ) and self.answer_labels == 0:
+            raise ValueError(
+                "adversarial personas need answer_labels > 0 to matter"
+            )
         if self.completions_per_worker < 1:
             raise ValueError(
                 f"completions_per_worker must be >= 1, "
@@ -192,6 +226,7 @@ class _SimulatedWorker:
         vocabulary: list[str],
         shared: _SharedState,
         rng: np.random.Generator,
+        persona: "Persona | None" = None,
     ):
         self.worker_id = worker_id
         self.config = config
@@ -201,7 +236,9 @@ class _SimulatedWorker:
         picks = rng.choice(len(vocabulary), size=take, replace=False)
         self.keywords = frozenset(vocabulary[int(i)] for i in picks)
         profile = sample_latent_profiles(1, rng=rng)[0]
-        self.behavior = WorkerBehavior(profile, BehaviorParams(), rng)
+        self.behavior = WorkerBehavior(profile, BehaviorParams(), rng, persona=persona)
+        self._last_novelty = 1.0
+        self._last_relevance = 0.0
         self.recent: list[frozenset[str]] = []
         self.client = HttpClient(config.host, config.port)
         # task_id -> keyword set, refreshed from every display payload
@@ -310,7 +347,42 @@ class _SimulatedWorker:
         )
         self.recent.append(self.task_keywords.get(self.pending[position], frozenset()))
         self.behavior.register_completion(novelties[position])
+        self._last_novelty = novelties[position]
+        self._last_relevance = relevances[position]
         return self.pending[position]
+
+    def _answer_for(self, task_id: str) -> int:
+        """This worker's answer label for ``task_id``.
+
+        Honest workers recompute the daemon's content-derived truth from
+        the displayed keywords and pass it through their accuracy model;
+        adversarial personas corrupt it per
+        :meth:`repro.crowd.behavior.WorkerBehavior.answer_label`.
+        Colluders agree on a clique-wide label that is itself a content
+        hash, so clique members answer identically without coordination.
+        """
+        keywords = sorted(self.task_keywords.get(task_id, frozenset()))
+        truth = truth_label(
+            keywords, self.config.quality_seed, self.config.answer_labels
+        )
+        collusion_label = None
+        if self.behavior.persona is not None and (
+            self.behavior.persona.kind == "colluder"
+        ):
+            digest = _digest(
+                "clique",
+                self.config.quality_seed,
+                self.behavior.persona.clique,
+                ",".join(keywords),
+            )
+            collusion_label = int.from_bytes(digest[:8], "big")
+        return self.behavior.answer_label(
+            truth,
+            self.config.answer_labels,
+            self._last_novelty,
+            self._last_relevance,
+            collusion_label=collusion_label,
+        )
 
     async def run(self) -> None:
         self.shared.result.workers_started += 1
@@ -342,14 +414,15 @@ class _SimulatedWorker:
                 # The key is built once per *logical* completion, so every
                 # retry of a lost response carries the same key and the
                 # daemon can recognize the duplicate delivery.
+                complete_body = {
+                    "worker_id": self.worker_id,
+                    "task_id": task_id,
+                    "completion_key": f"{self.worker_id}:{completion_index}",
+                }
+                if self.config.answer_labels > 0:
+                    complete_body["answer"] = self._answer_for(task_id)
                 status, body = await self._request(
-                    "POST",
-                    "/complete",
-                    {
-                        "worker_id": self.worker_id,
-                        "task_id": task_id,
-                        "completion_key": f"{self.worker_id}:{completion_index}",
-                    },
+                    "POST", "/complete", complete_body
                 )
                 if status != 200:
                     break
@@ -397,6 +470,23 @@ async def run_loadgen(config: LoadgenConfig | None = None) -> LoadgenResult:
         raise RuntimeError(f"daemon refused /vocabulary: HTTP {status}")
     vocabulary = list(body["keywords"])
     seed_source = ensure_rng(config.seed)
+    if (
+        config.spammer_fraction or config.drifting_fraction
+        or config.colluder_fraction
+    ):
+        personas = sample_personas(
+            config.n_workers,
+            rng=np.random.default_rng(seed_source.integers(0, 2**63)),
+            spammer_fraction=config.spammer_fraction,
+            drifting_fraction=config.drifting_fraction,
+            colluder_fraction=config.colluder_fraction,
+            clique_size=config.clique_size,
+            drift_per_task=config.drift_per_task,
+        )
+    else:
+        # All honest, without consuming the seed stream: a persona-free
+        # config drives byte-identical load to builds before personas.
+        personas = [Persona() for _ in range(config.n_workers)]
     workers = [
         _SimulatedWorker(
             f"lg-w{i}",
@@ -404,6 +494,7 @@ async def run_loadgen(config: LoadgenConfig | None = None) -> LoadgenResult:
             vocabulary,
             shared,
             np.random.default_rng(seed_source.integers(0, 2**63)),
+            persona=personas[i],
         )
         for i in range(config.n_workers)
     ]
@@ -531,6 +622,41 @@ def main(argv: list[str] | None = None) -> int:
         help="JSON file with a FaultPlan for the spawned daemon "
              "(--spawn-server only)",
     )
+    parser.add_argument(
+        "--answer-labels", type=int, default=0,
+        help="send integer answers in [0, N) with every completion "
+             "(0 disables; required for quality scenarios)",
+    )
+    parser.add_argument(
+        "--quality-seed", type=int, default=0,
+        help="seed for content-derived truth labels (must match the "
+             "daemon's gold seed)",
+    )
+    parser.add_argument(
+        "--spammers", type=float, default=0.0,
+        help="fraction of workers answering uniformly at random",
+    )
+    parser.add_argument(
+        "--drifting", type=float, default=0.0,
+        help="fraction of workers whose accuracy decays per completion",
+    )
+    parser.add_argument(
+        "--colluders", type=float, default=0.0,
+        help="fraction of workers colluding in answer cliques",
+    )
+    parser.add_argument(
+        "--gold-rate", type=float, default=0.0,
+        help="spawned daemon's gold-injection rate (--spawn-server only)",
+    )
+    parser.add_argument(
+        "--redundancy", type=int, default=1,
+        help="spawned daemon's answers-per-task target (--spawn-server only)",
+    )
+    parser.add_argument(
+        "--reputation-weight", type=float, default=0.0,
+        help="spawned daemon's reputation-weighted relevance term "
+             "(--spawn-server only)",
+    )
     args = parser.parse_args(argv)
     config = LoadgenConfig(
         host=args.host,
@@ -543,30 +669,58 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
         max_retries=args.retries,
         request_deadline=args.deadline_ms / 1000.0,
+        answer_labels=args.answer_labels,
+        quality_seed=args.quality_seed,
+        spammer_fraction=args.spammers,
+        drifting_fraction=args.drifting,
+        colluder_fraction=args.colluders,
     )
     if args.spawn_server:
         serve_config = None
+        quality_wanted = args.gold_rate > 0 or args.redundancy > 1
         if (
             args.trace_file
             or args.trace_sample_rate > 0
             or args.solver_workers > 0
             or args.journal
             or args.fault_plan
+            or quality_wanted
+            or args.reputation_weight > 0
         ):
+            from ..crowd.service import ServiceConfig
+            from ..quality import (
+                AdjudicationConfig,
+                GoldConfig,
+                QualityConfig,
+            )
             from .app import ServeConfig
             from .resilience import FaultPlan
 
             fault_plan = (
                 FaultPlan.from_file(args.fault_plan) if args.fault_plan else None
             )
+            quality = None
+            if quality_wanted:
+                quality = QualityConfig(
+                    gold=GoldConfig(
+                        rate=args.gold_rate,
+                        seed=args.quality_seed,
+                        n_labels=max(2, args.answer_labels),
+                    ),
+                    adjudication=AdjudicationConfig(redundancy=args.redundancy),
+                )
             serve_config = ServeConfig(
                 strategy=args.strategy,
                 seed=args.seed,
+                service=ServiceConfig(
+                    reputation_weight=args.reputation_weight
+                ),
                 solver_workers=args.solver_workers,
                 trace_file=args.trace_file,
                 trace_sample_rate=args.trace_sample_rate,
                 fault_plan=fault_plan,
                 journal_path=args.journal,
+                quality=quality,
             )
         result, snapshot = asyncio.run(
             run_self_contained(

@@ -187,6 +187,80 @@ class Histogram:
         return "\n".join(lines)
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash, double-quote and newline are the three characters the format
+    reserves inside a quoted label value.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+class LabeledCounter:
+    """A counter family: one time series per distinct label-value tuple.
+
+    Children are created lazily on first :meth:`labels` call and rendered
+    together under a single ``# TYPE`` header, e.g.::
+
+        quality_adjudications_total{outcome="resolved"} 12
+        quality_adjudications_total{outcome="tie"} 1
+    """
+
+    def __init__(
+        self, name: str, help_text: str, label_names: Sequence[str]
+    ):
+        self.name = _validate_name(name)
+        self.help_text = help_text
+        if not label_names:
+            raise ValueError("a labeled counter needs at least one label")
+        self.label_names = tuple(_validate_name(n) for n in label_names)
+        self._children: dict[tuple[str, ...], Counter] = {}
+        self._lock = threading.Lock()
+
+    def labels(self, **label_values: str) -> Counter:
+        """The child counter for this label-value combination."""
+        if set(label_values) != set(self.label_names):
+            raise ValueError(
+                f"{self.name} takes labels {self.label_names}, "
+                f"got {tuple(sorted(label_values))}"
+            )
+        key = tuple(str(label_values[n]) for n in self.label_names)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = Counter(self.name)
+                self._children[key] = child
+            return child
+
+    def value(self, **label_values: str) -> float:
+        """Current value of one child (0 if never incremented)."""
+        key = tuple(str(label_values[n]) for n in self.label_names)
+        child = self._children.get(key)
+        return 0.0 if child is None else child.value
+
+    def values(self) -> dict[tuple[str, ...], float]:
+        """All children's values keyed by their label-value tuples."""
+        return {key: c.value for key, c in self._children.items()}
+
+    def render(self) -> str:
+        lines = []
+        if self.help_text:
+            lines.append(f"# HELP {self.name} {self.help_text}")
+        lines.append(f"# TYPE {self.name} counter")
+        for key in sorted(self._children):
+            child = self._children[key]
+            labels = ",".join(
+                f'{name}="{_escape_label_value(value)}"'
+                for name, value in zip(self.label_names, key)
+            )
+            lines.append(
+                f"{self.name}{{{labels}}} {_format_value(child.value)}"
+            )
+        return "\n".join(lines)
+
+
 def _format_value(value: float) -> str:
     if not math.isfinite(value):
         # Prometheus exposition spelling for non-finite samples (an observed
@@ -203,12 +277,33 @@ class MetricsRegistry:
     """Named counters and histograms with one-call Prometheus rendering."""
 
     def __init__(self):
-        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._metrics: dict[
+            str, Counter | Gauge | Histogram | LabeledCounter
+        ] = {}
         self._lock = threading.Lock()
 
     def counter(self, name: str, help_text: str = "") -> Counter:
         """Get or create the counter ``name``."""
         return self._get_or_create(Counter, name, help_text)
+
+    def labeled_counter(
+        self, name: str, help_text: str = "", label_names: Sequence[str] = ()
+    ) -> LabeledCounter:
+        """Get or create the counter family ``name`` over ``label_names``."""
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, LabeledCounter):
+                    raise ValueError(f"metric {name!r} is not a labeled counter")
+                if label_names and tuple(label_names) != existing.label_names:
+                    raise ValueError(
+                        f"metric {name!r} is labeled by {existing.label_names}, "
+                        f"not {tuple(label_names)}"
+                    )
+                return existing
+            metric = LabeledCounter(name, help_text, label_names)
+            self._metrics[name] = metric
+            return metric
 
     def gauge(self, name: str, help_text: str = "") -> Gauge:
         """Get or create the gauge ``name``."""
@@ -242,7 +337,7 @@ class MetricsRegistry:
             self._metrics[name] = metric
             return metric
 
-    def get(self, name: str) -> "Counter | Gauge | Histogram":
+    def get(self, name: str) -> "Counter | Gauge | Histogram | LabeledCounter":
         return self._metrics[name]
 
     def names(self) -> Iterable[str]:
@@ -260,6 +355,11 @@ class MetricsRegistry:
             metric = self._metrics[name]
             if isinstance(metric, (Counter, Gauge)):
                 out[name] = metric.value
+            elif isinstance(metric, LabeledCounter):
+                out[name] = {
+                    ",".join(key): value
+                    for key, value in metric.values().items()
+                }
             else:
                 out[name] = metric.summary()
         return out

@@ -76,6 +76,13 @@ _EVENT_FIELDS: dict[str, frozenset[str]] = {
     "register": frozenset({"worker_id", "interest", "solver", "event"}),
     "complete": frozenset({"worker_id", "task_id"}),
     "unregister": frozenset({"worker_id"}),
+    # Quality-layer events (present only when the daemon ran with a quality
+    # config; see repro.quality).  ``probe`` records the aliases minted for
+    # one installed display; ``tick`` marks a reputation flush.  Both are
+    # recorded synchronously next to the controller call, so the journal
+    # order IS the call order even under overlapping engine solves.
+    "probe": frozenset({"worker_id", "iteration", "aliases"}),
+    "tick": frozenset(),
     "lease": frozenset(
         {"lease_id", "worker_ids", "solver", "seed", "n_candidates",
          "candidates_sha"}
@@ -207,6 +214,7 @@ class FlightRecorder:
         task_id: str,
         trace_id: "str | None",
         completion_key: "str | None",
+        answer: "int | None" = None,
     ) -> None:
         self._record(
             "complete",
@@ -214,7 +222,21 @@ class FlightRecorder:
             task_id=task_id,
             trace_id=trace_id,
             completion_key=completion_key,
+            answer=answer,
         )
+
+    def record_probe(
+        self, worker_id: str, iteration: int, aliases: Sequence[str]
+    ) -> None:
+        self._record(
+            "probe",
+            worker_id=worker_id,
+            iteration=iteration,
+            aliases=list(aliases),
+        )
+
+    def record_tick(self) -> None:
+        self._record("tick")
 
     def record_unregister(self, worker_id: str) -> None:
         self._record("unregister", worker_id=worker_id)
@@ -291,6 +313,15 @@ class Journal:
 
     def service_config(self) -> ServiceConfig:
         return ServiceConfig(**self.header["service"])
+
+    def quality_config(self):
+        """The recorded quality config, or ``None`` for quality-free runs."""
+        spec = self.header.get("quality")
+        if spec is None:
+            return None
+        from ..quality import QualityConfig
+
+        return QualityConfig.from_dict(spec)
 
 
 def load_journal(path: "str | Path") -> Journal:
@@ -482,6 +513,18 @@ class _ReplayState:
     displayed_ever: set = field(default_factory=set)
     leases: dict = field(default_factory=dict)
     lease_traces: dict = field(default_factory=dict)
+    quality: "object | None" = None  # QualityController when recorded with one
+
+    def end_payload(self) -> dict:
+        """The state the ``end``/snapshot fingerprints cover (must mirror
+        :meth:`repro.serve.app.AssignmentDaemon._state_payload`)."""
+        payload = {
+            "service": self.service.snapshot_state(),
+            "displayed_ever": sorted(self.displayed_ever),
+        }
+        if self.quality is not None:
+            payload["quality"] = self.quality.state_dict()
+        return payload
 
 
 def replay_journal(
@@ -500,15 +543,30 @@ def replay_journal(
                 f"{journal.pool_sha[:12]}…, got {actual[:12]}…"
             )
     report = ReplayReport(variant=variant.label)
+    quality_config = journal.quality_config()
+    quality = None
+    serving_pool = pool
+    if quality_config is not None:
+        # The controller sees the full corpus (the gold bank lives there);
+        # the service serves the corpus minus the holdout — the same split
+        # the recording daemon made.
+        from ..quality import QualityController
+
+        quality = QualityController(pool, quality_config)
+        serving_pool = QualityController.serving_pool(pool, quality_config)
     state = _ReplayState(
         service=AssignmentService(
-            pool,
+            serving_pool,
             journal.strategy,
             journal.service_config(),
             rng=journal.seed,
         ),
-        task_index={t.task_id: t for t in pool},
+        task_index={t.task_id: t for t in serving_pool},
+        quality=quality,
     )
+    if quality is not None:
+        # Same seam the daemon wires: reputation scales the relevance term.
+        state.service.set_reputation_provider(quality.reputation.mean)
     with contextlib.ExitStack() as stack:
         if variant.jaccard_kernel is not None:
             stack.enter_context(use_kernel("jaccard", variant.jaccard_kernel))
@@ -546,14 +604,27 @@ def _apply_event(
         snapshot = event["state"]
         service.restore_state(snapshot["service"], state.task_index)
         state.displayed_ever = set(snapshot["displayed_ever"])
+        if state.quality is not None and "quality" in snapshot:
+            state.quality.load_state_dict(snapshot["quality"])
         return None
 
     if event_type == "register":
         return _apply_register(event, state, variant, report)
 
     if event_type == "complete":
+        worker_id = event["worker_id"]
+        task_id = event["task_id"]
+        is_alias = state.quality is not None and state.quality.is_quality_task(
+            task_id
+        )
+        if is_alias:
+            # Gold/replica aliases never reached the service when recorded;
+            # they route straight to the quality layer here too.
+            state.quality.on_answer(worker_id, task_id, event.get("answer"))
+            report.completions += 1
+            return None
         try:
-            service.observe_completion(event["worker_id"], event["task_id"])
+            service.observe_completion(worker_id, task_id)
         except Exception as exc:
             return Divergence(
                 seq=seq,
@@ -561,14 +632,49 @@ def _apply_event(
                 field="completion",
                 recorded="accepted",
                 replayed=f"{type(exc).__name__}: {exc}",
-                worker_id=event["worker_id"],
+                worker_id=worker_id,
                 trace_ids=(event["trace_id"],) if event.get("trace_id") else None,
             )
+        if state.quality is not None:
+            state.quality.on_answer(worker_id, task_id, event.get("answer"))
         report.completions += 1
+        return None
+
+    if event_type == "probe":
+        if state.quality is None:
+            return Divergence(
+                seq=seq,
+                event_type=event_type,
+                field="quality",
+                recorded=event["aliases"],
+                replayed=None,
+                worker_id=event["worker_id"],
+            )
+        minted = state.quality.on_display(
+            event["worker_id"], event["iteration"]
+        )
+        minted_ids = [task.task_id for task in minted]
+        if minted_ids != list(event["aliases"]):
+            return Divergence(
+                seq=seq,
+                event_type=event_type,
+                field="aliases",
+                recorded=event["aliases"],
+                replayed=minted_ids,
+                worker_id=event["worker_id"],
+            )
+        state.displayed_ever.update(minted_ids)
+        return None
+
+    if event_type == "tick":
+        if state.quality is not None:
+            state.quality.on_tick()
         return None
 
     if event_type == "unregister":
         removed = service.unregister_worker(event["worker_id"])
+        if removed and state.quality is not None:
+            state.quality.on_unregister(event["worker_id"])
         if not removed:
             return Divergence(
                 seq=seq,
@@ -606,12 +712,7 @@ def _apply_event(
         return None
 
     if event_type == "end":
-        replayed_sha = state_fingerprint(
-            {
-                "service": service.snapshot_state(),
-                "displayed_ever": sorted(state.displayed_ever),
-            }
-        )
+        replayed_sha = state_fingerprint(state.end_payload())
         if replayed_sha != event["state_sha"]:
             return Divergence(
                 seq=seq,

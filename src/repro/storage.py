@@ -237,14 +237,16 @@ class SnapshotRecord:
     kind: str
     taken_at: float
     state: dict[str, Any]
+    schema_version: int = 1
 
 
 _SNAPSHOT_SCHEMA = """
 CREATE TABLE IF NOT EXISTS snapshots (
-    snapshot_id INTEGER PRIMARY KEY AUTOINCREMENT,
-    kind        TEXT NOT NULL,
-    taken_at    REAL NOT NULL,
-    state_json  TEXT NOT NULL
+    snapshot_id    INTEGER PRIMARY KEY AUTOINCREMENT,
+    kind           TEXT NOT NULL,
+    taken_at       REAL NOT NULL,
+    state_json     TEXT NOT NULL,
+    schema_version INTEGER NOT NULL DEFAULT 1
 );
 CREATE INDEX IF NOT EXISTS idx_snapshots_kind ON snapshots(kind, snapshot_id);
 """
@@ -261,16 +263,51 @@ class SnapshotStore:
 
     Old snapshots are pruned on write (``keep`` most recent per kind), so the
     file stays bounded over an arbitrarily long daemon lifetime.
+
+    Every record carries a ``schema_version`` (the store's configured
+    version at save time); a restore from a record whose version differs
+    from this store's is refused with a :class:`StorageError` rather than
+    silently feeding an old-layout blob to new restore code.  Bump the
+    version whenever the snapshot payload changes shape (the serving
+    daemon's reputation state did exactly that).
     """
 
-    def __init__(self, path: "str | Path" = ":memory:", keep: int = 5):
+    def __init__(
+        self,
+        path: "str | Path" = ":memory:",
+        keep: int = 5,
+        schema_version: int = 1,
+    ):
         if keep < 1:
             raise StorageError(f"must keep at least 1 snapshot, got {keep}")
+        if schema_version < 1:
+            raise StorageError(
+                f"schema_version must be >= 1, got {schema_version}"
+            )
         self._path = str(path)
         self._keep = keep
+        self._schema_version = int(schema_version)
         self._connection = sqlite3.connect(self._path)
         self._connection.executescript(_SNAPSHOT_SCHEMA)
+        # Stores created before versioning lack the column; the default (1)
+        # correctly stamps their pre-existing rows as the original layout.
+        columns = {
+            row[1]
+            for row in self._connection.execute(
+                "PRAGMA table_info(snapshots)"
+            ).fetchall()
+        }
+        if "schema_version" not in columns:
+            self._connection.execute(
+                "ALTER TABLE snapshots ADD COLUMN "
+                "schema_version INTEGER NOT NULL DEFAULT 1"
+            )
         self._connection.commit()
+
+    @property
+    def schema_version(self) -> int:
+        """The version this store stamps on saves and requires on restore."""
+        return self._schema_version
 
     def close(self) -> None:
         self._connection.close()
@@ -297,9 +334,9 @@ class SnapshotStore:
         timestamp = time.time() if taken_at is None else taken_at
         with self._connection as conn:
             cursor = conn.execute(
-                "INSERT INTO snapshots (kind, taken_at, state_json) "
-                "VALUES (?, ?, ?)",
-                (kind, timestamp, payload),
+                "INSERT INTO snapshots (kind, taken_at, state_json, "
+                "schema_version) VALUES (?, ?, ?, ?)",
+                (kind, timestamp, payload, self._schema_version),
             )
             conn.execute(
                 "DELETE FROM snapshots WHERE kind = ? AND snapshot_id NOT IN ("
@@ -321,17 +358,28 @@ class SnapshotStore:
         serving layer's flight recorder) need the id, not just the blob.
         """
         row = self._connection.execute(
-            "SELECT snapshot_id, taken_at, state_json FROM snapshots "
-            "WHERE kind = ? ORDER BY snapshot_id DESC LIMIT 1",
+            "SELECT snapshot_id, taken_at, state_json, schema_version "
+            "FROM snapshots WHERE kind = ? ORDER BY snapshot_id DESC LIMIT 1",
             (kind,),
         ).fetchone()
         if row is None:
             return None
+        recorded_version = int(row[3])
+        if recorded_version != self._schema_version:
+            raise StorageError(
+                f"snapshot {int(row[0])} of kind {kind!r} was written with "
+                f"schema version {recorded_version}, this store reads "
+                f"version {self._schema_version}; refusing to restore a "
+                f"mismatched layout (re-record a snapshot with the current "
+                f"build, or open the store with schema_version="
+                f"{recorded_version} to inspect it)"
+            )
         return SnapshotRecord(
             snapshot_id=int(row[0]),
             kind=kind,
             taken_at=float(row[1]),
             state=json.loads(row[2]),
+            schema_version=recorded_version,
         )
 
     def count(self, kind: str) -> int:

@@ -257,3 +257,88 @@ class TestPracticeEffect:
             with_practice.register_completion(novelty=0.1)
             without.register_completion(novelty=0.1)
         assert with_practice.answer_accuracy(0.1, 0.8) > without.answer_accuracy(0.1, 0.8)
+
+
+class TestCrossProcessSeeding:
+    """The loadgen's simulated population must be identical no matter which
+    process samples it — replay, CI smoke, and the benchmark all re-derive
+    the same crowd from a seed.  In-process determinism (above) does not
+    guarantee this: it would pass even if sampling leaned on interpreter
+    state such as hash randomization, which differs per process."""
+
+    SNIPPET = """
+import json
+import sys
+
+sys.path.insert(0, {src!r})
+from repro.crowd.behavior import sample_latent_profiles, sample_personas
+
+profiles = sample_latent_profiles(8, rng=42)
+personas = sample_personas(
+    8, rng=42, spammer_fraction=0.25, drifting_fraction=0.25,
+    colluder_fraction=0.25, clique_size=2,
+)
+print(json.dumps({{
+    "profiles": [
+        [p.weights.alpha, p.skill, p.patience, p.speed] for p in profiles
+    ],
+    "personas": [[p.kind, p.clique, p.drift_per_task] for p in personas],
+}}))
+"""
+
+    def _sample_in_subprocess(self):
+        import json
+        import pathlib
+        import subprocess
+        import sys
+
+        src = str(pathlib.Path(__file__).resolve().parents[1] / "src")
+        out = subprocess.run(
+            [sys.executable, "-c", self.SNIPPET.format(src=src)],
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=60,
+        )
+        return json.loads(out.stdout)
+
+    def test_profiles_and_personas_match_across_processes(self):
+        from repro.crowd.behavior import sample_personas
+
+        remote = self._sample_in_subprocess()
+        profiles = sample_latent_profiles(8, rng=42)
+        assert remote["profiles"] == [
+            [p.weights.alpha, p.skill, p.patience, p.speed] for p in profiles
+        ]
+        personas = sample_personas(
+            8, rng=42, spammer_fraction=0.25, drifting_fraction=0.25,
+            colluder_fraction=0.25, clique_size=2,
+        )
+        assert remote["personas"] == [
+            [p.kind, p.clique, p.drift_per_task] for p in personas
+        ]
+        assert {p.kind for p in personas} == {
+            "honest", "spammer", "drifting", "colluder"
+        }
+
+    def test_behavior_params_stable_across_processes(self):
+        """BehaviorParams defaults are part of the determinism contract:
+        a drifted default would silently change every replayed crowd."""
+        import dataclasses
+        import json
+        import pathlib
+        import subprocess
+        import sys
+
+        src = str(pathlib.Path(__file__).resolve().parents[1] / "src")
+        snippet = (
+            "import dataclasses, json, sys\n"
+            f"sys.path.insert(0, {src!r})\n"
+            "from repro.crowd.behavior import BehaviorParams\n"
+            "print(json.dumps(dataclasses.asdict(BehaviorParams())))\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", snippet],
+            capture_output=True, text=True, check=True, timeout=60,
+        )
+        assert json.loads(out.stdout) == dataclasses.asdict(BehaviorParams())

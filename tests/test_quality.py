@@ -1,0 +1,382 @@
+"""Unit and property tests for the quality subsystem (repro.quality).
+
+The two hypothesis properties are the issue's acceptance bar: the
+reputation posterior is invariant to the permutation of completion events
+*within* a tick (the daemon batches evidence per solve commit, and replay
+must not depend on arrival order inside a batch), and it is monotone in
+gold-answer correctness (swapping a wrong gold for a right one never
+lowers a worker's mean).
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import CrowdFlowerConfig, generate_crowdflower_corpus
+from repro.quality import (
+    AdjudicationConfig,
+    Adjudicator,
+    GoldBank,
+    GoldConfig,
+    QualityConfig,
+    QualityController,
+    ReputationConfig,
+    ReputationTracker,
+    truth_label,
+)
+
+
+@pytest.fixture(scope="module")
+def pool():
+    return generate_crowdflower_corpus(CrowdFlowerConfig(n_tasks=60), rng=0).pool
+
+
+# -- reputation ------------------------------------------------------------
+
+#: One tick's worth of evidence: (worker, is_gold, outcome) events.
+tick_events = st.lists(
+    st.tuples(
+        st.sampled_from(["wa", "wb", "wc"]),
+        st.booleans(),
+        st.booleans(),
+    ),
+    min_size=1,
+    max_size=24,
+)
+
+
+def _feed(tracker: ReputationTracker, events) -> None:
+    for worker_id, is_gold, outcome in events:
+        if is_gold:
+            tracker.observe_gold(worker_id, outcome)
+        else:
+            tracker.observe_agreement(worker_id, outcome)
+
+
+class TestReputationProperties:
+    @given(events=tick_events, permutation_seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_permutation_invariant_within_tick(self, events, permutation_seed):
+        import numpy as np
+
+        shuffled = list(events)
+        np.random.default_rng(permutation_seed).shuffle(shuffled)
+        a, b = ReputationTracker(), ReputationTracker()
+        _feed(a, events)
+        _feed(b, shuffled)
+        a.flush_tick()
+        b.flush_tick()
+        for worker_id in {e[0] for e in events}:
+            assert a.mean(worker_id) == pytest.approx(b.mean(worker_id))
+            assert a.evidence(worker_id) == pytest.approx(b.evidence(worker_id))
+
+    @given(events=tick_events, flip=st.integers(0, 23))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_gold_correctness(self, events, flip):
+        # Upgrading any single gold outcome from wrong to right never
+        # lowers that worker's posterior mean.
+        flip %= len(events)
+        worker_id, is_gold, outcome = events[flip]
+        if not is_gold or outcome:
+            events = (
+                events[:flip] + [(worker_id, True, False)] + events[flip + 1:]
+            )
+        upgraded = list(events)
+        upgraded[flip] = (events[flip][0], True, True)
+        low, high = ReputationTracker(), ReputationTracker()
+        _feed(low, events)
+        _feed(high, upgraded)
+        low.flush_tick()
+        high.flush_tick()
+        assert high.mean(events[flip][0]) >= low.mean(events[flip][0])
+
+
+class TestReputationTracker:
+    def test_unknown_worker_gets_prior_mean(self):
+        tracker = ReputationTracker(ReputationConfig(prior_a=2.0, prior_b=1.0))
+        assert tracker.mean("nobody") == pytest.approx(2.0 / 3.0)
+        assert tracker.evidence("nobody") == 0.0
+        assert not tracker.is_flagged("nobody")
+
+    def test_pending_evidence_counts_before_flush(self):
+        tracker = ReputationTracker()
+        tracker.observe_gold("w", True)
+        assert tracker.mean("w") > 0.5
+        tracker.flush_tick()
+        assert tracker.mean("w") > 0.5
+
+    def test_decay_fades_old_evidence_toward_prior(self):
+        tracker = ReputationTracker(ReputationConfig(decay=0.5))
+        for _ in range(6):
+            tracker.observe_gold("w", False)
+        tracker.flush_tick()
+        low = tracker.mean("w")
+        for _ in range(20):
+            tracker.flush_tick()
+        assert tracker.mean("w") > low
+        assert tracker.mean("w") < 0.5  # still below prior from the pull up
+
+    def test_flagging_requires_min_evidence(self):
+        config = ReputationConfig(min_evidence=3.0, flag_threshold=0.4)
+        tracker = ReputationTracker(config)
+        tracker.observe_gold("w", False)
+        tracker.flush_tick()
+        assert not tracker.is_flagged("w")  # mean low but evidence thin
+        for _ in range(4):
+            tracker.observe_gold("w", False)
+        tracker.flush_tick()
+        assert tracker.is_flagged("w")
+        assert tracker.flagged_workers() == ["w"]
+
+    def test_state_roundtrip_through_json(self):
+        tracker = ReputationTracker()
+        tracker.observe_gold("w1", True)
+        tracker.observe_agreement("w2", False)
+        tracker.flush_tick()
+        tracker.observe_gold("w2", True)  # pending at snapshot time
+        state = json.loads(json.dumps(tracker.state_dict()))
+        restored = ReputationTracker()
+        restored.load_state_dict(state)
+        for worker_id in ("w1", "w2"):
+            assert restored.mean(worker_id) == tracker.mean(worker_id)
+            assert restored.evidence(worker_id) == tracker.evidence(worker_id)
+        assert restored.ticks == tracker.ticks
+
+
+# -- gold ------------------------------------------------------------------
+
+class TestGold:
+    def test_truth_label_deterministic_and_order_invariant(self):
+        assert truth_label(["b", "a"], 7, 4) == truth_label(["a", "b"], 7, 4)
+        assert truth_label(["a", "b"], 7, 4) != truth_label(["a", "b"], 8, 4) or (
+            truth_label(["a", "c"], 7, 4) in range(4)
+        )
+        assert 0 <= truth_label(["x"], 0, 3) < 3
+
+    def test_disabled_bank_holds_nothing_out(self, pool):
+        bank = GoldBank(pool, GoldConfig(rate=0.0))
+        assert not bank.enabled
+        assert bank.gold_ids == ()
+        assert not bank.wants_probe("w", 0)
+
+    def test_bank_selection_is_seeded(self, pool):
+        a = GoldBank(pool, GoldConfig(rate=0.2, seed=3, bank_size=6))
+        b = GoldBank(pool, GoldConfig(rate=0.2, seed=3, bank_size=6))
+        c = GoldBank(pool, GoldConfig(rate=0.2, seed=4, bank_size=6))
+        assert a.gold_ids == b.gold_ids
+        assert len(a.gold_ids) == 6
+        assert a.gold_ids != c.gold_ids
+
+    def test_bank_refuses_tiny_corpus(self):
+        small = generate_crowdflower_corpus(
+            CrowdFlowerConfig(n_tasks=5), rng=0
+        ).pool
+        with pytest.raises(ValueError):
+            GoldBank(small, GoldConfig(rate=0.5, bank_size=8))
+
+    def test_probe_lifecycle(self, pool):
+        bank = GoldBank(pool, GoldConfig(rate=1.0, seed=1))
+        assert bank.wants_probe("w", 0)  # rate 1.0: always
+        probe = bank.make_probe("w", 0)
+        assert probe.alias_id.startswith("gold-")
+        assert bank.is_alias(probe.alias_id)
+        # Idempotent: re-minting the same (worker, iteration) is the same probe.
+        assert bank.make_probe("w", 0).alias_id == probe.alias_id
+        assert bank.outstanding == 1
+        # The alias task is the gold task wearing an opaque id.
+        alias = bank.alias_task(probe.alias_id)
+        assert alias.task_id == probe.alias_id
+        assert probe.truth == bank.truth_of_task(alias)
+        retired = bank.retire(probe.alias_id)
+        assert retired is not None and retired.gold_task_id == probe.gold_task_id
+        assert bank.outstanding == 0
+        assert not bank.is_alias(probe.alias_id)
+        assert bank.served_total == 1
+
+    def test_distinct_aliases_per_display(self, pool):
+        bank = GoldBank(pool, GoldConfig(rate=1.0, seed=1))
+        ids = {
+            bank.make_probe(w, i).alias_id
+            for w in ("w1", "w2", "w3")
+            for i in range(3)
+        }
+        assert len(ids) == 9
+
+    def test_injection_rate_is_roughly_honoured(self, pool):
+        bank = GoldBank(pool, GoldConfig(rate=0.25, seed=2))
+        hits = sum(bank.wants_probe(f"w{i}", 0) for i in range(1000))
+        assert 180 < hits < 320
+
+
+# -- adjudication ----------------------------------------------------------
+
+class TestAdjudication:
+    def test_plurality_resolves(self):
+        adj = Adjudicator(AdjudicationConfig(redundancy=3))
+        for worker_id, label in [("a", 1), ("b", 1), ("c", 2)]:
+            adj.add_answer("t", worker_id, label)
+        result = adj.adjudicate("t")
+        assert result.outcome == "resolved" and result.label == 1
+        assert adj.resolved_labels == {"t": 1}
+        assert adj.open_tasks == []
+
+    def test_weights_flip_the_vote(self):
+        adj = Adjudicator(AdjudicationConfig(redundancy=3))
+        for worker_id, label in [("a", 1), ("b", 1), ("c", 2)]:
+            adj.add_answer("t", worker_id, label)
+        weights = {"a": 0.1, "b": 0.1, "c": 0.9}
+        result = adj.adjudicate("t", weight_fn=weights.__getitem__)
+        assert result.outcome == "resolved" and result.label == 2
+
+    def test_tie_escalates_then_caps(self):
+        adj = Adjudicator(
+            AdjudicationConfig(redundancy=2, escalation_extra=2, max_answers=4)
+        )
+        adj.add_answer("t", "a", 1)
+        adj.add_answer("t", "b", 2)
+        result = adj.adjudicate("t")
+        assert result.outcome == "escalated"
+        assert adj.ballot_of("t").needed == 2
+        assert adj.needing_answers() == [("t", 2)]
+        adj.add_answer("t", "c", 1)
+        adj.add_answer("t", "d", 2)
+        result = adj.adjudicate("t")
+        assert result.outcome == "tie"
+        assert result.label == 1  # smallest tied label, deterministically
+
+    def test_duplicate_worker_answer_ignored(self):
+        adj = Adjudicator(AdjudicationConfig(redundancy=2))
+        adj.add_answer("t", "a", 1)
+        adj.add_answer("t", "a", 2)  # same worker changes their mind: no
+        assert not adj.ballot_of("t").full
+        assert adj.ballot_of("t").answers == {"a": 1}
+
+    def test_agreement_pairs(self):
+        adj = Adjudicator(AdjudicationConfig(redundancy=3))
+        for worker_id, label in [("a", 1), ("b", 1), ("c", 2)]:
+            adj.add_answer("t", worker_id, label)
+        result = adj.adjudicate("t")
+        pairs = Adjudicator.agreement_pairs(result)
+        # One ordered pair per (worker, peer): a agrees with b, disagrees
+        # with c; c disagrees with both.
+        assert sorted(pairs) == [
+            ("a", False), ("a", True),
+            ("b", False), ("b", True),
+            ("c", False), ("c", False),
+        ]
+
+    def test_state_roundtrip_through_json(self):
+        adj = Adjudicator(AdjudicationConfig(redundancy=3))
+        adj.add_answer("t1", "a", 1)
+        adj.add_answer("t2", "a", 2)
+        adj.add_answer("t2", "b", 2)
+        adj.add_answer("t2", "c", 2)
+        adj.adjudicate("t2")
+        state = json.loads(json.dumps(adj.state_dict()))
+        restored = Adjudicator(AdjudicationConfig(redundancy=3))
+        restored.load_state_dict(state)
+        assert restored.open_tasks == adj.open_tasks
+        assert restored.resolved_labels == adj.resolved_labels
+        assert restored.ballot_of("t1").answers == {"a": 1}
+
+
+# -- controller ------------------------------------------------------------
+
+def _active_config() -> QualityConfig:
+    return QualityConfig(
+        gold=GoldConfig(rate=1.0, seed=5, n_labels=4),
+        adjudication=AdjudicationConfig(redundancy=2),
+    )
+
+
+class TestQualityController:
+    def test_inactive_config_is_inert(self, pool):
+        controller = QualityController(pool, QualityConfig())
+        assert not controller.config.active
+        assert controller.on_display("w", 0) == []
+        assert QualityController.serving_pool(pool, QualityConfig()) is pool
+
+    def test_active_config_holds_out_gold_bank(self, pool):
+        config = _active_config()
+        serving = QualityController.serving_pool(pool, config)
+        controller = QualityController(pool, config)
+        held_out = {t.task_id for t in pool} - {t.task_id for t in serving}
+        assert held_out == set(controller.gold.gold_ids)
+        assert len(serving) == len(pool) - config.gold.bank_size
+
+    def test_probe_then_answer_scores_gold(self, pool):
+        controller = QualityController(pool, _active_config())
+        extras = controller.on_display("w", 0)
+        assert len(extras) == 1 and extras[0].task_id.startswith("gold-")
+        alias = extras[0].task_id
+        assert controller.is_quality_task(alias)
+        truth = controller.truth_of(alias)
+        outcome = controller.on_answer("w", alias, truth)
+        assert outcome == {"kind": "gold", "correct": True}
+        assert controller.reputation.mean("w") > 0.5
+
+    def test_wrong_gold_answer_lowers_reputation(self, pool):
+        controller = QualityController(pool, _active_config())
+        alias = controller.on_display("w", 0)[0].task_id
+        truth = controller.truth_of(alias)
+        wrong = (truth + 1) % controller.config.gold.n_labels
+        outcome = controller.on_answer("w", alias, wrong)
+        assert outcome == {"kind": "gold", "correct": False}
+        assert controller.reputation.mean("w") < 0.5
+
+    def test_unanswered_overlay_expires_on_next_display(self, pool):
+        controller = QualityController(pool, _active_config())
+        first = controller.on_display("w", 0)[0].task_id
+        second = controller.on_display("w", 1)[0].task_id
+        assert first != second
+        assert controller.overlay_ids("w") == [second]
+        assert not controller.is_quality_task(first)
+
+    def test_flagged_worker_gets_no_probes(self, pool):
+        controller = QualityController(pool, _active_config())
+        for iteration in range(10):
+            extras = controller.on_display("spam", iteration)
+            if not extras:
+                break  # flagged: probes stop
+            alias = extras[0].task_id
+            truth = controller.truth_of(alias)
+            controller.on_answer(
+                "spam", alias, (truth + 1) % controller.config.gold.n_labels
+            )
+        controller.on_tick()
+        assert controller.reputation.is_flagged("spam")
+        assert controller.on_display("spam", 11) == []
+
+    def test_replicas_route_to_other_workers(self, pool):
+        config = QualityConfig(
+            gold=GoldConfig(rate=0.0),
+            adjudication=AdjudicationConfig(redundancy=2),
+        )
+        controller = QualityController(pool, config)
+        task_id = pool.tasks[0].task_id
+        controller.on_answer("w1", task_id, 1)
+        # The ballot needs one more answer; the next display of any *other*
+        # worker carries a replica alias of that task.
+        extras = controller.on_display("w2", 0)
+        assert len(extras) == 1
+        alias = extras[0].task_id
+        assert alias.startswith("rep-")
+        controller.on_answer("w2", alias, 1)
+        assert controller.adjudicator.resolved_labels == {task_id: 1}
+        # Agreement flows back into reputation for both voters.
+        assert controller.reputation.evidence("w1") > 0.0
+        assert controller.reputation.evidence("w2") > 0.0
+
+    def test_state_roundtrip_through_json(self, pool):
+        controller = QualityController(pool, _active_config())
+        alias = controller.on_display("w", 0)[0].task_id
+        controller.on_answer("w", alias, controller.truth_of(alias))
+        controller.on_display("w", 1)
+        controller.on_tick()
+        state = json.loads(json.dumps(controller.state_dict()))
+        restored = QualityController(pool, _active_config())
+        restored.load_state_dict(state)
+        assert restored.overlay_ids("w") == controller.overlay_ids("w")
+        assert restored.reputation.mean("w") == controller.reputation.mean("w")
+        assert restored.quality_payload() == controller.quality_payload()

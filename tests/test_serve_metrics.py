@@ -180,3 +180,51 @@ class TestHistogramProperties:
     def test_infinite_finite_edges_rejected(self):
         with pytest.raises(ValueError, match="finite"):
             Histogram("bad_seconds", buckets=(0.1, float("inf")))
+
+
+class TestLabeledCounter:
+    def test_one_series_per_label_tuple(self):
+        registry = MetricsRegistry()
+        family = registry.labeled_counter(
+            "adjudications_total", "Ballots closed", label_names=["outcome"]
+        )
+        family.labels(outcome="resolved").inc(3)
+        family.labels(outcome="tie").inc()
+        family.labels(outcome="resolved").inc()
+        assert family.value(outcome="resolved") == 4
+        text = registry.render()
+        assert 'adjudications_total{outcome="resolved"} 4' in text
+        assert 'adjudications_total{outcome="tie"} 1' in text
+        assert text.count("# TYPE adjudications_total counter") == 1
+
+    def test_label_values_escaped_in_exposition(self):
+        """Backslash, quote and newline are the three characters the
+        Prometheus text format reserves inside quoted label values."""
+        registry = MetricsRegistry()
+        family = registry.labeled_counter(
+            "events_total", label_names=["reason"]
+        )
+        family.labels(reason='back\\slash "quote"\nnewline').inc()
+        text = registry.render()
+        series = [
+            line for line in text.splitlines()
+            if line.startswith("events_total{")
+        ]
+        # The raw newline must not split the series across physical lines,
+        # and each reserved character must appear backslash-escaped.
+        assert len(series) == 1
+        assert '\\n' in series[0] and "\n" not in series[0].replace("\\n", "")
+        assert '\\"' in series[0]
+        assert "\\\\" in series[0]
+
+    def test_wrong_label_names_rejected(self):
+        registry = MetricsRegistry()
+        family = registry.labeled_counter("x_total", label_names=["a"])
+        with pytest.raises(ValueError, match="takes labels"):
+            family.labels(b="1")
+
+    def test_same_name_different_labels_rejected(self):
+        registry = MetricsRegistry()
+        registry.labeled_counter("x_total", label_names=["a"])
+        with pytest.raises(ValueError):
+            registry.labeled_counter("x_total", label_names=["b"])

@@ -147,3 +147,51 @@ class TestSnapshotStoreRecords:
         with SnapshotStore(":memory:") as store:
             assert store.latest_record("nope") is None
             assert store.latest("nope") is None
+
+
+class TestSnapshotSchemaVersion:
+    def test_version_recorded_and_matching_reads_fine(self, tmp_path):
+        db = tmp_path / "s.db"
+        with SnapshotStore(db, schema_version=2) as store:
+            store.save("daemon", {"n": 1})
+            record = store.latest_record("daemon")
+            assert record.schema_version == 2
+
+    def test_mismatched_version_refused_with_clear_error(self, tmp_path):
+        db = tmp_path / "s.db"
+        with SnapshotStore(db, schema_version=2) as writer:
+            writer.save("daemon", {"n": 1})
+        with SnapshotStore(db, schema_version=1) as reader:
+            with pytest.raises(StorageError) as err:
+                reader.latest_record("daemon")
+        message = str(err.value)
+        assert "schema version 2" in message
+        assert "version 1" in message
+        assert "refusing" in message
+
+    def test_legacy_db_without_version_column_migrates(self, tmp_path):
+        """A pre-versioning database opens cleanly: the column is added and
+        existing rows read back as version 1."""
+        import sqlite3
+
+        db = tmp_path / "legacy.db"
+        conn = sqlite3.connect(db)
+        conn.execute(
+            "CREATE TABLE snapshots (snapshot_id INTEGER PRIMARY KEY "
+            "AUTOINCREMENT, kind TEXT NOT NULL, taken_at REAL NOT NULL, "
+            "state_json TEXT NOT NULL)"
+        )
+        conn.execute(
+            "INSERT INTO snapshots (kind, taken_at, state_json) "
+            "VALUES ('daemon', 1.0, '{\"n\": 7}')"
+        )
+        conn.commit()
+        conn.close()
+        with SnapshotStore(db, schema_version=1) as store:
+            record = store.latest_record("daemon")
+            assert record.state == {"n": 7}
+            assert record.schema_version == 1
+
+    def test_invalid_version_rejected(self, tmp_path):
+        with pytest.raises(StorageError, match="schema_version"):
+            SnapshotStore(tmp_path / "s.db", schema_version=0)
