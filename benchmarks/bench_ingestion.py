@@ -1,0 +1,246 @@
+"""Open-world ingestion — block-append cache cost and burst-arrival latency.
+
+Two questions the ``POST /tasks`` path has to answer before it is safe to
+leave on in production:
+
+* **Does block append actually beat a rebuild?**  The diversity cache grows
+  by writing one ``(new, used)`` cross-Jaccard block and one ``(new, new)``
+  self block into an over-allocated buffer — ``O(n b R)`` work for a batch
+  of ``b`` against ``n`` cached rows, versus the ``O(n^2 R)`` from-scratch
+  rebuild.  The bench times both on the same corpus and batch and commits
+  the speedup ratio; the gate is a generous floor well under the asymptotic
+  gap, so only a real algorithmic regression (e.g. append quietly falling
+  back to rebuild) trips it.  Bit-identity against the rebuild oracle is
+  asserted in the same run — a fast wrong cache must never pass.
+* **Do arrival bursts stall the serving path?**  Two self-contained loadgen
+  runs, identical except one drives correlated-similarity burst arrivals
+  through ``POST /tasks`` while workers complete.  The committed ratio is
+  burst p95 / quiet p95 of worker-request latency; the ceiling is generous
+  (bursts cost one block append each, which should be invisible next to a
+  solve) and trips only when ingestion starts blocking the event loop.
+
+Both gates are ratios of timings taken in the same process on the same
+machine, so the committed baseline is machine-portable.  Standalone:
+``python benchmarks/bench_ingestion.py`` rewrites the baseline;
+``--check BASELINE.json`` re-runs and fails on regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from repro.core.distance import pairwise_jaccard
+from repro.core.task import Task
+from repro.data import CrowdFlowerConfig, generate_crowdflower_corpus
+from repro.serve.cache import IncrementalDiversityCache
+from repro.serve.loadgen import LoadgenConfig, run_self_contained
+
+BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_ingestion.json"
+
+SEED = 20180416  # ICDE'18
+N_BASE = 1500  # cached rows before the appends
+APPEND_BATCH = 25  # arrivals per append
+N_APPENDS = 4  # appended batches per trial
+N_TRIALS = 5  # best-of trials for both timings
+
+# Serving comparison: identical closed-loop runs, one with burst arrivals.
+SERVE_TASKS = 400
+SERVE_WORKERS = 16
+SERVE_COMPLETIONS = 8
+ARRIVAL_TASKS = 48
+ARRIVAL_BATCH = 8
+
+#: Gates.  The asymptotic append-vs-rebuild gap at these sizes is ~n/b ≈ 60x;
+#: a floor of 3x only trips when append degenerates to rebuild-like work.
+MIN_APPEND_SPEEDUP = 3.0
+#: Burst p95 may wobble on a loaded CI box; 8x headroom means the gate fires
+#: only when ingestion genuinely stalls the worker-facing path.
+MAX_BURST_P95_RATIO = 8.0
+#: ``--check`` also compares the measured speedup against the committed one
+#: with this fraction of slack (timings, so the slack is wide).
+SPEEDUP_DRIFT_FLOOR = 0.25
+
+
+def _arrival_tasks(n_keywords: int, rng: np.random.Generator) -> list[Task]:
+    """APPEND_BATCH correlated arrivals (shared base, one flip each)."""
+    base = np.zeros(n_keywords, dtype=bool)
+    base[rng.choice(n_keywords, size=min(6, n_keywords), replace=False)] = True
+    tasks = []
+    for i in range(APPEND_BATCH):
+        vector = base.copy()
+        vector[int(rng.integers(n_keywords))] ^= True
+        tasks.append(Task(task_id=f"bench-arr-{rng.integers(1 << 62)}-{i}",
+                          vector=vector))
+    return tasks
+
+
+def _measure_append_vs_rebuild() -> dict:
+    corpus = generate_crowdflower_corpus(
+        CrowdFlowerConfig(n_tasks=N_BASE), rng=SEED
+    )
+    pool = corpus.pool
+    rng = np.random.default_rng(SEED)
+    batches = [_arrival_tasks(pool.matrix.shape[1], rng) for _ in range(N_APPENDS)]
+
+    best_append = best_rebuild = float("inf")
+    for _ in range(N_TRIALS):
+        cache = IncrementalDiversityCache(pool)
+        keywords = np.asarray(pool.matrix, dtype=bool)
+        append_elapsed = rebuild_elapsed = 0.0
+        for batch in batches:
+            started = time.perf_counter()
+            cache.on_added(batch)
+            append_elapsed += time.perf_counter() - started
+
+            grown = np.vstack([keywords, [t.vector for t in batch]])
+            started = time.perf_counter()
+            oracle = pairwise_jaccard(grown)
+            rebuild_elapsed += time.perf_counter() - started
+            keywords = grown
+        best_append = min(best_append, append_elapsed)
+        best_rebuild = min(best_rebuild, rebuild_elapsed)
+
+    # Bit-identity against the rebuild oracle, on the final grown pool.
+    ids = [t.task_id for t in pool] + [
+        t.task_id for batch in batches for t in batch
+    ]
+    cached = cache.submatrix(ids)
+    bit_identical = cached is not None and np.array_equal(cached, oracle)
+    return {
+        "cached_rows": N_BASE,
+        "append_batch": APPEND_BATCH,
+        "append_batches": N_APPENDS,
+        "append_seconds": round(best_append, 6),
+        "rebuild_seconds": round(best_rebuild, 6),
+        "append_speedup": round(best_rebuild / max(best_append, 1e-9), 2),
+        "bit_identical_to_rebuild": bool(bit_identical),
+    }
+
+
+def _serving_config(burst: bool) -> LoadgenConfig:
+    return LoadgenConfig(
+        n_workers=SERVE_WORKERS,
+        completions_per_worker=SERVE_COMPLETIONS,
+        seed=SEED,
+        arrival_pattern="burst" if burst else None,
+        arrival_tasks=ARRIVAL_TASKS if burst else 0,
+        arrival_batch=ARRIVAL_BATCH,
+        arrival_interval=0.001,
+    )
+
+
+def _measure_burst_latency() -> dict:
+    quiet, _ = asyncio.run(
+        run_self_contained(_serving_config(burst=False), n_tasks=SERVE_TASKS)
+    )
+    burst, _ = asyncio.run(
+        run_self_contained(_serving_config(burst=True), n_tasks=SERVE_TASKS)
+    )
+    quiet_p95 = quiet.latency["p95"]
+    burst_p95 = burst.latency["p95"]
+    return {
+        "quiet_clean": quiet.clean,
+        "burst_clean": burst.clean,
+        "tasks_posted": burst.tasks_posted,
+        "arrival_batches": burst.arrival_batches,
+        "quiet_p95_seconds": round(quiet_p95, 6),
+        "burst_p95_seconds": round(burst_p95, 6),
+        "burst_p95_ratio": round(burst_p95 / max(quiet_p95, 1e-9), 3),
+    }
+
+
+def measure() -> dict:
+    return {
+        "benchmark": "ingestion",
+        "seed": SEED,
+        "append": _measure_append_vs_rebuild(),
+        "serving": _measure_burst_latency(),
+    }
+
+
+def gate_failures(record: dict) -> list[str]:
+    failures = []
+    append = record["append"]
+    if not append["bit_identical_to_rebuild"]:
+        failures.append(
+            "block-appended cache is not bit-identical to the rebuild oracle"
+        )
+    if append["append_speedup"] < MIN_APPEND_SPEEDUP:
+        failures.append(
+            f"append speedup {append['append_speedup']}x "
+            f"< required {MIN_APPEND_SPEEDUP}x"
+        )
+    serving = record["serving"]
+    if not serving["quiet_clean"] or not serving["burst_clean"]:
+        failures.append("a serving comparison run was not clean")
+    if serving["tasks_posted"] != ARRIVAL_TASKS:
+        failures.append(
+            f"burst run posted {serving['tasks_posted']} arrivals, "
+            f"expected {ARRIVAL_TASKS}"
+        )
+    if serving["burst_p95_ratio"] > MAX_BURST_P95_RATIO:
+        failures.append(
+            f"burst p95 ratio {serving['burst_p95_ratio']} "
+            f"> ceiling {MAX_BURST_P95_RATIO}"
+        )
+    return failures
+
+
+def check_against_baseline(record: dict, baseline: dict) -> list[str]:
+    failures = gate_failures(record)
+    current = record["append"]["append_speedup"]
+    reference = baseline["append"]["append_speedup"]
+    floor = reference * SPEEDUP_DRIFT_FLOOR
+    if current < floor:
+        failures.append(
+            f"append speedup {current}x fell below {floor:.1f}x "
+            f"(baseline {reference}x, floor {SPEEDUP_DRIFT_FLOOR:.0%})"
+        )
+    return failures
+
+
+def test_ingestion_gates(report):
+    record = measure()
+    report("ingestion: append vs rebuild, burst arrivals:\n"
+           + json.dumps(record, indent=2))
+    assert not gate_failures(record)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        metavar="BASELINE.json",
+        help="compare against a committed baseline instead of writing a new "
+        "one; exits 1 when an acceptance gate fails or the append speedup "
+        "collapses",
+    )
+    args = parser.parse_args(argv)
+
+    record = measure()
+    print(json.dumps(record, indent=2))
+    if args.check:
+        baseline = json.loads(pathlib.Path(args.check).read_text())
+        failures = check_against_baseline(record, baseline)
+        for line in failures:
+            print(f"REGRESSION {line}", file=sys.stderr)
+        print("ingestion check:", "FAIL" if failures else "OK")
+        return 1 if failures else 0
+
+    failures = gate_failures(record)
+    for line in failures:
+        print(f"GATE {line}", file=sys.stderr)
+    BASELINE_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {BASELINE_PATH}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

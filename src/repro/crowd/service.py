@@ -49,17 +49,21 @@ DiversityProvider = Callable[[Sequence[str]], "np.ndarray | None"]
 class TaskPoolState:
     """Mutable "remaining tasks" bookkeeping shared by service and cache.
 
-    The paper drops every displayed task from subsequent iterations, so the
-    live pool only ever shrinks.  This class owns that shrinking set —
-    random draws, solver shortlisting, and removal — and notifies registered
-    listeners whenever tasks leave, which is the hook the serving layer's
-    incremental diversity cache uses to stay in sync without recomputing.
+    The paper drops every displayed task from subsequent iterations, so
+    within one campaign the live pool shrinks — this class owns that set:
+    random draws, solver shortlisting, and removal, notifying registered
+    removal listeners whenever tasks leave (the hook the serving layer's
+    incremental diversity cache uses to stay in sync without recomputing).
+    The pool is nonetheless open-world: requesters post new tasks while
+    workers are mid-campaign, so :meth:`add` grows the remaining set and
+    notifies arrival listeners symmetrically.
     """
 
     def __init__(self, pool: TaskPool, rng: np.random.Generator):
         self._remaining: dict[str, Task] = {t.task_id: t for t in pool}
         self._rng = rng
         self._listeners: list[Callable[[Sequence[str]], None]] = []
+        self._arrival_listeners: list[Callable[[Sequence[Task]], None]] = []
 
     def __len__(self) -> int:
         return len(self._remaining)
@@ -83,6 +87,31 @@ class TaskPoolState:
     def add_removal_listener(self, listener: Callable[[Sequence[str]], None]) -> None:
         """Call ``listener(task_ids)`` after each batch of tasks leaves."""
         self._listeners.append(listener)
+
+    def add_arrival_listener(self, listener: Callable[[Sequence[Task]], None]) -> None:
+        """Call ``listener(tasks)`` after each batch of tasks is admitted."""
+        self._arrival_listeners.append(listener)
+
+    def add(self, tasks: Sequence[Task]) -> None:
+        """Admit ``tasks`` into the pool (arrival order = insertion order).
+
+        Raises ``ValueError`` on a duplicate id — within the batch or
+        against a task already in the pool — *before* any mutation, so a
+        bad batch is rejected atomically.  An empty batch is a no-op.
+        """
+        if not tasks:
+            return
+        seen: set[str] = set()
+        for task in tasks:
+            if task.task_id in self._remaining or task.task_id in seen:
+                raise ValueError(
+                    f"cannot admit task {task.task_id!r}: id already in the pool"
+                )
+            seen.add(task.task_id)
+        for task in tasks:
+            self._remaining[task.task_id] = task
+        for listener in self._arrival_listeners:
+            listener(tasks)
 
     def remove(self, task_ids: Sequence[str]) -> None:
         """Drop ``task_ids`` from the pool (ids not present are ignored)."""
@@ -259,6 +288,9 @@ class AssignmentService:
         self._estimator = estimator or MotivationEstimator()
         self._rng = ensure_rng(rng)
         self._pool_state = TaskPoolState(pool, self._rng)
+        # Every id the startup corpus ever contained: a displayed or leased
+        # task leaves the pool but its id must never be re-admittable.
+        self._corpus_ids = frozenset(task.task_id for task in pool)
         self._diversity_provider: DiversityProvider | None = None
         self._solver_provider: "Callable[[], object] | None" = None
         self._reputation_provider: "Callable[[str], float] | None" = None
@@ -267,6 +299,11 @@ class AssignmentService:
         self._iterations: dict[str, int] = {}
         self._outstanding: dict[int, PreparedSolve] = {}
         self._lease_seq = 0
+        # Append-only log of tasks admitted after construction, in arrival
+        # order.  Snapshots carry it so restore can rebuild tasks that were
+        # never part of the original corpus (they may still be referenced by
+        # a display long after leaving the pool).
+        self._admitted: dict[str, Task] = {}
 
     # -- queries -------------------------------------------------------------
 
@@ -398,6 +435,57 @@ class AssignmentService:
         self._displays.pop(worker_id, None)
         self._iterations.pop(worker_id, None)
         return present
+
+    def admit_tasks(self, tasks: Sequence[Task]) -> list[str]:
+        """Admit newly posted tasks into the live pool (``POST /tasks``).
+
+        The batch is validated in full before any mutation — keyword-vector
+        length, duplicate ids within the batch, and collisions with any id
+        the service has ever known: the startup corpus (whether still
+        pooled, currently displayed, or leased to an in-flight solve) and
+        every previously admitted task — so a bad batch is rejected
+        atomically with a :class:`SimulationError`.  Admitted tasks join
+        the pool in batch order (arrival order = insertion order), arrival
+        listeners (the diversity cache) are notified, and the batch is
+        recorded in the service's admitted-task log so snapshots can
+        rebuild tasks that never existed in the original corpus.
+
+        Arrivals never disturb an in-flight solve: leases snapshot their
+        candidate set at prepare time, so a solve prepared before an admit
+        commits against the pre-admit pool (C1/C2 hold unchanged).
+
+        Returns the admitted task ids, in order.  An empty batch is a
+        no-op.
+        """
+        if not tasks:
+            return []
+        n_keywords = len(self._vocabulary)
+        seen: set[str] = set()
+        for task in tasks:
+            if task.vector.shape[0] != n_keywords:
+                raise SimulationError(
+                    f"task {task.task_id!r} has a {task.vector.shape[0]}-keyword "
+                    f"vector; this service's vocabulary has {n_keywords}"
+                )
+            # corpus ∪ admitted covers every id ever seen — including tasks
+            # currently displayed or leased to an in-flight solve.
+            if (
+                task.task_id in seen
+                or task.task_id in self._corpus_ids
+                or task.task_id in self._admitted
+            ):
+                raise SimulationError(
+                    f"cannot admit task {task.task_id!r}: id already known"
+                )
+            seen.add(task.task_id)
+        for task in tasks:
+            self._admitted[task.task_id] = task
+        self._pool_state.add(tasks)
+        return [task.task_id for task in tasks]
+
+    def admitted_tasks(self) -> list[Task]:
+        """Every task admitted after construction, in arrival order."""
+        return list(self._admitted.values())
 
     def observe_completion(self, worker_id: str, task_id: str) -> None:
         """Record a completion: estimator gains + display bookkeeping."""
@@ -608,6 +696,17 @@ class AssignmentService:
         return {
             "strategy": self._strategy,
             "remaining_task_ids": remaining,
+            "admitted": [
+                {
+                    "task_id": task.task_id,
+                    "interest": np.flatnonzero(task.vector).tolist(),
+                    "group": task.group,
+                    "title": task.title,
+                    "reward": task.reward,
+                    "n_questions": task.n_questions,
+                }
+                for task in self._admitted.values()
+            ],
             "workers": {
                 worker_id: {
                     "interest": np.flatnonzero(worker.vector).tolist(),
@@ -639,7 +738,9 @@ class AssignmentService:
             state: A snapshot produced by a service with the same strategy.
             tasks: Lookup over the *full* original corpus — displayed tasks
                 left the pool but their display bookkeeping still needs
-                their keyword vectors.
+                their keyword vectors.  Tasks admitted after construction
+                are rebuilt from the snapshot's own admitted-task log, so
+                they need not (and will not) appear in this lookup.
 
         Pool listeners (the diversity cache) are deliberately not notified;
         the caller must sync them against the restored pool itself.
@@ -655,6 +756,20 @@ class AssignmentService:
                 f"lease(s) outstanding; commit or abandon them first"
             )
         n_keywords = len(self._vocabulary)
+        admitted: dict[str, Task] = {}
+        for spec in state.get("admitted", ()):
+            vector = np.zeros(n_keywords, dtype=bool)
+            if spec["interest"]:
+                vector[np.asarray(spec["interest"], dtype=int)] = True
+            admitted[spec["task_id"]] = Task(
+                task_id=spec["task_id"],
+                vector=vector,
+                group=spec.get("group", ""),
+                title=spec.get("title", ""),
+                reward=float(spec.get("reward", 0.05)),
+                n_questions=int(spec.get("n_questions", 1)),
+            )
+        lookup: Mapping[str, Task] = {**tasks, **admitted}
         workers: dict[str, Worker] = {}
         for worker_id, spec in state["workers"].items():
             vector = np.zeros(n_keywords, dtype=bool)
@@ -670,11 +785,11 @@ class AssignmentService:
             w: int(i) for w, i in state["iterations"].items()
         }
         self._pool_state.reset(
-            [tasks[tid] for tid in state["remaining_task_ids"]]
+            [lookup[tid] for tid in state["remaining_task_ids"]]
         )
         displays: dict[str, _Display] = {}
         for worker_id, spec in state["displays"].items():
-            shown = [tasks[tid] for tid in spec["task_ids"]]
+            shown = [lookup[tid] for tid in spec["task_ids"]]
             vectors = np.vstack([t.vector for t in shown])
             diversity, relevance = self._display_matrices(
                 vectors, workers[worker_id].vector
@@ -691,6 +806,7 @@ class AssignmentService:
                 ),
             )
         self._displays = displays
+        self._admitted = admitted
         self._estimator.load_state_dict(state["estimator"])
         self._rng.bit_generator.state = state["rng_state"]
 

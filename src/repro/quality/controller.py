@@ -228,6 +228,20 @@ class QualityController:
             n_questions=real.n_questions,
         )
 
+    # -- open-world ingestion --------------------------------------------------
+
+    def on_admitted(self, tasks) -> None:
+        """Index tasks admitted after campaign start (``POST /tasks``).
+
+        Arrived tasks can enter redundancy ballots like any other, so the
+        controller must be able to mint replica aliases and derive truth
+        labels for them.  The gold bank is deliberately untouched: the
+        holdout is fixed when the campaign starts, so arrivals can never
+        perturb which tasks serve as gold (nor un-hide one).
+        """
+        for task in tasks:
+            self._tasks[task.task_id] = task
+
     # -- task-id resolution ----------------------------------------------------
 
     def is_quality_task(self, task_id: str) -> bool:

@@ -4,6 +4,10 @@ Exposes the paper's Fig. 4 workflow as a JSON-over-HTTP API on top of
 :class:`repro.crowd.AssignmentService`:
 
 * ``POST /workers`` — worker arrival: register keywords, get a first display;
+* ``POST /tasks`` — task arrival: a requester posts a batch of new tasks
+  into the live pool (open-world ingestion; the batch is validated and
+  admitted atomically, flows into the diversity cache by block append, and
+  is journaled as a ``task_arrival`` event);
 * ``POST /complete`` — task completion: record marginal-gain observations;
   when the completion makes the worker due for reassignment, the request
   parks on the solve scheduler and returns the freshly solved display;
@@ -65,8 +69,19 @@ SNAPSHOT_KIND = "serve"
 
 #: Layout version of the daemon's snapshot payload.  Bumped to 2 when the
 #: quality layer's state (reputation posteriors, gold aliases, ballots)
-#: joined the payload; the store refuses to restore a mismatched version.
-SNAPSHOT_SCHEMA_VERSION = 2
+#: joined the payload; bumped to 3 when open-world ingestion added the
+#: service's admitted-task arrival log.  Version 2 auto-migrates (an empty
+#: arrival log is exactly what a pre-ingestion daemon had); older versions
+#: are refused by the store.
+SNAPSHOT_SCHEMA_VERSION = 3
+
+
+def _migrate_snapshot_v2(state: dict) -> dict:
+    """v2 → v3: inject the empty arrival log the old layout implied."""
+    service = state.get("service")
+    if isinstance(service, dict):
+        service.setdefault("admitted", [])
+    return state
 
 #: Completion responses remembered for duplicate delivery (per daemon).
 COMPLETION_CACHE_CAP = 4096
@@ -153,6 +168,7 @@ class AssignmentDaemon:
             SnapshotStore(
                 self.config.snapshot_path,
                 schema_version=SNAPSHOT_SCHEMA_VERSION,
+                migrations={2: _migrate_snapshot_v2},
             )
             if self.config.snapshot_path
             else None
@@ -173,6 +189,17 @@ class AssignmentDaemon:
         )
         self._completions = r.counter(
             "serve_completions_total", "Task completions recorded"
+        )
+        self._tasks_admitted = r.counter(
+            "serve_tasks_admitted_total", "Tasks admitted via POST /tasks"
+        )
+        self._arrival_batches = r.counter(
+            "serve_task_arrival_batches_total",
+            "POST /tasks batches admitted",
+        )
+        self._admissions_rejected = r.counter(
+            "serve_task_admissions_rejected_total",
+            "POST /tasks batches rejected (collision or validation)",
         )
         self._reassignments = r.counter(
             "serve_reassignments_total", "Displays installed by batched solves"
@@ -490,6 +517,17 @@ class AssignmentDaemon:
             return False
         state = record.state
         self.service.restore_state(state["service"], self._task_index)
+        # Tasks admitted by the previous process never existed in the
+        # startup corpus; the snapshot's arrival log rebuilt them — index
+        # them and append their cache rows before the removal sync below
+        # marks whichever of them were already displayed as dead.
+        admitted = self.service.admitted_tasks()
+        for task in admitted:
+            self._task_index[task.task_id] = task
+        if admitted:
+            self.cache.on_added(admitted)
+            if self.quality is not None:
+                self.quality.on_admitted(admitted)
         self._displayed_ever = set(state["displayed_ever"])
         if self.quality is not None and "quality" in state:
             self.quality.load_state_dict(state["quality"])
@@ -614,6 +652,8 @@ class AssignmentDaemon:
             return self.quality.quality_payload()
         if path == "/workers" and method == "POST":
             return await self._post_workers(request, trace)
+        if path == "/tasks" and method == "POST":
+            return await self._post_tasks(request, trace)
         if path == "/complete" and method == "POST":
             return await self._post_complete(request, trace)
         if path.startswith("/display/") and method == "GET":
@@ -638,9 +678,12 @@ class AssignmentDaemon:
             "cache": {
                 "live_tasks": len(self.cache),
                 "backing_rows": self.cache.backing_rows,
+                "allocated_rows": self.cache.allocated_rows,
                 "carves": self.cache.carves,
                 "compactions": self.cache.compactions,
+                "appends": self.cache.appends,
             },
+            "admitted_tasks": len(self.service.admitted_tasks()),
             "resilience": self.degradation.describe(),
         }
         if self.engine is not None:
@@ -732,6 +775,90 @@ class AssignmentDaemon:
                 )
             return array
         raise HttpError(400, "provide either 'keywords' or 'vector'")
+
+    async def _post_tasks(self, request: Request, trace) -> dict:
+        """Open-world ingestion: admit a batch of new tasks into the pool.
+
+        The batch is all-or-nothing: any malformed entry (400) or id
+        collision (409 — against the corpus, a previously displayed task,
+        an earlier arrival, or a quality alias) rejects the whole batch
+        with no state mutated.  On success the tasks join the live pool in
+        batch order, the diversity cache grows by block append (it
+        subscribes to the pool's arrival events), the quality layer indexes
+        them for future ballots, and the arrival is journaled so replay
+        can rebuild tasks the startup corpus never contained.
+        """
+        try:
+            tasks = self._decode_task_batch(request.json())
+        except HttpError:
+            self._admissions_rejected.inc()
+            raise
+        try:
+            admitted = self.service.admit_tasks(tasks)
+        except SimulationError as exc:
+            self._admissions_rejected.inc()
+            raise HttpError(409, str(exc)) from None
+        for task in tasks:
+            self._task_index[task.task_id] = task
+        if self.quality is not None:
+            self.quality.on_admitted(tasks)
+        self._tasks_admitted.inc(len(tasks))
+        self._arrival_batches.inc()
+        trace.set_attrs(tasks_admitted=len(tasks))
+        if self._recorder is not None:
+            self._recorder.record_task_arrival(tasks, trace.trace_id)
+        return {
+            "admitted": admitted,
+            "remaining_tasks": self.service.remaining_tasks(),
+        }
+
+    def _decode_task_batch(self, body) -> list[Task]:
+        """Validate one ``POST /tasks`` body into :class:`Task` objects."""
+        if not isinstance(body, dict):
+            raise HttpError(400, "expected a JSON object")
+        entries = body.get("tasks")
+        if not isinstance(entries, list) or not entries:
+            raise HttpError(400, "tasks must be a non-empty list")
+        tasks: list[Task] = []
+        seen: set[str] = set()
+        for entry in entries:
+            if not isinstance(entry, dict):
+                raise HttpError(400, "each task must be a JSON object")
+            task_id = entry.get("task_id")
+            if not isinstance(task_id, str) or not task_id:
+                raise HttpError(400, "task_id must be a non-empty string")
+            if task_id in seen:
+                raise HttpError(400, f"duplicate task_id {task_id!r} in batch")
+            seen.add(task_id)
+            if (
+                task_id in self._task_index
+                or task_id in self._displayed_ever
+                or (
+                    self.quality is not None
+                    and self.quality.is_quality_task(task_id)
+                )
+            ):
+                raise HttpError(
+                    409, f"task {task_id!r} already exists; batch rejected"
+                )
+            vector = self._decode_interest(entry)
+            group = entry.get("group", "")
+            title = entry.get("title", "")
+            if not isinstance(group, str) or not isinstance(title, str):
+                raise HttpError(400, "group and title must be strings")
+            try:
+                task = Task(
+                    task_id=task_id,
+                    vector=vector,
+                    group=group,
+                    title=title,
+                    reward=float(entry.get("reward", 0.05)),
+                    n_questions=int(entry.get("n_questions", 1)),
+                )
+            except (TypeError, ValueError) as exc:
+                raise HttpError(400, str(exc)) from None
+            tasks.append(task)
+        return tasks
 
     async def _post_complete(self, request: Request, trace) -> dict:
         body = request.json()

@@ -79,8 +79,39 @@ class LoadgenConfig:
     colluder_fraction: float = 0.0
     clique_size: int = 3
     drift_per_task: float = 0.03
+    #: Open-world arrivals: while workers run, a driver coroutine POSTs new
+    #: tasks to ``/tasks``.  ``None`` disables (closed-world, the seed
+    #: behavior); ``"trickle"`` posts single tasks at a steady interval;
+    #: ``"burst"`` posts batches whose members share a perturbed base
+    #: keyword set (correlated similarity, the diversity cache's worst
+    #: case); ``"spike"`` posts everything in one entry-rush batch.
+    arrival_pattern: str | None = None
+    arrival_tasks: int = 0  # total tasks the driver injects over the run
+    arrival_batch: int = 5  # batch size for "burst" (others ignore it)
+    arrival_interval: float = 0.05  # seconds between arrival posts
 
     def __post_init__(self) -> None:
+        if self.arrival_pattern not in (None, "trickle", "burst", "spike"):
+            raise ValueError(
+                f"arrival_pattern must be one of trickle/burst/spike/None, "
+                f"got {self.arrival_pattern!r}"
+            )
+        if self.arrival_pattern is not None and self.arrival_tasks < 1:
+            raise ValueError(
+                "arrival_tasks must be >= 1 when an arrival_pattern is set"
+            )
+        if self.arrival_tasks < 0:
+            raise ValueError(
+                f"arrival_tasks must be >= 0, got {self.arrival_tasks}"
+            )
+        if self.arrival_batch < 1:
+            raise ValueError(
+                f"arrival_batch must be >= 1, got {self.arrival_batch}"
+            )
+        if self.arrival_interval < 0:
+            raise ValueError(
+                f"arrival_interval must be >= 0, got {self.arrival_interval}"
+            )
         if self.n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
         if self.answer_labels < 0:
@@ -129,6 +160,12 @@ class LoadgenResult:
     #: registration answered with the current display.  Nonzero only when
     #: responses were lost (chaos) and the retry was absorbed cleanly.
     deduplicated_responses: int = 0
+    #: Open-world arrivals posted by the arrival driver (when configured).
+    tasks_posted: int = 0
+    arrival_batches: int = 0
+    #: Arrival POSTs the daemon rejected (4xx/409) or that exhausted their
+    #: transport retries — any of these makes the run unclean.
+    arrival_failures: int = 0
     duplicate_display_violations: int = 0
     duration_seconds: float = 0.0
     requests: int = 0
@@ -159,6 +196,7 @@ class LoadgenResult:
             self.duplicate_display_violations == 0
             and self.http_errors == 0
             and self.transport_errors == 0
+            and self.arrival_failures == 0
             and self.completions > 0
         )
 
@@ -174,6 +212,9 @@ class LoadgenResult:
             "retries": self.retries,
             "deadline_exceeded_responses": self.deadline_exceeded_responses,
             "deduplicated_responses": self.deduplicated_responses,
+            "tasks_posted": self.tasks_posted,
+            "arrival_batches": self.arrival_batches,
+            "arrival_failures": self.arrival_failures,
             "duplicate_display_violations": self.duplicate_display_violations,
             "duration_seconds": round(self.duration_seconds, 4),
             "requests": self.requests,
@@ -447,6 +488,128 @@ class _SimulatedWorker:
             await self.client.close()
 
 
+class _ArrivalDriver:
+    """Posts new tasks to ``/tasks`` while the workers run.
+
+    Arrival ids are ``arr-{i}`` — disjoint from the corpus's ``t{i}``
+    namespace, so a collision rejection always indicates a real bug rather
+    than an unlucky id draw.  Burst batches share a base keyword set with
+    one keyword swapped per member, producing the correlated-similarity
+    arrivals that stress the diversity cache's block-append path hardest.
+    """
+
+    def __init__(
+        self,
+        config: LoadgenConfig,
+        vocabulary: list[str],
+        shared: _SharedState,
+        rng: np.random.Generator,
+    ):
+        self.config = config
+        self.vocabulary = vocabulary
+        self.shared = shared
+        self._rng = rng
+        self.client = HttpClient(config.host, config.port)
+
+    def _keywords(self, base: list[str] | None = None) -> list[str]:
+        """One task's keyword list; perturbs ``base`` when given."""
+        take = min(self.config.n_keywords, len(self.vocabulary))
+        if base is None:
+            picks = self._rng.choice(len(self.vocabulary), size=take, replace=False)
+            return sorted(self.vocabulary[int(i)] for i in picks)
+        swapped = list(base)
+        if swapped and len(self.vocabulary) > len(swapped):
+            out = int(self._rng.integers(len(swapped)))
+            pool = [k for k in self.vocabulary if k not in swapped]
+            swapped[out] = pool[int(self._rng.integers(len(pool)))]
+        return sorted(swapped)
+
+    def _batches(self) -> list[list[dict]]:
+        """The full arrival schedule, one entry per ``POST /tasks``."""
+        config = self.config
+        specs = []
+        if config.arrival_pattern == "trickle":
+            sizes = [1] * config.arrival_tasks
+        elif config.arrival_pattern == "spike":
+            sizes = [config.arrival_tasks]
+        else:  # burst
+            sizes, left = [], config.arrival_tasks
+            while left > 0:
+                sizes.append(min(config.arrival_batch, left))
+                left -= sizes[-1]
+        index = 0
+        for batch_no, size in enumerate(sizes):
+            base = (
+                self._keywords()
+                if config.arrival_pattern == "burst"
+                else None
+            )
+            batch = []
+            for _ in range(size):
+                batch.append(
+                    {
+                        "task_id": f"arr-{index}",
+                        "keywords": self._keywords(base),
+                        "group": "arrival",
+                        "title": f"arrival {index}",
+                    }
+                )
+                index += 1
+            specs.append(batch)
+        return specs
+
+    async def _post(self, batch: list[dict]) -> None:
+        config = self.config
+        attempt = 0
+        while True:
+            started = time.perf_counter()
+            try:
+                status, _body = await self.client.request(
+                    "POST", "/tasks", {"tasks": batch}
+                )
+            except (OSError, asyncio.IncompleteReadError, EOFError):
+                self.shared.latency.observe(time.perf_counter() - started)
+                self.shared.result.requests += 1
+                if attempt >= config.max_retries:
+                    self.shared.result.arrival_failures += 1
+                    return
+                attempt += 1
+                self.shared.result.retries += 1
+                await asyncio.sleep(
+                    min(
+                        config.backoff_cap,
+                        config.backoff_base * (2 ** (attempt - 1)),
+                    )
+                )
+                continue
+            self.shared.latency.observe(time.perf_counter() - started)
+            self.shared.result.requests += 1
+            if status >= 500 and attempt < config.max_retries:
+                attempt += 1
+                self.shared.result.retries += 1
+                continue
+            if status == 409 and attempt > 0:
+                # A lost response made the retry collide with its own
+                # earlier admission; the batch is in the pool.
+                self.shared.result.deduplicated_responses += 1
+            elif status != 200:
+                self.shared.result.arrival_failures += 1
+                return
+            self.shared.result.tasks_posted += len(batch)
+            self.shared.result.arrival_batches += 1
+            return
+
+    async def run(self) -> None:
+        config = self.config
+        try:
+            for batch in self._batches():
+                if config.arrival_interval > 0:
+                    await asyncio.sleep(config.arrival_interval)
+                await self._post(batch)
+        finally:
+            await self.client.close()
+
+
 async def run_loadgen(config: LoadgenConfig | None = None) -> LoadgenResult:
     """Drive one closed-loop run against a live daemon; returns the result."""
     config = config or LoadgenConfig()
@@ -498,8 +661,21 @@ async def run_loadgen(config: LoadgenConfig | None = None) -> LoadgenResult:
         )
         for i in range(config.n_workers)
     ]
+    drivers = []
+    if config.arrival_pattern is not None:
+        drivers.append(
+            _ArrivalDriver(
+                config,
+                vocabulary,
+                shared,
+                np.random.default_rng(seed_source.integers(0, 2**63)),
+            )
+        )
     started = time.perf_counter()
-    await asyncio.gather(*(worker.run() for worker in workers))
+    await asyncio.gather(
+        *(worker.run() for worker in workers),
+        *(driver.run() for driver in drivers),
+    )
     shared.result.duration_seconds = time.perf_counter() - started
     shared.result.latency = {
         "mean": shared.latency.summary()["mean"],
@@ -645,6 +821,25 @@ def main(argv: list[str] | None = None) -> int:
         help="fraction of workers colluding in answer cliques",
     )
     parser.add_argument(
+        "--arrival-pattern", default=None,
+        choices=["trickle", "burst", "spike"],
+        help="inject new tasks via POST /tasks while workers run "
+             "(trickle = singles, burst = correlated batches, "
+             "spike = one entry rush)",
+    )
+    parser.add_argument(
+        "--arrival-tasks", type=int, default=0,
+        help="total tasks the arrival driver posts over the run",
+    )
+    parser.add_argument(
+        "--arrival-batch", type=int, default=5,
+        help="batch size for --arrival-pattern burst",
+    )
+    parser.add_argument(
+        "--arrival-interval", type=float, default=0.05,
+        help="seconds between arrival posts",
+    )
+    parser.add_argument(
         "--gold-rate", type=float, default=0.0,
         help="spawned daemon's gold-injection rate (--spawn-server only)",
     )
@@ -674,6 +869,10 @@ def main(argv: list[str] | None = None) -> int:
         spammer_fraction=args.spammers,
         drifting_fraction=args.drifting,
         colluder_fraction=args.colluders,
+        arrival_pattern=args.arrival_pattern,
+        arrival_tasks=args.arrival_tasks,
+        arrival_batch=args.arrival_batch,
+        arrival_interval=args.arrival_interval,
     )
     if args.spawn_server:
         serve_config = None

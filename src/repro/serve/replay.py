@@ -9,13 +9,15 @@ makes it checkable again:
 
 * :class:`FlightRecorder` — an append-only JSONL *journal* written at the
   daemon's ingress and solve boundaries.  Ingress events (``register`` /
-  ``complete`` / ``unregister``) capture what the outside world did, in
-  event-loop order, with the request's trace id; solve events (``lease`` /
-  ``commit`` / ``abandon``) capture how the daemon's lease/commit protocol
-  interleaved — which is exactly the information concurrency erases.  The
-  header pins the config fingerprint (strategy, seed, service knobs) and a
-  SHA-256 of the task corpus, so a journal can refuse to replay against the
-  wrong world.
+  ``complete`` / ``unregister`` / ``task_arrival``) capture what the outside
+  world did, in event-loop order, with the request's trace id; solve events
+  (``lease`` / ``commit`` / ``abandon``) capture how the daemon's
+  lease/commit protocol interleaved — which is exactly the information
+  concurrency erases.  The header pins the config fingerprint (strategy,
+  seed, service knobs) and a SHA-256 of the *startup* task corpus, so a
+  journal can refuse to replay against the wrong world; tasks posted after
+  startup enter through ``task_arrival`` events carrying their full specs,
+  which is what lets an open-world run replay from the startup pool alone.
 
 * :func:`replay_journal` — re-drives a fresh
   :class:`~repro.crowd.service.AssignmentService` from a journal and asserts
@@ -53,7 +55,7 @@ from pathlib import Path
 
 import numpy as np
 
-from ..core.task import TaskPool
+from ..core.task import Task, TaskPool
 from ..core.worker import Worker
 from ..crowd.events import TasksAssigned
 from ..crowd.service import (
@@ -76,6 +78,11 @@ _EVENT_FIELDS: dict[str, frozenset[str]] = {
     "register": frozenset({"worker_id", "interest", "solver", "event"}),
     "complete": frozenset({"worker_id", "task_id"}),
     "unregister": frozenset({"worker_id"}),
+    # Open-world ingestion: a ``POST /tasks`` batch admitted into the live
+    # pool.  Each entry carries the full task spec (id, keyword indices,
+    # metadata), so replay can rebuild tasks that never existed in the
+    # startup corpus the header's ``pool_sha`` pins.
+    "task_arrival": frozenset({"tasks"}),
     # Quality-layer events (present only when the daemon ran with a quality
     # config; see repro.quality).  ``probe`` records the aliases minted for
     # one installed display; ``tick`` marks a reputation flush.  Both are
@@ -240,6 +247,26 @@ class FlightRecorder:
 
     def record_unregister(self, worker_id: str) -> None:
         self._record("unregister", worker_id=worker_id)
+
+    def record_task_arrival(self, tasks, trace_id: "str | None") -> None:
+        """One admitted ``POST /tasks`` batch (a sequence of ``Task``s)."""
+        self._record(
+            "task_arrival",
+            tasks=[
+                {
+                    "task_id": task.task_id,
+                    "interest": np.flatnonzero(
+                        np.asarray(task.vector, dtype=bool)
+                    ).tolist(),
+                    "group": task.group,
+                    "title": task.title,
+                    "reward": task.reward,
+                    "n_questions": task.n_questions,
+                }
+                for task in tasks
+            ],
+            trace_id=trace_id,
+        )
 
     def record_lease(
         self, prepared: PreparedSolve, trace_ids: "Sequence[str] | None"
@@ -447,6 +474,7 @@ class ReplayReport:
     events_applied: int = 0
     registers: int = 0
     completions: int = 0
+    arrivals: int = 0
     solves_committed: int = 0
     solves_abandoned: int = 0
     displays_checked: int = 0
@@ -465,6 +493,7 @@ class ReplayReport:
             "events_applied": self.events_applied,
             "registers": self.registers,
             "completions": self.completions,
+            "arrivals": self.arrivals,
             "solves_committed": self.solves_committed,
             "solves_abandoned": self.solves_abandoned,
             "displays_checked": self.displays_checked,
@@ -603,9 +632,15 @@ def _apply_event(
     if event_type == "restore":
         snapshot = event["state"]
         service.restore_state(snapshot["service"], state.task_index)
+        # Tasks admitted before the snapshot are rebuilt from its own
+        # arrival log; future events may reference them by id.
+        for task in service.admitted_tasks():
+            state.task_index[task.task_id] = task
         state.displayed_ever = set(snapshot["displayed_ever"])
-        if state.quality is not None and "quality" in snapshot:
-            state.quality.load_state_dict(snapshot["quality"])
+        if state.quality is not None:
+            if "quality" in snapshot:
+                state.quality.load_state_dict(snapshot["quality"])
+            state.quality.on_admitted(service.admitted_tasks())
         return None
 
     if event_type == "register":
@@ -669,6 +704,41 @@ def _apply_event(
     if event_type == "tick":
         if state.quality is not None:
             state.quality.on_tick()
+        return None
+
+    if event_type == "task_arrival":
+        n_keywords = len(next(iter(state.task_index.values())).vector)
+        tasks = []
+        for spec in event["tasks"]:
+            vector = np.zeros(n_keywords, dtype=bool)
+            if spec["interest"]:
+                vector[np.asarray(spec["interest"], dtype=int)] = True
+            tasks.append(
+                Task(
+                    task_id=spec["task_id"],
+                    vector=vector,
+                    group=spec.get("group", ""),
+                    title=spec.get("title", ""),
+                    reward=float(spec.get("reward", 0.05)),
+                    n_questions=int(spec.get("n_questions", 1)),
+                )
+            )
+        try:
+            service.admit_tasks(tasks)
+        except Exception as exc:
+            return Divergence(
+                seq=seq,
+                event_type=event_type,
+                field="admission",
+                recorded="admitted",
+                replayed=f"{type(exc).__name__}: {exc}",
+                trace_ids=(event["trace_id"],) if event.get("trace_id") else None,
+            )
+        for task in tasks:
+            state.task_index[task.task_id] = task
+        if state.quality is not None:
+            state.quality.on_admitted(tasks)
+        report.arrivals += 1
         return None
 
     if event_type == "unregister":

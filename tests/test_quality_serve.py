@@ -9,6 +9,8 @@ bit-identically.
 
 import asyncio
 import json
+import os
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -18,7 +20,12 @@ from repro.crowd.service import ServiceConfig
 from repro.quality import AdjudicationConfig, GoldConfig, QualityConfig
 from repro.serve.app import SNAPSHOT_SCHEMA_VERSION, AssignmentDaemon, ServeConfig
 from repro.serve.protocol import HttpClient
-from repro.serve.replay import load_journal, replay_journal
+from repro.serve.replay import (
+    load_journal,
+    pool_from_corpus_spec,
+    replay_differential,
+    replay_journal,
+)
 from repro.storage import SnapshotStore, StorageError
 
 N_KEYWORDS = 16
@@ -343,3 +350,72 @@ class TestQualityReplay:
         report = replay_journal(journal, make_pool(300))
         assert report.ok, report.divergence
         assert report.state_verified
+
+
+SHARED_JOURNAL_ENV = "REPRO_QUALITY_JOURNAL"
+
+
+def record_seeded_quality_journal(path, workers=8, completions=8,
+                                  tasks=400, seed=11):
+    """The canonical seeded quality scenario: spammers + gold + redundancy.
+
+    CI's quality-smoke job records the same scenario (larger) once with the
+    loadgen CLI and exports it via ``REPRO_QUALITY_JOURNAL`` so this suite
+    replays that journal instead of regenerating its own.
+    """
+    from repro.serve.loadgen import LoadgenConfig, run_self_contained
+
+    config = LoadgenConfig(
+        n_workers=workers,
+        completions_per_worker=completions,
+        seed=seed,
+        max_retries=8,
+        answer_labels=4,
+        quality_seed=0,
+        spammer_fraction=0.3,
+    )
+    serve = ServeConfig(
+        strategy="hta-gre",
+        seed=seed,
+        journal_path=str(path),
+        quality=QualityConfig(
+            gold=GoldConfig(rate=0.6, seed=0, n_labels=4),
+            adjudication=AdjudicationConfig(redundancy=3),
+        ),
+    )
+    result, _ = asyncio.run(
+        run_self_contained(config, n_tasks=tasks, serve_config=serve)
+    )
+    assert result.clean, result.to_dict()
+
+
+@pytest.fixture(scope="module")
+def seeded_quality_journal(tmp_path_factory):
+    """Shared seeded-journal fixture: env-pointed in CI, recorded locally."""
+    env = os.environ.get(SHARED_JOURNAL_ENV)
+    if env:
+        path = Path(env)
+        if not path.exists():
+            pytest.fail(
+                f"{SHARED_JOURNAL_ENV} points at a missing journal: {path}"
+            )
+        return path
+    path = tmp_path_factory.mktemp("shared") / "quality.jsonl"
+    record_seeded_quality_journal(path)
+    return path
+
+
+class TestSharedSeededJournal:
+    """The seeded quality journal — wherever it was recorded — replays
+    bit-identically across the whole differential panel."""
+
+    def test_shared_journal_replays_differentially(
+        self, seeded_quality_journal
+    ):
+        journal = load_journal(seeded_quality_journal)
+        assert journal.quality_config() is not None
+        assert any(e["type"] == "probe" for e in journal.events)
+        pool = pool_from_corpus_spec(journal.corpus_spec)
+        reports = replay_differential(journal, pool)
+        for report in reports:
+            assert report.ok and report.state_verified, report.to_dict()

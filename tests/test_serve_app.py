@@ -242,3 +242,212 @@ class TestLoadgenEndToEnd:
         assert result.workers_finished == 6
         assert metrics["serve_disjointness_violations_total"] == 0
         assert metrics["serve_solves_total"] > 0
+
+
+class TestTaskIngestion:
+    """POST /tasks: open-world arrivals through the daemon."""
+
+    @staticmethod
+    def _spec(task_id, keywords=("k0", "k3"), **extra):
+        return {"task_id": task_id, "keywords": list(keywords), **extra}
+
+    def test_batch_admitted_end_to_end(self):
+        async def scenario(daemon, client):
+            status, body = await client.request(
+                "POST",
+                "/tasks",
+                {"tasks": [self._spec("arr-0"), self._spec("arr-1", ["k5"])]},
+            )
+            _, health = await client.request("GET", "/healthz")
+            return status, body, health, daemon.registry.snapshot()
+
+        status, body, health, metrics = with_daemon(scenario)
+        assert status == 200
+        assert body["admitted"] == ["arr-0", "arr-1"]
+        assert body["remaining_tasks"] == 302
+        assert health["remaining_tasks"] == 302
+        assert health["admitted_tasks"] == 2
+        assert health["cache"]["live_tasks"] == 302
+        assert health["cache"]["appends"] == 1
+        assert metrics["serve_tasks_admitted_total"] == 2
+        assert metrics["serve_task_arrival_batches_total"] == 1
+        assert metrics["serve_task_admissions_rejected_total"] == 0
+
+    def test_arrived_task_can_be_served_and_completed(self):
+        async def scenario(daemon, client):
+            await client.request(
+                "POST",
+                "/tasks",
+                {"tasks": [self._spec(f"arr-{i}") for i in range(4)]},
+            )
+            status, body = await client.request(
+                "POST", "/workers", {"worker_id": "w0", "keywords": ["k0"]}
+            )
+            assert status == 200
+            shown = body["display"]["pending"]
+            status, body = await client.request(
+                "POST",
+                "/complete",
+                {"worker_id": "w0", "task_id": shown[0], "completion_key": "w0:1"},
+            )
+            return status, body
+
+        status, body = with_daemon(scenario, n_tasks=50)
+        assert status == 200
+
+    @pytest.mark.parametrize(
+        "payload, fragment",
+        [
+            ([1, 2], "JSON object"),
+            ({}, "non-empty list"),
+            ({"tasks": []}, "non-empty list"),
+            ({"tasks": ["nope"]}, "JSON object"),
+            ({"tasks": [{"keywords": ["k0"]}]}, "task_id"),
+            (
+                {
+                    "tasks": [
+                        {"task_id": "arr-0", "keywords": ["k0"]},
+                        {"task_id": "arr-0", "keywords": ["k1"]},
+                    ]
+                },
+                "duplicate",
+            ),
+            ({"tasks": [{"task_id": "arr-0", "keywords": ["zzz"]}]}, "unknown"),
+            ({"tasks": [{"task_id": "arr-0"}]}, "keywords"),
+            (
+                {"tasks": [{"task_id": "arr-0", "keywords": ["k0"], "group": 3}]},
+                "group",
+            ),
+            (
+                {
+                    "tasks": [
+                        {"task_id": "arr-0", "keywords": ["k0"], "reward": -1}
+                    ]
+                },
+                "reward",
+            ),
+        ],
+    )
+    def test_malformed_batches_rejected_400(self, payload, fragment):
+        async def scenario(daemon, client):
+            status, body = await client.request("POST", "/tasks", payload)
+            _, health = await client.request("GET", "/healthz")
+            return status, body, health, daemon.registry.snapshot()
+
+        status, body, health, metrics = with_daemon(scenario)
+        assert status == 400
+        assert fragment in body["error"]
+        assert health["remaining_tasks"] == 300  # nothing admitted
+        assert metrics["serve_task_admissions_rejected_total"] == 1
+
+    def test_collisions_rejected_409_atomically(self):
+        async def scenario(daemon, client):
+            # Corpus id: the whole batch (including the fresh task) bounces.
+            status1, body1 = await client.request(
+                "POST",
+                "/tasks",
+                {"tasks": [self._spec("fresh-0"), self._spec("t0")]},
+            )
+            # A displayed task has left the pool; its id still collides.
+            _, reg = await client.request(
+                "POST", "/workers", {"worker_id": "w0", "keywords": ["k0"]}
+            )
+            shown = reg["display"]["pending"][0]
+            status2, body2 = await client.request(
+                "POST", "/tasks", {"tasks": [self._spec(shown)]}
+            )
+            # Repost of an admitted arrival collides; fresh-0 (atomically
+            # rejected above) is still admissible.
+            await client.request(
+                "POST", "/tasks", {"tasks": [self._spec("arr-0")]}
+            )
+            status3, body3 = await client.request(
+                "POST", "/tasks", {"tasks": [self._spec("arr-0")]}
+            )
+            status4, _ = await client.request(
+                "POST", "/tasks", {"tasks": [self._spec("fresh-0")]}
+            )
+            return (status1, body1), (status2, body2), (status3, body3), status4
+
+        (s1, b1), (s2, b2), (s3, b3), s4 = with_daemon(scenario)
+        assert s1 == 409 and "t0" in b1["error"]
+        assert s2 == 409
+        assert s3 == 409 and "arr-0" in b3["error"]
+        assert s4 == 200
+
+
+class TestIngestionSnapshotRestart:
+    """A snapshot taken after arrivals restores a working open-world pool."""
+
+    def test_restart_preserves_arrivals_and_displays(self, tmp_path):
+        store = str(tmp_path / "ingest.db")
+
+        async def record():
+            daemon = AssignmentDaemon(
+                make_pool(60), serve_config(snapshot_path=store)
+            )
+            await daemon.start()
+            client = HttpClient("127.0.0.1", daemon.port)
+            try:
+                _, reg = await client.request(
+                    "POST", "/workers", {"worker_id": "w0", "keywords": ["k0"]}
+                )
+                status, _ = await client.request(
+                    "POST",
+                    "/tasks",
+                    {
+                        "tasks": [
+                            {"task_id": f"arr-{i}", "keywords": ["k1", "k2"]}
+                            for i in range(5)
+                        ]
+                    },
+                )
+                assert status == 200
+                assert daemon.snapshot_now()
+                return reg["display"]["pending"], daemon.service.remaining_tasks()
+            finally:
+                await client.close()
+                await daemon.stop()
+
+        async def restart(pending, remaining):
+            daemon = AssignmentDaemon(
+                make_pool(60), serve_config(snapshot_path=store, restore=True)
+            )
+            await daemon.start()
+            client = HttpClient("127.0.0.1", daemon.port)
+            try:
+                _, health = await client.request("GET", "/healthz")
+                assert health["admitted_tasks"] == 5
+                assert health["remaining_tasks"] == remaining
+                assert health["cache"]["live_tasks"] == remaining
+                for i in range(5):
+                    assert f"arr-{i}" in daemon.service.pool_state
+                # The worker's display survived with the same pending set.
+                assert daemon.service.pending_ids("w0") == pending
+                # Restored arrival ids still collide on re-POST.
+                status, _ = await client.request(
+                    "POST",
+                    "/tasks",
+                    {"tasks": [{"task_id": "arr-0", "keywords": ["k1"]}]},
+                )
+                assert status == 409
+                # And the restored pool keeps serving (worker can complete).
+                status, _ = await client.request(
+                    "POST",
+                    "/complete",
+                    {
+                        "worker_id": "w0",
+                        "task_id": pending[0],
+                        "completion_key": "w0:post-restore",
+                    },
+                )
+                assert status == 200
+            finally:
+                await client.close()
+                await daemon.stop()
+
+        async def scenario():
+            pending, remaining = await record()
+            await restart(pending, remaining)
+
+        asyncio.run(asyncio.wait_for(scenario(), timeout=60.0))

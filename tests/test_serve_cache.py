@@ -1,7 +1,16 @@
-"""Incremental diversity cache: parity with from-scratch recomputation."""
+"""Incremental diversity cache: parity with from-scratch recomputation.
+
+The open-world half of the contract is property-tested: under any
+hypothesis-generated interleaving of block appends and removals, every
+live submatrix must be *bit-identical* (``np.array_equal``, not allclose)
+to a ``pairwise_jaccard`` rebuild over the same keyword rows — growth and
+compaction move float64 entries around but never recompute them
+differently.
+"""
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.core import Task, TaskPool, Vocabulary
 from repro.core.distance import pairwise_jaccard, take_submatrix
@@ -114,6 +123,125 @@ class TestCacheParity:
             IncrementalDiversityCache(pool, compact_threshold=1.5)
 
 
+def _rebuild_oracle(rows: dict[str, np.ndarray]) -> np.ndarray:
+    """From-scratch Jaccard over the live rows, in arrival order."""
+    return pairwise_jaccard(np.vstack(list(rows.values())))
+
+
+class TestCacheGrowth:
+    """Block append: the open-world direction of the cache contract."""
+
+    R = 12
+
+    def _make(self, seed=0, n=10, threshold=0.6):
+        rng = np.random.default_rng(seed)
+        vocab = Vocabulary([f"k{i}" for i in range(self.R)])
+        tasks = [Task(f"t{i}", rng.random(self.R) < 0.35) for i in range(n)]
+        pool = TaskPool(tasks, vocab)
+        cache = IncrementalDiversityCache(pool, compact_threshold=threshold)
+        live = {t.task_id: np.asarray(t.vector, dtype=bool) for t in tasks}
+        return cache, live, rng
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 2**16),
+        ops=st.lists(
+            st.tuples(st.sampled_from(["add", "remove"]), st.integers(1, 6)),
+            min_size=1,
+            max_size=12,
+        ),
+    )
+    def test_interleaved_growth_matches_rebuild_oracle(self, seed, ops):
+        """Any append/remove interleaving stays bit-identical to a rebuild.
+
+        Drains to empty and regrows when hypothesis finds that path; growth
+        re-packs (compaction) and geometric over-allocation must both be
+        invisible in the served entries.
+        """
+        cache, live, rng = self._make(seed=seed)
+        counter = len(live)
+        for kind, size in ops:
+            if kind == "add":
+                batch = [
+                    Task(f"t{counter + j}", rng.random(self.R) < 0.35)
+                    for j in range(size)
+                ]
+                counter += size
+                cache.on_added(batch)
+                for task in batch:
+                    live[task.task_id] = np.asarray(task.vector, dtype=bool)
+            elif live:
+                picks = rng.choice(
+                    len(live), size=min(size, len(live)), replace=False
+                )
+                ids = [list(live)[i] for i in sorted(picks)]
+                cache.on_removed(ids)
+                for tid in ids:
+                    live.pop(tid)
+            assert len(cache) == len(live)
+            if live:
+                got = cache.submatrix(list(live))
+                assert got is not None
+                assert np.array_equal(got, _rebuild_oracle(live))
+            else:
+                assert cache.submatrix([]).shape == (0, 0)
+
+    def test_empty_append_is_a_noop(self):
+        cache, live, _ = self._make()
+        before = cache.submatrix(list(live)).copy()
+        cache.on_added([])
+        assert cache.appends == 0
+        np.testing.assert_array_equal(cache.submatrix(list(live)), before)
+
+    def test_duplicate_id_in_batch_rejected_atomically(self):
+        cache, live, rng = self._make()
+        fresh = rng.random(self.R) < 0.35
+        batch = [Task("new-a", fresh), Task("new-a", fresh)]
+        with pytest.raises(ValueError, match="already cached"):
+            cache.on_added(batch)
+        assert "new-a" not in cache
+        assert np.array_equal(
+            cache.submatrix(list(live)), _rebuild_oracle(live)
+        )
+
+    def test_duplicate_of_live_row_rejected_atomically(self):
+        cache, live, rng = self._make()
+        batch = [Task("new-b", rng.random(self.R) < 0.35), Task("t3", rng.random(self.R) < 0.35)]
+        with pytest.raises(ValueError, match="t3"):
+            cache.on_added(batch)
+        assert "new-b" not in cache  # the valid half must not land either
+        assert np.array_equal(
+            cache.submatrix(list(live)), _rebuild_oracle(live)
+        )
+
+    def test_vector_length_mismatch_rejected(self):
+        cache, _, rng = self._make()
+        with pytest.raises(ValueError, match="keyword"):
+            cache.on_added([Task("new-c", rng.random(self.R + 3) < 0.35)])
+
+    def test_append_after_total_drain(self):
+        cache, live, rng = self._make(n=6)
+        cache.on_removed(list(live))
+        assert len(cache) == 0
+        batch = [Task(f"fresh{i}", rng.random(self.R) < 0.35) for i in range(4)]
+        cache.on_added(batch)
+        rows = {t.task_id: np.asarray(t.vector, dtype=bool) for t in batch}
+        got = cache.submatrix(list(rows))
+        assert np.array_equal(got, _rebuild_oracle(rows))
+
+    def test_growth_overallocates_geometrically(self):
+        cache, live, rng = self._make(n=4)
+        batch = [Task(f"g{i}", rng.random(self.R) < 0.35) for i in range(9)]
+        cache.on_added(batch)
+        assert cache.backing_rows == 13
+        assert cache.allocated_rows >= 13  # grown past the initial 4
+        for task in batch:
+            live[task.task_id] = np.asarray(task.vector, dtype=bool)
+        assert np.array_equal(
+            cache.submatrix(list(live)), _rebuild_oracle(live)
+        )
+
+
 class TestServiceIntegration:
     def test_cached_service_matches_uncached_run(self, pool, vocab):
         """Same seed, same strategy: the cache must not change assignments."""
@@ -144,3 +272,19 @@ class TestServiceIntegration:
         cached = AssignmentService(pool, "hta-gre-rel", config, rng=0)
         IncrementalDiversityCache(pool).attach(cached)
         assert drive(plain) == drive(cached)
+
+    def test_attach_subscribes_to_pool_arrivals(self, pool):
+        """Admitting tasks through the service grows the attached cache."""
+        rng = np.random.default_rng(7)
+        service = AssignmentService(pool, "hta-gre-rel", ServiceConfig(), rng=0)
+        cache = IncrementalDiversityCache(pool).attach(service)
+        arrivals = [Task(f"arr-{i}", rng.random(20) < 0.3) for i in range(3)]
+        service.admit_tasks(arrivals)
+        assert all(task.task_id in cache for task in arrivals)
+        ids = ["t5", "arr-0", "t12", "arr-2"]
+        rows = {t.task_id: np.asarray(t.vector, dtype=bool) for t in pool}
+        rows.update(
+            (t.task_id, np.asarray(t.vector, dtype=bool)) for t in arrivals
+        )
+        expected = pairwise_jaccard(np.vstack([rows[tid] for tid in ids]))
+        assert np.array_equal(cache.submatrix(ids), expected)

@@ -636,6 +636,115 @@ class TestReplayProperty:
                 assert report.state_verified
 
 
+@pytest.fixture(scope="module")
+def arrival_recorded(tmp_path_factory):
+    """A journaled run with burst arrivals flowing through POST /tasks."""
+    journal = tmp_path_factory.mktemp("arrivals") / "arrivals.jsonl"
+    record_journal(
+        journal,
+        n_tasks=200,
+        loadgen=LoadgenConfig(
+            n_workers=4,
+            completions_per_worker=6,
+            seed=5,
+            arrival_pattern="burst",
+            arrival_tasks=12,
+            arrival_batch=4,
+            arrival_interval=0.0,
+        ),
+    )
+    return journal
+
+
+class TestArrivalReplay:
+    """Open-world journals: arrivals recorded at ingress replay exactly."""
+
+    def test_journal_carries_arrival_events(self, arrival_recorded):
+        journal = load_journal(arrival_recorded)
+        arrivals = [e for e in journal.events if e["type"] == "task_arrival"]
+        assert len(arrivals) == 3  # 12 tasks in batches of 4
+        posted = [
+            spec["task_id"] for event in arrivals for spec in event["tasks"]
+        ]
+        assert posted == [f"arr-{i}" for i in range(12)]
+
+    def test_differential_panel_agrees_with_arrivals(self, arrival_recorded):
+        reports = replay_differential(
+            load_journal(arrival_recorded), make_pool(200)
+        )
+        for report in reports:
+            assert report.ok and report.state_verified, report.to_dict()
+            assert report.arrivals == 3
+
+    def test_tampered_arrival_pinpointed_by_seq(
+        self, arrival_recorded, tmp_path
+    ):
+        """Renaming an arrival onto a corpus id must fail *at that event*."""
+
+        def corrupt(record):
+            if record["type"] == "task_arrival" and corrupt.seq is None:
+                record["tasks"][0]["task_id"] = "t0"
+                corrupt.seq = record["seq"]
+            return record
+
+        corrupt.seq = None
+        tampered = rewrite(arrival_recorded, tmp_path / "ta.jsonl", corrupt)
+        assert corrupt.seq is not None
+        report = replay_journal(load_journal(tampered), make_pool(200))
+        assert not report.ok
+        assert report.divergence.seq == corrupt.seq
+        assert report.divergence.event_type == "task_arrival"
+        assert report.divergence.field == "admission"
+
+    @settings(max_examples=3, deadline=None)
+    @given(
+        seed=st.integers(0, 2**16),
+        pattern=st.sampled_from(["trickle", "burst", "spike"]),
+        chaos=st.booleans(),
+    )
+    def test_arrival_journal_replays_bit_identically(
+        self, seed, pattern, chaos
+    ):
+        """Any arrival pattern — healthy or under response-drop/solve-fail
+        chaos — records a journal that replays bit-identically under both
+        solve semantics."""
+        plan = (
+            FaultPlan(seed=seed, drop_response_p=0.1, solve_fail_p=0.1)
+            if chaos
+            else None
+        )
+        with tempfile.TemporaryDirectory() as tmp:
+            journal_path = Path(tmp) / "arr-prop.jsonl"
+            record_journal(
+                journal_path,
+                n_tasks=200,
+                seed=seed,
+                fault_plan=plan,
+                loadgen=LoadgenConfig(
+                    n_workers=3,
+                    completions_per_worker=5,
+                    seed=seed,
+                    max_retries=8,
+                    arrival_pattern=pattern,
+                    arrival_tasks=8,
+                    arrival_batch=3,
+                    arrival_interval=0.0,
+                ),
+            )
+            journal = load_journal(journal_path)
+            assert any(
+                e["type"] == "task_arrival" for e in journal.events
+            )
+            for variant in (
+                ReplayVariant("in-loop"),
+                ReplayVariant("engine", engine_semantics=True),
+            ):
+                report = replay_journal(journal, make_pool(200), variant)
+                assert report.ok, report.to_dict()
+                assert report.state_verified
+                assert report.arrivals >= 1
+
+
 class TestDefaultVariants:
     def test_panel_composition(self):
         labels = [v.label for v in default_variants()]

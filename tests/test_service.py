@@ -354,3 +354,165 @@ class TestBatchReassignment:
         shown = set(event.task_ids) | set(event.random_pad_ids)
         assert shown == set(removed)
         assert len(service.pool_state) == 120 - len(shown)
+
+
+def make_arrivals(n, seed=2, prefix="arr"):
+    rng = np.random.default_rng(seed)
+    return [Task(f"{prefix}-{i}", rng.random(12) < 0.35) for i in range(n)]
+
+
+class TestOpenWorldAdmission:
+    """POST /tasks semantics at the service layer: atomic batch admission."""
+
+    def test_admit_grows_pool_in_arrival_order(self, pool, vocab):
+        service = AssignmentService(pool, "hta-gre", SMALL_CONFIG, rng=0)
+        batch = make_arrivals(5)
+        ids = service.admit_tasks(batch)
+        assert ids == [f"arr-{i}" for i in range(5)]
+        assert [t.task_id for t in service.admitted_tasks()] == ids
+        assert service.remaining_tasks() == 125
+        for tid in ids:
+            assert tid in service.pool_state
+
+    def test_arrival_listeners_hear_admissions(self, pool, vocab):
+        service = AssignmentService(pool, "hta-gre", SMALL_CONFIG, rng=0)
+        heard: list[str] = []
+        service.pool_state.add_arrival_listener(
+            lambda tasks: heard.extend(t.task_id for t in tasks)
+        )
+        service.admit_tasks(make_arrivals(3))
+        assert heard == ["arr-0", "arr-1", "arr-2"]
+
+    def test_corpus_collision_rejected_atomically(self, pool, vocab):
+        service = AssignmentService(pool, "hta-gre", SMALL_CONFIG, rng=0)
+        batch = make_arrivals(2) + [Task("t7", np.zeros(12, dtype=bool))]
+        with pytest.raises(SimulationError, match="t7"):
+            service.admit_tasks(batch)
+        assert service.admitted_tasks() == []
+        assert service.remaining_tasks() == 120
+        assert "arr-0" not in service.pool_state
+
+    def test_duplicate_within_batch_rejected(self, pool, vocab):
+        service = AssignmentService(pool, "hta-gre", SMALL_CONFIG, rng=0)
+        twin = make_arrivals(1)[0]
+        with pytest.raises(SimulationError, match="arr-0"):
+            service.admit_tasks([twin, twin])
+        assert service.admitted_tasks() == []
+
+    def test_previously_admitted_id_rejected(self, pool, vocab):
+        service = AssignmentService(pool, "hta-gre", SMALL_CONFIG, rng=0)
+        service.admit_tasks(make_arrivals(2))
+        retry = [
+            Task("fresh-0", np.zeros(12, dtype=bool)),
+            Task("arr-1", np.zeros(12, dtype=bool)),
+        ]
+        with pytest.raises(SimulationError, match="arr-1"):
+            service.admit_tasks(retry)
+        assert len(service.admitted_tasks()) == 2
+        assert "fresh-0" not in service.pool_state
+
+    def test_displayed_task_id_rejected_while_out_of_pool(self, pool, vocab):
+        """A displayed task has left the pool but its id is not reusable."""
+        service = AssignmentService(pool, "hta-gre", SMALL_CONFIG, rng=0)
+        event = service.register_worker(make_worker(vocab), 0.0)
+        shown = event.task_ids[0]
+        assert shown not in service.pool_state
+        with pytest.raises(SimulationError, match=shown):
+            service.admit_tasks([Task(shown, np.zeros(12, dtype=bool))])
+
+    def test_leased_candidate_id_rejected(self, pool, vocab):
+        service = AssignmentService(pool, "hta-gre", SMALL_CONFIG, rng=0)
+        service.register_worker(make_worker(vocab), 0.0)
+        prepared = service.prepare_solve(["w0"])
+        assert prepared is not None
+        leased_id = prepared.candidates[0].task_id
+        try:
+            with pytest.raises(SimulationError, match=leased_id):
+                service.admit_tasks([Task(leased_id, np.zeros(12, dtype=bool))])
+        finally:
+            service.abandon_solve(prepared)
+
+    def test_vector_length_mismatch_rejected(self, pool, vocab):
+        service = AssignmentService(pool, "hta-gre", SMALL_CONFIG, rng=0)
+        with pytest.raises(SimulationError, match="keyword"):
+            service.admit_tasks([Task("arr-bad", np.zeros(9, dtype=bool))])
+
+    def test_arrived_tasks_become_assignable(self, pool, vocab):
+        """Completing an arrived task counts like any corpus task."""
+        service = AssignmentService(pool, "hta-gre", SMALL_CONFIG, rng=0)
+        service.admit_tasks(make_arrivals(4))
+        event = service.register_worker(make_worker(vocab), 0.0)
+        shown = set(event.task_ids) | set(event.random_pad_ids)
+        arrived_shown = sorted(tid for tid in shown if tid.startswith("arr-"))
+        for tid in list(shown)[:2]:
+            service.observe_completion("w0", tid)
+        assert len(service.pending_ids("w0")) == len(shown) - 2
+        assert arrived_shown or service.remaining_tasks() > 0
+
+
+class TestMidSolveArrival:
+    """Regression: a lease taken before an append must commit against the
+    pre-append candidate set — arrivals never leak into an in-flight solve."""
+
+    def test_commit_uses_pre_append_candidates(self, pool, vocab):
+        service = AssignmentService(pool, "hta-gre", SMALL_CONFIG, rng=0)
+        service.register_worker(make_worker(vocab), 0.0)
+        prepared = service.prepare_solve(["w0"])
+        assert prepared is not None
+        pre_append = {t.task_id for t in prepared.candidates}
+        batch = make_arrivals(6)
+        service.admit_tasks(batch)  # arrives mid-solve
+        assigned = {"w0": [t.task_id for t in prepared.candidates[:4]]}
+        events = service.commit_solve(prepared, assigned, 1.0)
+        displayed = set(events["w0"].task_ids)
+        assert displayed <= pre_append  # C1: only pre-append candidates
+        arrived_ids = {t.task_id for t in batch}
+        assert not displayed & arrived_ids
+        # The arrivals are untouched and still assignable afterwards.
+        for tid in arrived_ids:
+            assert tid in service.pool_state
+
+    def test_abandon_mid_arrival_restores_cleanly(self, pool, vocab):
+        service = AssignmentService(pool, "hta-gre", SMALL_CONFIG, rng=0)
+        service.register_worker(make_worker(vocab), 0.0)
+        before = service.remaining_tasks()
+        prepared = service.prepare_solve(["w0"])
+        service.admit_tasks(make_arrivals(3))
+        service.abandon_solve(prepared)
+        assert service.remaining_tasks() == before + 3
+
+
+class TestAdmissionSnapshot:
+    """Snapshots carry the arrival log; restore works from the startup
+    corpus alone — arrived tasks are rebuilt from the snapshot itself."""
+
+    def test_snapshot_restore_preserves_admitted(self, pool, vocab):
+        service = AssignmentService(pool, "hta-gre", SMALL_CONFIG, rng=0)
+        service.register_worker(make_worker(vocab), 0.0)
+        batch = make_arrivals(3)
+        service.admit_tasks(batch)
+        state = service.snapshot_state()
+        restored = AssignmentService(pool, "hta-gre", SMALL_CONFIG, rng=0)
+        restored.restore_state(state, {t.task_id: t for t in pool})
+        assert [t.task_id for t in restored.admitted_tasks()] == [
+            t.task_id for t in batch
+        ]
+        assert restored.remaining_tasks() == service.remaining_tasks()
+        for original, rebuilt in zip(batch, restored.admitted_tasks()):
+            np.testing.assert_array_equal(original.vector, rebuilt.vector)
+        # Re-admitting a restored id must still collide.
+        with pytest.raises(SimulationError, match="arr-0"):
+            restored.admit_tasks([Task("arr-0", np.zeros(12, dtype=bool))])
+
+    def test_pre_arrival_snapshots_restore_without_admitted_key(
+        self, pool, vocab
+    ):
+        """A state dict missing 'admitted' (schema v2 era) still restores."""
+        service = AssignmentService(pool, "hta-gre", SMALL_CONFIG, rng=0)
+        service.register_worker(make_worker(vocab), 0.0)
+        state = service.snapshot_state()
+        state.pop("admitted")
+        restored = AssignmentService(pool, "hta-gre", SMALL_CONFIG, rng=0)
+        restored.restore_state(state, {t.task_id: t for t in pool})
+        assert restored.admitted_tasks() == []
+        assert restored.remaining_tasks() == service.remaining_tasks()
