@@ -1,37 +1,70 @@
-"""Off-loop solve engine vs the in-loop baseline (ISSUE 3 acceptance).
+"""Solve shipping benchmark: in-loop vs engine, zero-copy vs pickled.
 
-Runs the same closed-loop workload twice against an in-process daemon:
-once with ``solver_workers=0`` (every solve runs synchronously on the event
-loop, the pre-engine behaviour) and once with ``solver_workers=4`` (solves
-ship to a warm process pool via :class:`repro.serve.SolveEngine`).
+Runs the same closed-loop workload three times against an in-process daemon:
 
-What the engine buys is measured along the two axes the serving layer
-actually lives or dies on (see docs/PERFORMANCE.md):
+* ``in_loop`` — ``solver_workers=0``: every solve runs synchronously on the
+  event loop (the pre-engine behaviour).
+* ``engine`` — ``solver_workers=8`` with shared-memory shipping: the packed
+  task matrix lives in a ``multiprocessing.shared_memory`` segment published
+  once at startup; solve requests ship row indices plus per-batch worker
+  rows, and workers rebuild the instance from the attached segment.
+* ``engine_pickle`` — same pool with ``shared_memory=False``: each request
+  pickles the full candidate instance (the pre-zero-copy behaviour).
 
-* **Solve throughput** — the daemon's solve capacity is bounded by event-loop
-  occupancy per solve: the loop is the serving bottleneck resource, and the
-  in-loop path burns the *entire* solve on it.  The engine only spends
-  prepare + request serialization + commit on the loop
-  (``serve_engine_loop_seconds``); the solver compute itself overlaps with
-  request handling.  ``solve_throughput_speedup`` is the ratio of solves
-  sustainable per second of event-loop time, engine over in-loop.
-* **p95 while solving** — the latency of a plain ``/complete`` request (one
-  that needs no solve).  Under the in-loop path these requests stall for the
-  full duration of whatever solve currently occupies the loop, so their p95
-  *is* the solve p95 every other request pays; the engine takes that stall
-  away.  ``solve_p95_ratio`` is engine over in-loop (lower is better).
+Reported ratio fields (each is a distinct measurement — see
+docs/PERFORMANCE.md for the full discussion):
 
-The record also reports the raw solver-side p95 per batch
-(``solver_p95_seconds``): on a multi-core host the engine's is at parity or
-better (warm pools, identical batches), while on a single-core runner it
-carries a contention tax because the worker process timeshares with the
-live event loop — see docs/PERFORMANCE.md for the full discussion.
+* ``solve_throughput_speedup`` — event-loop seconds consumed per
+  *reassigned worker*, ``in_loop`` over ``engine``.  The loop is the
+  serving bottleneck resource; the engine only spends prepare +
+  serialization + commit on it while solver compute overlaps with request
+  handling.  Normalized per reassigned worker, not per batch, because the
+  two modes batch differently (prepare/commit cost scales with batch
+  size, so a per-batch ratio would measure batching luck, not shipping).
+* ``zero_copy_speedup`` — the same per-worker loop-occupancy metric,
+  ``engine_pickle`` over ``engine``: what shared-memory shipping alone
+  buys on top of the process pool.  On loop occupancy the win is the
+  loop-side pickle leg only; the larger worker-side unpickle saving shows
+  up in ``ship_leg_reduction``.
+* ``ship_leg_reduction`` — (pickle + unpickle) seconds per batch,
+  ``engine_pickle`` over ``engine``.  These are the serialization legs the
+  zero-copy path is designed to collapse; sums come from the
+  ``serve_engine_pickle_seconds`` / ``serve_engine_unpickle_seconds``
+  histograms, measured once per batch (loop-side and worker-side clocks).
+* ``payload_reduction`` — mean pickled request bytes per batch,
+  ``engine_pickle`` over ``engine``.
+* ``plain_p95_ratio`` — p95 latency of a plain ``/complete`` request (one
+  needing no solve), ``engine`` over ``in_loop``.  Under the in-loop path
+  these stall behind whatever solve occupies the loop; lower is better.
+* ``solver_cost_ratio`` — mean solver seconds per *reassigned worker*,
+  ``engine`` over ``in_loop``.  The engine side reads the worker's
+  process-CPU clock (``serve_engine_solve_cpu_seconds``) so host-level
+  core timesharing does not masquerade as solver cost, and both sides are
+  normalized by total reassigned workers because back-pressure batching
+  makes the engine merge larger batches than the self-clocking in-loop
+  path (a per-batch p95 comparison — the metric this field supersedes —
+  measured batch-size luck, not the solver).  Pools are pre-warmed per
+  tier at spawn, so the engine must be at solver parity: the benchmark
+  gates this at ``<= 1.0`` (a cold tier construction on first dispatch
+  lands it well above).
+* ``assign_p95_ratio`` — p95 of assignment requests (the ones that wait on
+  a solve), ``engine`` over ``in_loop``.  Guards the scheduler's adaptive
+  dispatch: a batching loop parked behind pool round-trips shows up here
+  as 4x+ queueing delay.
+* ``request_throughput_ratio`` — requests/second served, ``engine`` over
+  ``in_loop``.  Closed-loop and think-time dominated, so it hovers near
+  1.0; it measures *workload pace*, not engine capacity.
+* ``end_to_end_speedup`` — wall-clock duration of the whole run,
+  ``in_loop`` over ``engine``.  Also think-time bound; distinct from
+  ``request_throughput_ratio`` only through worker spawn ramp effects.
 
 The headline metrics are ratios, so the committed baseline is
 machine-portable.  Standalone:
 ``python benchmarks/bench_solve_engine.py`` writes
-``benchmarks/BENCH_solve_engine.json``; ``--check BASELINE.json`` re-runs
-and fails on a >25% regression of any checked ratio.
+``benchmarks/BENCH_solve_engine.json``; ``--check BASELINE.json`` re-runs,
+fails on a regression of any checked ratio beyond its tolerance, on any
+absolute gate, and on any unknown or missing top-level field (a renamed
+metric must land in the committed baseline, not silently drift past CI).
 """
 
 from __future__ import annotations
@@ -51,26 +84,44 @@ BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_solve_engine.json"
 CORPUS_TASKS = 3000
 N_WORKERS = 30
 COMPLETIONS = 21
-SOLVER_WORKERS = 4
+SOLVER_WORKERS = 8
 
 #: Ratio metrics CI compares against the committed baseline, as
 #: ``name -> (direction, tolerance)``.  Direction +1 means higher is
-#: better, -1 lower is better.  ``solve_p95_ratio`` gets 2x slack: its
+#: better, -1 lower is better.  ``plain_p95_ratio`` gets 2x slack: its
 #: numerator is a single-digit-millisecond p95, so run-to-run variance is
 #: wide — but a genuine regression (the engine no longer removing the
-#: stall) lands at 1.0+, far beyond any tolerance, and the pytest entry
-#: point gates ``< 1.0`` absolutely.
+#: stall) lands at 1.0+, far beyond any tolerance, and the absolute gates
+#: below bound it regardless.  ``ship_leg_reduction`` divides two small
+#: per-batch sums, so it gets wider slack than the throughput ratios.
 CHECKED_RATIOS = {
     "solve_throughput_speedup": (+1, 0.25),
-    "solve_p95_ratio": (-1, 1.0),
+    "zero_copy_speedup": (+1, 0.25),
+    "ship_leg_reduction": (+1, 0.5),
+    "plain_p95_ratio": (-1, 1.0),
 }
-REGRESSION_TOLERANCE = 0.25
+
+#: Absolute gates enforced by ``--check`` and the pytest entry point,
+#: independent of the committed baseline: ``name -> ceiling``.
+#: ``solver_cost_ratio`` at parity proves the pre-warmed pool removed the
+#: cold-solver tax (a cold tier construction lands the ratio well above
+#: 1); ``assign_p95_ratio`` guards the scheduler's adaptive dispatch —
+#: the parked-loop regression measured 4.5–14x at this benchmark's scale,
+#: while the fixed path sits near 2.3–3.6 on a single-core host (the
+#: engine's assignments pay one slot wait plus a core-timeshared solve
+#: that the stop-the-world in-loop path never pays; multi-core hosts sit
+#: near 1).
+ABSOLUTE_CEILINGS = {
+    "solver_cost_ratio": 1.0,
+    "assign_p95_ratio": 4.0,
+}
 
 
-def _run_mode(solver_workers: int) -> dict:
+def _run_mode(solver_workers: int, shared_memory: bool = True) -> dict:
     serve_config = ServeConfig(
         port=0,
         solver_workers=solver_workers,
+        shared_memory=shared_memory,
         max_batch_delay=0.02,
         seed=7,
         service=ServiceConfig(
@@ -93,17 +144,32 @@ def _run_mode(solver_workers: int) -> dict:
     )
     solve = metrics["serve_solve_seconds"]
     solves = max(metrics["serve_solves_total"], 1.0)
+    reassigned = max(metrics["serve_solve_batch_size"]["sum"], 1.0)
     if solver_workers > 0:
         # Loop occupancy per solve: prepare + pickle + commit only — the
-        # solver compute runs in a worker process off the loop.
+        # solver compute runs in a worker process off the loop.  Solver
+        # cost is read on the worker's process-CPU clock: on a host where
+        # solver processes timeshare cores with the event loop, wall time
+        # measures the OS scheduler, not the solver (the pre-warm parity
+        # gate cares about the latter).
         loop_busy = metrics["serve_engine_loop_seconds"]["sum"]
-        solver_p95 = metrics["serve_engine_solve_seconds"]["p95"]
+        solver_seconds = metrics["serve_engine_solve_cpu_seconds"]["sum"]
+        solver_p95 = metrics["serve_engine_solve_cpu_seconds"]["p95"]
+        pickle_seconds = metrics["serve_engine_pickle_seconds"]["sum"]
+        unpickle_seconds = metrics["serve_engine_unpickle_seconds"]["sum"]
+        payload_mean = metrics["serve_engine_payload_bytes"]["mean"]
     else:
-        # The whole solve executes on the loop.
+        # The whole solve executes on the loop (wall ~= CPU: the solve
+        # holds the interpreter); nothing is shipped.
         loop_busy = solve["sum"]
+        solver_seconds = solve["sum"]
         solver_p95 = solve["p95"]
+        pickle_seconds = 0.0
+        unpickle_seconds = 0.0
+        payload_mean = 0.0
     return {
         "solver_workers": solver_workers,
+        "shared_memory": bool(solver_workers > 0 and shared_memory),
         "duration_seconds": round(result.duration_seconds, 3),
         "requests_per_second": round(result.requests_per_second, 2),
         "request_p95_seconds": round(result.latency["p95"], 5),
@@ -111,19 +177,29 @@ def _run_mode(solver_workers: int) -> dict:
         "mean_batch_size": round(metrics["serve_solve_batch_size"]["mean"], 2),
         "reassignments": metrics["serve_reassignments_total"],
         "loop_seconds_per_solve": round(loop_busy / solves, 5),
+        "loop_seconds_per_worker": round(loop_busy / reassigned, 6),
         "solves_per_loop_second": round(solves / max(loop_busy, 1e-9), 2),
         "solver_p95_seconds": round(solver_p95, 5),
+        "solver_seconds_per_worker": round(solver_seconds / reassigned, 6),
+        "pickle_seconds_per_solve": round(pickle_seconds / solves, 6),
+        "unpickle_seconds_per_solve": round(unpickle_seconds / solves, 6),
+        "ship_seconds_per_solve": round(
+            (pickle_seconds + unpickle_seconds) / solves, 6
+        ),
+        "payload_mean_bytes": round(payload_mean),
         "assign_p50_seconds": round(result.assign_latency["p50"], 5),
         "assign_p95_seconds": round(result.assign_latency["p95"], 5),
         "plain_p50_seconds": round(result.plain_latency["p50"], 5),
         "plain_p95_seconds": round(result.plain_latency["p95"], 5),
+        "connections_opened": result.connections_opened,
         "clean": result.clean,
     }
 
 
 def measure() -> dict:
     in_loop = _run_mode(0)
-    engine = _run_mode(SOLVER_WORKERS)
+    engine = _run_mode(SOLVER_WORKERS, shared_memory=True)
+    engine_pickle = _run_mode(SOLVER_WORKERS, shared_memory=False)
     return {
         "benchmark": "solve_engine",
         "corpus_tasks": CORPUS_TASKS,
@@ -131,19 +207,40 @@ def measure() -> dict:
         "completions_per_worker": COMPLETIONS,
         "in_loop": in_loop,
         "engine": engine,
+        "engine_pickle": engine_pickle,
         "solve_throughput_speedup": round(
-            engine["solves_per_loop_second"]
-            / max(in_loop["solves_per_loop_second"], 1e-9),
+            in_loop["loop_seconds_per_worker"]
+            / max(engine["loop_seconds_per_worker"], 1e-9),
             2,
         ),
-        "solve_p95_ratio": round(
+        "zero_copy_speedup": round(
+            engine_pickle["loop_seconds_per_worker"]
+            / max(engine["loop_seconds_per_worker"], 1e-9),
+            2,
+        ),
+        "ship_leg_reduction": round(
+            engine_pickle["ship_seconds_per_solve"]
+            / max(engine["ship_seconds_per_solve"], 1e-9),
+            2,
+        ),
+        "payload_reduction": round(
+            engine_pickle["payload_mean_bytes"]
+            / max(engine["payload_mean_bytes"], 1e-9),
+            2,
+        ),
+        "plain_p95_ratio": round(
             engine["plain_p95_seconds"]
             / max(in_loop["plain_p95_seconds"], 1e-9),
             3,
         ),
-        "solver_p95_ratio": round(
-            engine["solver_p95_seconds"]
-            / max(in_loop["solver_p95_seconds"], 1e-9),
+        "solver_cost_ratio": round(
+            engine["solver_seconds_per_worker"]
+            / max(in_loop["solver_seconds_per_worker"], 1e-9),
+            3,
+        ),
+        "assign_p95_ratio": round(
+            engine["assign_p95_seconds"]
+            / max(in_loop["assign_p95_seconds"], 1e-9),
             3,
         ),
         "request_throughput_ratio": round(
@@ -158,11 +255,53 @@ def measure() -> dict:
     }
 
 
-def check_against_baseline(record: dict, baseline: dict) -> list[str]:
-    """Ratio-only comparison: portable across machines, fails on >25% drift
-    in the bad direction."""
+def _gate_failures(record: dict) -> list[str]:
+    """Baseline-independent acceptance gates (shared by pytest and main)."""
     failures = []
+    for mode in ("in_loop", "engine", "engine_pickle"):
+        if not record[mode]["clean"]:
+            failures.append(f"{mode}: run was not clean")
+        # Keep-alive: one connection per loadgen worker plus the readiness
+        # probe; reconnect storms show up as counts far beyond that.
+        if record[mode]["connections_opened"] > N_WORKERS + 2:
+            failures.append(
+                f"{mode}: {record[mode]['connections_opened']} connections "
+                f"opened for {N_WORKERS} keep-alive workers"
+            )
+    if record["solve_throughput_speedup"] < 2.0:
+        failures.append(
+            f"solve_throughput_speedup {record['solve_throughput_speedup']} < 2.0"
+        )
+    if record["ship_leg_reduction"] < 10.0:
+        failures.append(
+            f"ship_leg_reduction {record['ship_leg_reduction']} < 10.0"
+        )
+    if record["plain_p95_ratio"] >= 1.0:
+        failures.append(f"plain_p95_ratio {record['plain_p95_ratio']} >= 1.0")
+    for name, ceiling in ABSOLUTE_CEILINGS.items():
+        if record[name] > ceiling:
+            failures.append(f"{name} {record[name]} > {ceiling}")
+    return failures
+
+
+def check_against_baseline(record: dict, baseline: dict) -> list[str]:
+    """Strict comparison against the committed baseline.
+
+    Fails on (a) a checked ratio drifting beyond its tolerance in the bad
+    direction, (b) any absolute gate, and (c) any top-level field present
+    in only one of the two records — a renamed or dropped metric must be
+    re-baselined explicitly, never silently skipped.
+    """
+    failures = []
+    unknown = sorted(set(record) - set(baseline))
+    missing = sorted(set(baseline) - set(record))
+    if unknown:
+        failures.append(f"fields absent from baseline: {', '.join(unknown)}")
+    if missing:
+        failures.append(f"baseline fields not measured: {', '.join(missing)}")
     for name, (direction, tolerance) in CHECKED_RATIOS.items():
+        if name not in record or name not in baseline:
+            continue  # already reported above
         current = record[name]
         reference = baseline[name]
         if direction > 0:
@@ -179,15 +318,16 @@ def check_against_baseline(record: dict, baseline: dict) -> list[str]:
                     f"{name}: {current} rose above {ceiling:.3f} "
                     f"(baseline {reference}, tolerance {tolerance:.0%})"
                 )
+    failures.extend(_gate_failures(record))
     return failures
 
 
 def test_engine_beats_in_loop(report):
     record = measure()
-    report("solve engine vs in-loop:\n" + json.dumps(record, indent=2))
-    assert record["in_loop"]["clean"] and record["engine"]["clean"]
-    assert record["solve_throughput_speedup"] >= 2.0
-    assert record["solve_p95_ratio"] < 1.0
+    report("solve shipping benchmark:\n" + json.dumps(record, indent=2))
+    failures = _gate_failures(record)
+    assert not failures, "; ".join(failures)
+    assert record["zero_copy_speedup"] >= 1.1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -195,8 +335,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--check",
         metavar="BASELINE.json",
-        help="compare ratio metrics against a committed baseline instead of "
-        "writing a new one; exits 1 on a >25%% regression",
+        help="compare against a committed baseline instead of writing a new "
+        "one; exits 1 on ratio regressions, absolute-gate failures, or "
+        "unknown/missing fields",
     )
     args = parser.parse_args(argv)
 
@@ -212,13 +353,10 @@ def main(argv: list[str] | None = None) -> int:
 
     BASELINE_PATH.write_text(json.dumps(record, indent=2) + "\n")
     print(f"wrote {BASELINE_PATH}")
-    ok = (
-        record["in_loop"]["clean"]
-        and record["engine"]["clean"]
-        and record["solve_throughput_speedup"] >= 2.0
-        and record["solve_p95_ratio"] < 1.0
-    )
-    return 0 if ok else 1
+    failures = _gate_failures(record)
+    for line in failures:
+        print(f"GATE {line}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

@@ -131,6 +131,16 @@ def _build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--solver-workers", type=int, default=0,
                          help="solver processes for off-loop solves; 0 keeps "
                               "solves on the event loop (the default)")
+    p_serve.add_argument("--shared-memory",
+                         action=argparse.BooleanOptionalAction, default=True,
+                         help="ship solves to engine workers via a shared-"
+                              "memory task matrix; --no-shared-memory forces "
+                              "pickled instances (diagnostic)")
+    p_serve.add_argument("--uvloop", choices=["auto", "on", "off"],
+                         default="auto",
+                         help="event-loop policy: auto uses uvloop when "
+                              "installed, on requires it, off keeps the "
+                              "stdlib loop")
     p_serve.add_argument("--seed", type=int, default=0)
     p_serve.add_argument("--request-deadline", type=float, default=2.0,
                          help="seconds a /complete may wait on a solve before "
@@ -331,6 +341,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .crowd.service import ServiceConfig
     from .data import CrowdFlowerConfig, generate_crowdflower_corpus
     from .serve import FaultPlan, ResilienceConfig, ServeConfig, run_daemon
+    from .serve.protocol import install_uvloop
+
+    install_uvloop(args.uvloop)
 
     corpus = generate_crowdflower_corpus(
         CrowdFlowerConfig(n_tasks=args.tasks), rng=args.seed
@@ -367,6 +380,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_batch_delay=args.batch_delay_ms / 1000.0,
         max_batch_size=args.max_batch_size,
         solver_workers=args.solver_workers,
+        shared_memory=args.shared_memory,
         seed=args.seed,
         resilience=ResilienceConfig(
             request_deadline=args.request_deadline,

@@ -8,7 +8,9 @@ Two hot paths have interchangeable kernels:
   oracle);
 * ``"lsap"`` — the Hungarian solver in :mod:`repro.matching.lsap`:
   ``"vectorized"`` (rectangular-aware augmenting-path search with
-  vectorized inner loops, :mod:`repro.perf.lsap_kernels`) or
+  vectorized inner loops, :mod:`repro.perf.lsap_kernels`), ``"warm"``
+  (the vectorized kernel with certified dual reuse across consecutive
+  solves, :func:`repro.perf.lsap_kernels.hungarian_min_rect_warm`) or
   ``"reference"`` (the original pad-to-square implementation, the oracle).
 
 Both kernels of a domain produce bit-identical float results on square /
@@ -27,7 +29,7 @@ from contextlib import contextmanager
 #: domain -> allowed kernel names, fastest (default) first.
 KERNELS: dict[str, tuple[str, ...]] = {
     "jaccard": ("packed", "dense"),
-    "lsap": ("vectorized", "reference"),
+    "lsap": ("vectorized", "warm", "reference"),
 }
 
 _ENV_VARS = {

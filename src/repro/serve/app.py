@@ -99,6 +99,11 @@ class ServeConfig:
     max_batch_delay: float = 0.05
     max_batch_size: int = 64
     solver_workers: int = 0
+    #: Ship solve candidates to pool workers as row indices into a shared
+    #: :mod:`multiprocessing.shared_memory` task-matrix segment instead of
+    #: pickling the instance (engine mode only; see
+    #: :mod:`repro.serve.shm`).  Off forces the pickled path everywhere.
+    shared_memory: bool = True
     seed: int | None = None
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
     fault_plan: FaultPlan | None = None
@@ -148,6 +153,7 @@ class AssignmentDaemon:
         self.cache = IncrementalDiversityCache(serving_pool).attach(self.service)
         self.scheduler = None  # created in start(), needs a running loop
         self.engine = None  # created in start() when solver_workers > 0
+        self._shm_store = None  # created in start() alongside the engine
         self._vocabulary = pool.vocabulary
         self._task_index: dict[str, Task] = {t.task_id: t for t in serving_pool}
         self._displayed_ever: set[str] = set()
@@ -285,20 +291,38 @@ class AssignmentDaemon:
         if self.config.solver_workers > 0:
             from .engine import SolveEngine
 
+            if self.config.shared_memory:
+                from .shm import TaskMatrixStore
+
+                # Publish the live pool's packed keyword matrix once;
+                # POST /tasks arrivals re-publish a bumped version through
+                # the pool's arrival listener.  shortlist(None) reads every
+                # remaining task without consuming the service RNG.
+                self._shm_store = TaskMatrixStore(
+                    self.service.pool_state.shortlist(None),
+                    len(self._vocabulary),
+                )
+                self.service.pool_state.add_arrival_listener(
+                    self._shm_store.on_arrivals
+                )
             self.engine = SolveEngine(
                 self.service,
                 self.registry,
                 self.config.solver_workers,
                 solver_names=self.degradation.ladder,
+                shm_store=self._shm_store,
             )
             self.engine.recorder = self._recorder
         # Engine mode: batches are coroutines, several may be in flight, and
         # the degradation controller is fed the in-worker solve time from
         # _solve_batch_async instead of the scheduler's end-to-end timing
-        # (which would count queueing against the solve budget).  Concurrency
-        # is capped by the core count: in-flight solves beyond the physical
-        # cores just timeshare, which fragments batches and inflates latency.
-        cores = os.cpu_count() or 1
+        # (which would count queueing against the solve budget).  The cap is
+        # sized to the worker pool but bounded by the physical cores:
+        # in-flight solves beyond the cores just timeshare, which inflates
+        # every solve's wall time for zero extra throughput.  On a small
+        # host the scheduler's back-pressure batching keeps dispatch
+        # responsive anyway — due workers coalesce while the slots are
+        # busy and ship the moment one frees.
         self.scheduler = SolveScheduler(
             self._solve_batch_async if self.engine is not None else self._solve_batch,
             self.registry,
@@ -307,7 +331,10 @@ class AssignmentDaemon:
             solve_observer=(
                 None if self.engine is not None else self.degradation.observe_solve
             ),
-            max_concurrency=max(1, min(2 * self.config.solver_workers, cores)),
+            max_concurrency=max(
+                1,
+                min(2 * self.config.solver_workers, os.cpu_count() or 1),
+            ),
         )
         self.scheduler.start()
         self._server = await asyncio.start_server(
@@ -326,6 +353,11 @@ class AssignmentDaemon:
         if self.engine is not None:
             await self.engine.close()
             self.engine = None
+        if self._shm_store is not None:
+            # After the engine drained: every acquired version has been
+            # released, so close() unlinks all segments exactly once.
+            self._shm_store.close()
+            self._shm_store = None
         self.snapshot_now()
         if self._recorder is not None:
             # Final bit-identity anchor: a replay that matched every event

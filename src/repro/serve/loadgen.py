@@ -45,7 +45,7 @@ from ..crowd.behavior import (
 from ..quality.gold import _digest, truth_label
 from ..rng import ensure_rng
 from .metrics import Histogram
-from .protocol import HttpClient
+from .protocol import HttpClient, install_uvloop
 
 
 @dataclass(frozen=True)
@@ -169,6 +169,11 @@ class LoadgenResult:
     duplicate_display_violations: int = 0
     duration_seconds: float = 0.0
     requests: int = 0
+    #: TCP connections the run opened, summed over every client (workers,
+    #: arrival driver, probe).  With keep-alive working this stays near
+    #: ``n_workers + 2``; anything close to ``requests`` means every request
+    #: paid a fresh TCP handshake.
+    connections_opened: int = 0
     #: Responses that carried an ``x-trace-id`` header (sampled requests).
     traced_requests: int = 0
     #: trace_id -> client-measured latency of that request's final attempt;
@@ -218,6 +223,7 @@ class LoadgenResult:
             "duplicate_display_violations": self.duplicate_display_violations,
             "duration_seconds": round(self.duration_seconds, 4),
             "requests": self.requests,
+            "connections_opened": self.connections_opened,
             "traced_requests": self.traced_requests,
             "requests_per_second": round(self.requests_per_second, 2),
             "latency_seconds": {k: round(v, 6) for k, v in self.latency.items()},
@@ -485,6 +491,7 @@ class _SimulatedWorker:
         except (OSError, asyncio.IncompleteReadError, EOFError, KeyError):
             pass  # already counted as transport/protocol failure
         finally:
+            self.shared.result.connections_opened += self.client.connections_opened
             await self.client.close()
 
 
@@ -607,6 +614,7 @@ class _ArrivalDriver:
                     await asyncio.sleep(config.arrival_interval)
                 await self._post(batch)
         finally:
+            self.shared.result.connections_opened += self.client.connections_opened
             await self.client.close()
 
 
@@ -628,6 +636,7 @@ async def run_loadgen(config: LoadgenConfig | None = None) -> LoadgenResult:
                     raise
                 await asyncio.sleep(0.05)
     finally:
+        shared.result.connections_opened += probe.connections_opened
         await probe.close()
     if status != 200:
         raise RuntimeError(f"daemon refused /vocabulary: HTTP {status}")
@@ -852,7 +861,18 @@ def main(argv: list[str] | None = None) -> int:
         help="spawned daemon's reputation-weighted relevance term "
              "(--spawn-server only)",
     )
+    parser.add_argument(
+        "--shared-memory", action=argparse.BooleanOptionalAction, default=True,
+        help="ship solves to engine workers via shared memory "
+             "(--spawn-server only; --no-shared-memory forces pickling)",
+    )
+    parser.add_argument(
+        "--uvloop", choices=["auto", "on", "off"], default="auto",
+        help="event-loop policy: auto uses uvloop when installed, "
+             "on requires it, off keeps the stdlib loop",
+    )
     args = parser.parse_args(argv)
+    install_uvloop(args.uvloop)
     config = LoadgenConfig(
         host=args.host,
         port=args.port,
@@ -885,6 +905,7 @@ def main(argv: list[str] | None = None) -> int:
             or args.fault_plan
             or quality_wanted
             or args.reputation_weight > 0
+            or not args.shared_memory
         ):
             from ..crowd.service import ServiceConfig
             from ..quality import (
@@ -915,6 +936,7 @@ def main(argv: list[str] | None = None) -> int:
                     reputation_weight=args.reputation_weight
                 ),
                 solver_workers=args.solver_workers,
+                shared_memory=args.shared_memory,
                 trace_file=args.trace_file,
                 trace_sample_rate=args.trace_sample_rate,
                 fault_plan=fault_plan,

@@ -32,8 +32,10 @@ makes it checkable again:
 * :func:`replay_differential` — replays one journal under multiple
   configurations (:class:`ReplayVariant`): the in-loop solver path, the
   engine's worker-process path (same pickle round-trip, run in-process),
-  the dense vs bit-packed Jaccard kernels, the reference vs vectorized LSAP
-  kernels, and optionally a pinned degradation-ladder tier.  Because live
+  the zero-copy shared-memory shipping path (index arrays against a real
+  segment), the dense vs bit-packed Jaccard kernels, the reference and
+  warm-started vs vectorized LSAP kernels, and optionally a pinned
+  degradation-ladder tier.  Because live
   serving funnels every solve through the same
   :func:`~repro.crowd.service.execute_prepared` computation, all unpinned
   variants must agree bit-for-bit; a pinned tier is a diagnostic that shows
@@ -426,13 +428,19 @@ class ReplayVariant:
     ``engine_semantics`` routes each solve through the engine's exact
     worker-process code path (pickle round-trip of the slimmed instance,
     :func:`repro.serve.engine._solve_blob`) but in-process — proving the
-    process boundary itself changes nothing.  Kernel overrides select the
-    oracle kernels; ``pinned_solver`` forces every solve (and non-adaptive
-    register) onto one ladder tier regardless of what was recorded.
+    process boundary itself changes nothing.  ``shm_shipping`` (implies
+    engine semantics) goes further: each solve publishes its candidates
+    into a real shared-memory segment and ships a
+    :class:`~repro.serve.engine.ShmSolveRequest` of index arrays through
+    the same blob path, proving zero-copy shipping is bit-identical to
+    pickling the instance.  Kernel overrides select the oracle kernels;
+    ``pinned_solver`` forces every solve (and non-adaptive register) onto
+    one ladder tier regardless of what was recorded.
     """
 
     label: str = "in-loop"
     engine_semantics: bool = False
+    shm_shipping: bool = False
     jaccard_kernel: "str | None" = None
     lsap_kernel: "str | None" = None
     pinned_solver: "str | None" = None
@@ -513,10 +521,12 @@ def _first_mismatch(recorded: dict, replayed: dict) -> "tuple | None":
 
 
 def _run_prepared(
-    prepared: PreparedSolve, engine_semantics: bool
+    prepared: PreparedSolve, variant: ReplayVariant
 ) -> dict[str, tuple[str, ...]]:
-    """The solve itself, under in-loop or engine semantics."""
-    if not engine_semantics:
+    """The solve itself, under in-loop, engine, or zero-copy semantics."""
+    if variant.shm_shipping:
+        return _run_prepared_shm(prepared)
+    if not variant.engine_semantics:
         return execute_prepared(prepared)
     # The engine's exact worker path: slim the instance (the worker
     # recomputes diversity from the keyword matrix), pickle, solve the
@@ -533,6 +543,49 @@ def _run_prepared(
     )
     blob = pickle.dumps(request, protocol=pickle.HIGHEST_PROTOCOL)
     return _solve_blob(blob).assigned
+
+
+def _run_prepared_shm(prepared: PreparedSolve) -> dict[str, tuple[str, ...]]:
+    """The engine's zero-copy path, end to end, against a real segment.
+
+    Publishes this solve's candidates into a throwaway
+    :class:`~repro.serve.shm.TaskMatrixStore`, ships a
+    :class:`~repro.serve.engine.ShmSolveRequest` through the same pickled
+    blob the process pool would carry, and translates the worker's
+    synthetic positional ids back — exactly the live engine's shm branch,
+    minus the process boundary the plain engine variant already covers.
+    """
+    from .engine import ShmSolveRequest, _solve_blob
+    from .shm import TaskMatrixStore
+
+    candidates = prepared.candidates
+    instance = prepared.instance
+    store = TaskMatrixStore(
+        candidates, n_bits=instance.workers.matrix.shape[1]
+    )
+    try:
+        rows = store.rows_for(candidates)
+        ref = store.acquire()
+        request = ShmSolveRequest(
+            worker_ids=tuple(prepared.worker_ids),
+            worker_matrix=instance.workers.matrix,
+            alphas=instance.alphas(),
+            betas=instance.betas(),
+            segment=ref,
+            row_indices=rows,
+            x_max=instance.x_max,
+            solver_name=prepared.solver_name,
+            seed=prepared.seed,
+        )
+        blob = pickle.dumps(request, protocol=pickle.HIGHEST_PROTOCOL)
+        assigned = _solve_blob(blob).assigned
+        store.release(ref.version)
+    finally:
+        store.close()
+    return {
+        w: tuple(candidates[int(s)].task_id for s in ids)
+        for w, ids in assigned.items()
+    }
 
 
 @dataclass
@@ -909,7 +962,7 @@ def _apply_commit(
             lease_id=lease_id,
             trace_ids=trace_ids,
         )
-    assigned = _run_prepared(prepared, variant.engine_semantics)
+    assigned = _run_prepared(prepared, variant)
     replayed_events = service.commit_solve(
         prepared, assigned, event["wall_time"]
     )
@@ -954,8 +1007,10 @@ def default_variants(
     variants = [
         ReplayVariant("in-loop"),
         ReplayVariant("engine", engine_semantics=True),
+        ReplayVariant("engine+shm", engine_semantics=True, shm_shipping=True),
         ReplayVariant("jaccard-dense", jaccard_kernel="dense"),
         ReplayVariant("lsap-reference", lsap_kernel="reference"),
+        ReplayVariant("lsap-warm", lsap_kernel="warm"),
         ReplayVariant(
             "engine+dense", engine_semantics=True, jaccard_kernel="dense"
         ),

@@ -1,0 +1,326 @@
+"""Shared-memory task-matrix store: zero-copy solve shipping.
+
+The engine used to pickle a full :class:`~repro.core.instance.HTAInstance`
+per solve — the candidate tasks' boolean keyword matrix re-serialized on
+every tick even though the underlying pool barely changes between solves.
+This module publishes the packed uint64 keyword matrix of the live pool
+*once* into a named :mod:`multiprocessing.shared_memory` segment; worker
+processes attach on first use, copy the words out, and from then on a solve
+request ships only *row indices* into that segment plus the per-batch
+worker data — the pickle/unpickle legs collapse to near zero.
+
+Lifecycle rules (the part that makes this safe rather than fast):
+
+* **Segments are immutable and versioned.**  Open-world arrivals
+  (``POST /tasks``) append packed rows to the store's loop-side buffer and
+  publish a *new* segment; the previous version stays alive until every
+  in-flight solve that acquired it has released it, so a solve dispatched
+  before an arrival keeps reading the exact bytes it was indexed against.
+* **The loop side refcounts, the worker side copies.**
+  :meth:`TaskMatrixStore.acquire` pins the current version per dispatched
+  solve and :meth:`TaskMatrixStore.release` unpins it; a retired version is
+  unlinked the moment its refcount drops to zero.  Workers copy the words
+  into a process-local cache and close their handle immediately — no
+  worker ever holds a mapping open, so pool rebuilds after a worker crash
+  can never leak ``/dev/shm`` entries.
+* **Close is idempotent and unlinks exactly once.**  The daemon calls
+  :meth:`TaskMatrixStore.close` from ``stop()``; chaos tests assert no
+  ``/dev/shm`` residue survives it.
+
+Row bookkeeping is append-only: a task's row never moves and removed tasks
+simply leave a stale row behind (harmless — requests index rows
+explicitly).  :meth:`rows_for` returns ``None`` when any candidate is
+unknown, which callers treat as "fall back to pickled shipping".
+
+Python 3.11's :mod:`multiprocessing.resource_tracker` registers a segment
+on *attach* as well as create (fixed by ``track=False`` only in 3.13), so
+an attaching worker immediately unregisters to keep the parent's tracker
+the sole owner; without this, worker exit would unlink segments the daemon
+still serves.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+from multiprocessing import resource_tracker, shared_memory
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..perf.bitpack import pack_rows, unpack_rows
+
+if TYPE_CHECKING:
+    from collections.abc import Iterable, Sequence
+
+    from ..core.task import Task
+
+#: Initial loop-side row capacity headroom over the startup pool.
+_GROWTH = 1.25
+
+#: Segment names created (and therefore tracker-registered) by THIS process.
+#: :func:`attach_dense` skips its unregister for these — an in-process attach
+#: (tests, replay variants) must not strip the owner's tracker entry.
+_OWNED: set[str] = set()
+
+
+class ShmSegmentRef:
+    """The picklable coordinates of one published segment version.
+
+    Everything a worker needs to attach and decode: the segment name, the
+    row/word geometry, and the keyword count for unpacking.
+    """
+
+    __slots__ = ("name", "version", "n_rows", "n_words", "n_bits")
+
+    def __init__(self, name: str, version: int, n_rows: int, n_words: int, n_bits: int):
+        self.name = name
+        self.version = version
+        self.n_rows = n_rows
+        self.n_words = n_words
+        self.n_bits = n_bits
+
+    def __getstate__(self):
+        return (self.name, self.version, self.n_rows, self.n_words, self.n_bits)
+
+    def __setstate__(self, state):
+        self.name, self.version, self.n_rows, self.n_words, self.n_bits = state
+
+    def __repr__(self) -> str:
+        return (
+            f"ShmSegmentRef({self.name!r} v{self.version}, "
+            f"{self.n_rows}x{self.n_words} words, {self.n_bits} bits)"
+        )
+
+
+class TaskMatrixStore:
+    """Loop-side owner of the versioned shared-memory task matrix.
+
+    Args:
+        tasks: The startup pool's tasks, in pool order (their rows).
+        n_bits: Keyword-space width ``R``.
+        token: Segment-name entropy; defaults to a random hex string so
+            concurrent daemons on one host never collide.
+    """
+
+    def __init__(
+        self,
+        tasks: "Sequence[Task]",
+        n_bits: int,
+        token: str | None = None,
+    ):
+        self._n_bits = int(n_bits)
+        self._n_words = (self._n_bits + 63) // 64
+        self._token = token or secrets.token_hex(6)
+        matrix = (
+            np.stack([np.asarray(t.vector, dtype=bool) for t in tasks])
+            if tasks
+            else np.zeros((0, self._n_bits), dtype=bool)
+        )
+        capacity = max(int(len(tasks) * _GROWTH), 64)
+        self._packed = np.zeros((capacity, self._n_words), dtype=np.uint64)
+        if len(tasks):
+            self._packed[: len(tasks)] = pack_rows(matrix)
+        self._n_rows = len(tasks)
+        self._row_of: dict[str, int] = {
+            t.task_id: i for i, t in enumerate(tasks)
+        }
+        self._version = 0
+        self._segments: dict[int, shared_memory.SharedMemory] = {}
+        self._refs: dict[int, ShmSegmentRef] = {}
+        self._refcounts: dict[int, int] = {}
+        self._closed = False
+        self._publish()
+
+    # -- publishing ---------------------------------------------------------
+
+    def _segment_name(self, version: int) -> str:
+        return f"repro_tasks_{self._token}_v{version}"
+
+    def _publish(self) -> None:
+        """Copy the current packed rows into a fresh named segment."""
+        self._version += 1
+        version = self._version
+        n_rows = self._n_rows
+        nbytes = max(n_rows * self._n_words * 8, 8)
+        segment = shared_memory.SharedMemory(
+            name=self._segment_name(version), create=True, size=nbytes
+        )
+        if n_rows:
+            view = np.ndarray(
+                (n_rows, self._n_words), dtype=np.uint64, buffer=segment.buf
+            )
+            view[:] = self._packed[:n_rows]
+            del view  # release the buffer reference before any later unlink
+        _OWNED.add(segment.name)
+        self._segments[version] = segment
+        self._refs[version] = ShmSegmentRef(
+            segment.name, version, n_rows, self._n_words, self._n_bits
+        )
+        self._refcounts[version] = 0
+
+    def _retire(self, version: int) -> None:
+        segment = self._segments.pop(version, None)
+        self._refs.pop(version, None)
+        self._refcounts.pop(version, None)
+        if segment is not None:
+            _OWNED.discard(segment.name)
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # already gone (external cleanup)
+                pass
+
+    # -- loop-side API ------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    def current_ref(self) -> ShmSegmentRef:
+        return self._refs[self._version]
+
+    def live_segments(self) -> list[str]:
+        """Names of every not-yet-unlinked segment (test/debug hook)."""
+        return [s.name for s in self._segments.values()]
+
+    def rows_for(self, tasks: "Iterable[Task]") -> "np.ndarray | None":
+        """Row indices of ``tasks`` in the current segment, in order.
+
+        ``None`` when any task is unknown to the store (the caller falls
+        back to pickled shipping — correctness never depends on coverage).
+        """
+        rows = []
+        row_of = self._row_of
+        for task in tasks:
+            row = row_of.get(task.task_id)
+            if row is None:
+                return None
+            rows.append(row)
+        return np.asarray(rows, dtype=np.int64)
+
+    def acquire(self) -> ShmSegmentRef:
+        """Pin the current version for one in-flight solve."""
+        if self._closed:
+            raise RuntimeError("task matrix store is closed")
+        ref = self.current_ref()
+        self._refcounts[ref.version] += 1
+        return ref
+
+    def release(self, version: int) -> None:
+        """Unpin one solve; retires the segment if it is old and unused."""
+        if version not in self._refcounts:
+            return
+        self._refcounts[version] -= 1
+        if (
+            not self._closed
+            and version != self._version
+            and self._refcounts[version] <= 0
+        ):
+            self._retire(version)
+
+    def on_arrivals(self, tasks: "Sequence[Task]") -> None:
+        """Pool-growth hook (``TaskPoolState`` arrival listener).
+
+        Appends the new rows and publishes a bumped segment version; the
+        previous version survives until its last in-flight solve releases.
+        """
+        if self._closed or not tasks:
+            return
+        needed = self._n_rows + len(tasks)
+        if needed > self._packed.shape[0]:
+            capacity = max(int(needed * _GROWTH), self._packed.shape[0] * 2)
+            grown = np.zeros((capacity, self._n_words), dtype=np.uint64)
+            grown[: self._n_rows] = self._packed[: self._n_rows]
+            self._packed = grown
+        matrix = np.stack([np.asarray(t.vector, dtype=bool) for t in tasks])
+        self._packed[self._n_rows : needed] = pack_rows(matrix)
+        for offset, task in enumerate(tasks):
+            self._row_of[task.task_id] = self._n_rows + offset
+        self._n_rows = needed
+        previous = self._version
+        self._publish()
+        if self._refcounts.get(previous, 0) <= 0:
+            self._retire(previous)
+
+    def close(self) -> None:
+        """Unlink every remaining segment exactly once (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for version in list(self._segments):
+            self._retire(version)
+
+    def __del__(self):  # last-resort cleanup; close() is the real API
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+# -- worker side ------------------------------------------------------------
+
+#: Process-local decoded matrices, keyed by segment name (names are unique
+#: per version).  Bounded: old versions evict in insertion order.
+_DENSE_CACHE: dict[str, np.ndarray] = {}
+_DENSE_CACHE_MAX = 4
+
+
+def attach_dense(ref: ShmSegmentRef) -> np.ndarray:
+    """Attach, copy, decode, and cache one segment version's boolean matrix.
+
+    The shared handle is closed before returning — the worker keeps only
+    its private copy, so the daemon's unlink schedule never races a mapped
+    buffer in this process.
+    """
+    dense = _DENSE_CACHE.get(ref.name)
+    if dense is not None:
+        return dense
+    segment = shared_memory.SharedMemory(name=ref.name)
+    try:
+        # Python 3.11 registers attached segments with this process's
+        # resource tracker (no track= until 3.13); unregister so worker
+        # exit never unlinks a segment the daemon still owns.  Skip when
+        # this process created the segment — its tracker entry is the
+        # owner's legitimate safety net.
+        if ref.name not in _OWNED:
+            try:
+                resource_tracker.unregister(segment._name, "shared_memory")
+            except Exception:
+                pass
+        words = np.ndarray(
+            (ref.n_rows, ref.n_words), dtype=np.uint64, buffer=segment.buf
+        ).copy()
+    finally:
+        segment.close()
+    dense = unpack_rows(words, ref.n_bits)
+    while len(_DENSE_CACHE) >= _DENSE_CACHE_MAX:
+        _DENSE_CACHE.pop(next(iter(_DENSE_CACHE)))
+    _DENSE_CACHE[ref.name] = dense
+    return dense
+
+
+def prefetch(ref: "ShmSegmentRef | None") -> None:
+    """Pool-initializer hook: decode the current segment before first use."""
+    if ref is not None:
+        try:
+            attach_dense(ref)
+        except FileNotFoundError:
+            pass  # segment republished between spawn and init; lazy path wins
+
+
+def reset_worker_cache() -> None:
+    """Drop this process's decoded-segment cache (tests)."""
+    _DENSE_CACHE.clear()
+
+
+def shm_entries(prefix: str = "repro_tasks_") -> list[str]:
+    """``/dev/shm`` entries matching our naming scheme (leak assertions)."""
+    root = "/dev/shm"
+    if not os.path.isdir(root):
+        return []
+    return sorted(n for n in os.listdir(root) if n.startswith(prefix))

@@ -10,7 +10,7 @@ from repro.core import Task, TaskPool, Vocabulary
 from repro.crowd.service import ServiceConfig
 from repro.serve.app import AssignmentDaemon, ServeConfig
 from repro.serve.loadgen import LoadgenConfig, run_loadgen
-from repro.serve.protocol import HttpClient
+from repro.serve.protocol import HttpClient, install_uvloop
 
 N_KEYWORDS = 16
 
@@ -242,6 +242,53 @@ class TestLoadgenEndToEnd:
         assert result.workers_finished == 6
         assert metrics["serve_disjointness_violations_total"] == 0
         assert metrics["serve_solves_total"] > 0
+        # Keep-alive: one connection per worker plus the probe, never one
+        # per request.
+        assert result.requests > result.connections_opened
+        assert result.connections_opened <= result.workers_started + 1
+
+
+class TestKeepAlive:
+    def test_client_reuses_one_connection_across_requests(self):
+        async def check(daemon, client):
+            for _ in range(5):
+                status, _ = await client.request("GET", "/healthz")
+                assert status == 200
+            return client.connections_opened
+
+        assert with_daemon(check) == 1
+
+    def test_reconnect_after_close_is_counted(self):
+        async def check(daemon, client):
+            await client.request("GET", "/healthz")
+            await client.close()
+            await client.request("GET", "/healthz")
+            return client.connections_opened
+
+        assert with_daemon(check) == 2
+
+
+class TestUvloopGate:
+    def test_off_is_a_noop(self):
+        assert install_uvloop("off") is False
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError, match="auto/on/off"):
+            install_uvloop("fast")
+
+    def test_auto_never_raises(self):
+        try:
+            import uvloop  # noqa: F401
+
+            available = True
+        except ImportError:
+            available = False
+        assert install_uvloop("auto") is available
+        if not available:
+            with pytest.raises(RuntimeError, match="not installed"):
+                install_uvloop("on")
+        # Leave the default policy behind for the rest of the suite.
+        asyncio.set_event_loop_policy(None)
 
 
 class TestTaskIngestion:

@@ -15,6 +15,8 @@ from repro.serve.cache import IncrementalDiversityCache
 from repro.serve.engine import SolveEngine
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.resilience import ResilienceConfig
+from repro.serve.shm import TaskMatrixStore, shm_entries
+from repro.serve.tracing import SolveContext
 
 
 class SlowSolver(Solver):
@@ -247,6 +249,135 @@ class TestSolveEngine:
             SolveEngine(service, MetricsRegistry(), n_workers=0)
 
 
+def make_store(service):
+    """The daemon's store construction: every remaining task, pool order."""
+    tasks = service.pool_state.shortlist(None)
+    return TaskMatrixStore(tasks, N_KEYWORDS)
+
+
+class TestSharedMemoryEngine:
+    def test_shm_shipping_bit_identical_to_pickled(self, pool):
+        """The tentpole differential: the same batch solved via zero-copy
+        index shipping and via the pickled instance must produce
+        byte-identical display events."""
+
+        async def run_one(use_shm):
+            service = make_service(pool, candidate_cap=30)
+            store = make_store(service) if use_shm else None
+            engine = SolveEngine(
+                service, MetricsRegistry(), n_workers=1, shm_store=store
+            )
+            ctx = SolveContext()
+            try:
+                events, _ = await engine.solve_batch(
+                    ["w0", "w1", "w2"], wall_time=1.0, ctx=ctx
+                )
+            finally:
+                await engine.close()
+                if store is not None:
+                    store.close()
+            return events, ctx
+
+        before = shm_entries()
+        shm_events, shm_ctx = asyncio.run(run_one(True))
+        pickle_events, pickle_ctx = asyncio.run(run_one(False))
+        assert shm_ctx.attrs["shipping"] == "shm"
+        assert pickle_ctx.attrs["shipping"] == "pickle"
+        # Index arrays instead of a pickled instance: the payload collapses.
+        assert shm_ctx.attrs["payload_bytes"] < pickle_ctx.attrs["payload_bytes"]
+        assert set(shm_events) == set(pickle_events)
+        for worker_id, event in shm_events.items():
+            other = pickle_events[worker_id]
+            assert event.task_ids == other.task_ids
+            assert event.random_pad_ids == other.random_pad_ids
+            assert event.alpha == other.alpha
+            assert event.beta == other.beta
+        assert not [n for n in shm_entries() if n not in before]
+
+    def test_uncovered_candidates_fall_back_to_pickle(self, pool):
+        async def scenario():
+            service = make_service(pool, candidate_cap=30)
+            # A store that knows none of the pool's tasks: rows_for -> None.
+            store = TaskMatrixStore([], N_KEYWORDS)
+            engine = SolveEngine(
+                service, MetricsRegistry(), n_workers=1, shm_store=store
+            )
+            ctx = SolveContext()
+            try:
+                events, _ = await engine.solve_batch(["w0"], 1.0, ctx=ctx)
+            finally:
+                await engine.close()
+                store.close()
+            return events, ctx
+
+        events, ctx = asyncio.run(scenario())
+        assert "w0" in events
+        assert ctx.attrs["shipping"] == "pickle"
+
+    def test_crash_rebuild_keeps_segments_and_serving(self, pool):
+        """Fault injection: a worker death mid-solve must not unlink the
+        daemon's segments, and the rebuilt pool must keep solving via shm."""
+
+        async def scenario():
+            service = make_service(pool, candidate_cap=30)
+            store = make_store(service)
+            registry = MetricsRegistry()
+            engine = SolveEngine(
+                service, registry, n_workers=1, shm_store=store
+            )
+            try:
+                with pytest.raises(Exception):
+                    await engine.solve_batch(["w0"], 1.0, crash=True)
+                live_after_crash = [
+                    n for n in store.live_segments() if n in shm_entries()
+                ]
+                ctx = SolveContext()
+                events, _ = await engine.solve_batch(["w1"], 1.0, ctx=ctx)
+            finally:
+                await engine.close()
+                store.close()
+            return registry.snapshot(), live_after_crash, events, ctx
+
+        before = shm_entries()
+        snapshot, live_after_crash, events, ctx = asyncio.run(scenario())
+        assert snapshot["serve_engine_pool_rebuilds_total"] == 1
+        assert live_after_crash  # the crash never unlinked the live segment
+        assert "w1" in events
+        assert ctx.attrs["shipping"] == "shm"
+        assert not [n for n in shm_entries() if n not in before]
+
+    def test_arrival_republishes_without_breaking_inflight_refs(self, pool):
+        async def scenario():
+            service = make_service(pool, candidate_cap=30)
+            store = make_store(service)
+            service.pool_state.add_arrival_listener(store.on_arrivals)
+            engine = SolveEngine(
+                service, MetricsRegistry(), n_workers=1, shm_store=store
+            )
+            try:
+                version_before = store.version
+                rng = np.random.default_rng(17)
+                service.admit_tasks(
+                    [
+                        Task(f"arr{i}", rng.random(N_KEYWORDS) < 0.3)
+                        for i in range(5)
+                    ]
+                )
+                assert store.version == version_before + 1
+                ctx = SolveContext()
+                events, _ = await engine.solve_batch(["w0"], 1.0, ctx=ctx)
+            finally:
+                await engine.close()
+                store.close()
+            return events, ctx
+
+        before = shm_entries()
+        events, ctx = asyncio.run(scenario())
+        assert "w0" in events
+        assert ctx.attrs["shipping"] == "shm"
+        assert not [n for n in shm_entries() if n not in before]
+
+
 class TestDaemonIntegration:
     def test_zero_workers_keeps_in_loop_path(self, pool):
         async def scenario():
@@ -294,6 +425,32 @@ class TestDaemonIntegration:
         assert snapshot["serve_disjointness_violations_total"] == 0
         assert snapshot["serve_reassignments_total"] == 4
         assert health["engine"]["workers"] == 2
+        assert health["engine"]["shared_memory"] is True
+        assert health["engine"]["shm_rows"] > 0
+
+    def test_daemon_cleans_segments_and_honors_opt_out(self, pool):
+        async def scenario(shared_memory):
+            config = ServeConfig(
+                port=0,
+                solver_workers=1,
+                max_batch_delay=0.0,
+                shared_memory=shared_memory,
+                seed=0,
+            )
+            daemon = AssignmentDaemon(pool, config)
+            await daemon.start()
+            try:
+                health = daemon._healthz()
+            finally:
+                await daemon.stop()
+            return health
+
+        before = shm_entries()
+        health_on = asyncio.run(scenario(True))
+        health_off = asyncio.run(scenario(False))
+        assert health_on["engine"]["shared_memory"] is True
+        assert health_off["engine"]["shared_memory"] is False
+        assert not [n for n in shm_entries() if n not in before]
 
     def test_solve_budget_signal_crosses_process_boundary(self, pool):
         """A worker-side solve over budget must still degrade the tier."""

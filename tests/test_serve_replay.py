@@ -248,8 +248,8 @@ class TestBitIdentity:
     def test_differential_panel_agrees(self, recorded):
         reports = replay_differential(load_journal(recorded), make_pool())
         assert [r.variant for r in reports] == [
-            "in-loop", "engine", "jaccard-dense", "lsap-reference",
-            "engine+dense",
+            "in-loop", "engine", "engine+shm", "jaccard-dense",
+            "lsap-reference", "lsap-warm", "engine+dense",
         ]
         for report in reports:
             assert report.ok and report.state_verified, report.to_dict()
@@ -749,8 +749,8 @@ class TestDefaultVariants:
     def test_panel_composition(self):
         labels = [v.label for v in default_variants()]
         assert labels == [
-            "in-loop", "engine", "jaccard-dense", "lsap-reference",
-            "engine+dense",
+            "in-loop", "engine", "engine+shm", "jaccard-dense",
+            "lsap-reference", "lsap-warm", "engine+dense",
         ]
         pinned = default_variants(pin_tier="hta-gre-rel")[-1]
         assert pinned.label == "pin:hta-gre-rel"

@@ -1,0 +1,211 @@
+"""Shared-memory task-matrix store: lifecycle, versioning, leak safety."""
+
+import numpy as np
+import pytest
+
+from repro.core.keywords import Vocabulary
+from repro.core.task import Task
+from repro.perf.bitpack import pack_rows, unpack_rows
+from repro.serve.shm import (
+    ShmSegmentRef,
+    TaskMatrixStore,
+    attach_dense,
+    prefetch,
+    reset_worker_cache,
+    shm_entries,
+)
+
+N_BITS = 70  # deliberately not a multiple of 64: exercises the tail word
+
+
+def make_tasks(n, seed=0, n_bits=N_BITS):
+    rng = np.random.default_rng(seed)
+    return [
+        Task(task_id=f"t{seed}-{i}", vector=rng.random(n_bits) < 0.3)
+        for i in range(n)
+    ]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_worker_cache():
+    reset_worker_cache()
+    yield
+    reset_worker_cache()
+
+
+class TestUnpackRows:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(7)
+        matrix = rng.random((13, N_BITS)) < 0.4
+        assert np.array_equal(unpack_rows(pack_rows(matrix), N_BITS), matrix)
+
+    def test_empty(self):
+        packed = pack_rows(np.zeros((0, N_BITS), dtype=bool))
+        assert unpack_rows(packed, N_BITS).shape == (0, N_BITS)
+
+
+class TestLifecycle:
+    def test_publishes_one_segment_and_close_unlinks_it(self):
+        before = shm_entries()
+        store = TaskMatrixStore(make_tasks(5), N_BITS)
+        created = [n for n in shm_entries() if n not in before]
+        assert len(created) == 1
+        store.close()
+        assert not [n for n in shm_entries() if n not in before]
+
+    def test_close_is_idempotent(self):
+        store = TaskMatrixStore(make_tasks(3), N_BITS)
+        store.close()
+        store.close()  # second close must not raise or double-unlink
+        assert store.live_segments() == []
+
+    def test_empty_pool_publishes_a_valid_segment(self):
+        store = TaskMatrixStore([], N_BITS)
+        try:
+            ref = store.current_ref()
+            assert ref.n_rows == 0
+            assert attach_dense(ref).shape == (0, N_BITS)
+        finally:
+            store.close()
+
+    def test_acquire_after_close_raises(self):
+        store = TaskMatrixStore(make_tasks(2), N_BITS)
+        store.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            store.acquire()
+
+
+class TestRowsAndAttach:
+    def test_rows_for_returns_lease_order(self):
+        tasks = make_tasks(8)
+        store = TaskMatrixStore(tasks, N_BITS)
+        try:
+            subset = [tasks[5], tasks[1], tasks[6]]
+            rows = store.rows_for(subset)
+            assert rows.tolist() == [5, 1, 6]
+            dense = attach_dense(store.acquire())
+            for row, task in zip(rows, subset):
+                assert np.array_equal(dense[row], np.asarray(task.vector))
+        finally:
+            store.close()
+
+    def test_rows_for_unknown_task_is_none(self):
+        store = TaskMatrixStore(make_tasks(4), N_BITS)
+        try:
+            stranger = Task(task_id="nope", vector=np.zeros(N_BITS, dtype=bool))
+            assert store.rows_for([stranger]) is None
+        finally:
+            store.close()
+
+    def test_attach_dense_caches_per_segment_name(self):
+        store = TaskMatrixStore(make_tasks(4), N_BITS)
+        try:
+            ref = store.current_ref()
+            assert attach_dense(ref) is attach_dense(ref)
+        finally:
+            store.close()
+
+    def test_prefetch_tolerates_missing_segment(self):
+        ref = ShmSegmentRef("repro_tasks_gone_v1", 1, 3, 2, N_BITS)
+        prefetch(ref)  # must swallow FileNotFoundError
+        prefetch(None)
+
+
+class TestVersioning:
+    def test_arrivals_bump_version_and_keep_pinned_segment(self):
+        tasks = make_tasks(4)
+        store = TaskMatrixStore(tasks, N_BITS)
+        try:
+            old = store.acquire()  # in-flight solve pins v1
+            store.on_arrivals(make_tasks(3, seed=1))
+            assert store.version == old.version + 1
+            # The pinned segment is still attachable: the in-flight solve
+            # reads the exact bytes it was indexed against.
+            dense = attach_dense(old)
+            assert dense.shape == (4, N_BITS)
+            assert old.name in store.live_segments()
+            store.release(old.version)
+            assert old.name not in store.live_segments()
+        finally:
+            store.close()
+
+    def test_unreferenced_old_version_retires_immediately(self):
+        store = TaskMatrixStore(make_tasks(4), N_BITS)
+        try:
+            old_name = store.current_ref().name
+            store.on_arrivals(make_tasks(2, seed=1))
+            assert old_name not in store.live_segments()
+            assert len(store.live_segments()) == 1
+        finally:
+            store.close()
+
+    def test_new_rows_are_appended_not_moved(self):
+        tasks = make_tasks(4)
+        arrivals = make_tasks(3, seed=1)
+        store = TaskMatrixStore(tasks, N_BITS)
+        try:
+            store.on_arrivals(arrivals)
+            rows = store.rows_for(tasks + arrivals)
+            assert rows.tolist() == list(range(7))
+            dense = attach_dense(store.current_ref())
+            assert np.array_equal(dense[6], np.asarray(arrivals[2].vector))
+        finally:
+            store.close()
+
+    def test_growth_beyond_initial_capacity(self):
+        store = TaskMatrixStore(make_tasks(2), N_BITS)
+        try:
+            for round_no in range(4):
+                store.on_arrivals(make_tasks(50, seed=round_no + 10))
+            assert store.n_rows == 2 + 4 * 50
+            ref = store.current_ref()
+            assert ref.n_rows == store.n_rows
+            assert attach_dense(ref).shape == (store.n_rows, N_BITS)
+        finally:
+            store.close()
+
+    def test_release_of_retired_version_is_harmless(self):
+        store = TaskMatrixStore(make_tasks(2), N_BITS)
+        try:
+            store.release(999)  # unknown version: no-op
+        finally:
+            store.close()
+
+    def test_no_leak_after_arrival_churn(self):
+        before = shm_entries()
+        store = TaskMatrixStore(make_tasks(4), N_BITS)
+        refs = [store.acquire()]
+        for i in range(5):
+            store.on_arrivals(make_tasks(2, seed=i + 1))
+            refs.append(store.acquire())
+        for ref in refs:
+            store.release(ref.version)
+        # Everything but the current version retired on release.
+        assert len(store.live_segments()) == 1
+        store.close()
+        assert not [n for n in shm_entries() if n not in before]
+
+
+class TestWorkerCompatibility:
+    def test_segment_ref_pickles(self):
+        import pickle
+
+        ref = ShmSegmentRef("repro_tasks_x_v3", 3, 10, 2, N_BITS)
+        clone = pickle.loads(pickle.dumps(ref))
+        assert (clone.name, clone.version, clone.n_rows) == (
+            ref.name, ref.version, ref.n_rows
+        )
+
+    def test_vocabulary_width_matches(self):
+        # The store packs against the daemon vocabulary width; a task built
+        # from a real Vocabulary round-trips exactly.
+        vocab = Vocabulary([f"k{i}" for i in range(N_BITS)])
+        vector = np.zeros(N_BITS, dtype=bool)
+        vector[[0, 63, 64, 69]] = True
+        task = Task(task_id="t", vector=vector)
+        store = TaskMatrixStore([task], len(vocab))
+        try:
+            dense = attach_dense(store.current_ref())
+            assert np.array_equal(dense[0], vector)
+        finally:
+            store.close()
