@@ -1,0 +1,212 @@
+"""Shard scale-out — committed throughput of 1/2/4/8 shards behind a router.
+
+One asyncio daemon serializes every solve on one core; the sharded topology
+(:mod:`repro.serve.shard`) exists to buy throughput with processes.  This
+bench measures exactly that: the same closed-loop crowd driven through the
+router at each shard count, every shard a *real* subprocess over its own
+disjoint corpus slice, and throughput taken as completions per second of the
+whole run.  The single-shard case also runs behind the router, so the ratio
+isolates sharding itself rather than router overhead.
+
+Honest scaling caveat: shards can only spread across the cores the machine
+actually has, so the acceptance floor is CPU-count-conditional —
+``min(3.0, 0.75 * min(4, cores))`` at 4 shards.  On a 4-core CI runner that
+is the ISSUE's full 3x; on the 1-core container this file's committed
+baseline was measured on, it degenerates to "not slower than 0.75x of one
+shard", which is the strongest claim a single core can support.  The
+committed record stores the core count so a `--check` on different hardware
+is interpretable.
+
+Standalone: ``python benchmarks/bench_shard_scaling.py`` rewrites the
+baseline; ``--check BASELINE.json`` re-runs and fails on regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import pathlib
+import sys
+from dataclasses import replace
+
+from repro.crowd.service import ServiceConfig
+from repro.serve.app import ServeConfig
+from repro.serve.loadgen import LoadgenConfig, run_loadgen
+from repro.serve.router import RouterConfig, RouterDaemon
+from repro.serve.shard import spawn_shard_fleet
+
+BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_shard_scaling.json"
+
+SEED = 20180416  # ICDE'18
+SHARD_COUNTS = (1, 2, 4, 8)
+N_TASKS = 2400  # full corpus; each shard serves n/shards of it
+N_WORKERS = 16
+COMPLETIONS = 8
+REASSIGN_AFTER = 3  # every 3rd completion triggers a solve: CPU-bound load
+
+
+def _speedup_floor_at_4() -> float:
+    """The CPU-count-conditional acceptance floor for 4 shards vs 1.
+
+    Four shards cannot beat ``min(4, cores)``-way parallelism; 0.75 of the
+    ideal leaves room for router overhead and imperfect balance.  Capped at
+    the ISSUE's 3x so extra cores never tighten the gate beyond it.
+    """
+    cores = os.cpu_count() or 1
+    return min(3.0, 0.75 * min(4, cores))
+
+
+#: ``--check`` drift slack on each topology's throughput (wall-clock
+#: timings across processes; wide on purpose).
+THROUGHPUT_DRIFT_FLOOR = 0.35
+
+
+def _loadgen_config() -> LoadgenConfig:
+    return LoadgenConfig(
+        n_workers=N_WORKERS,
+        completions_per_worker=COMPLETIONS,
+        seed=SEED,
+    )
+
+
+def _serve_config() -> ServeConfig:
+    return ServeConfig(
+        port=0,
+        seed=SEED,
+        service=ServiceConfig(reassign_after=REASSIGN_AFTER),
+    )
+
+
+async def _drive(fleet) -> dict:
+    router = RouterDaemon(
+        [shard.spec for shard in fleet], RouterConfig(port=0)
+    )
+    await router.start()
+    try:
+        result = await run_loadgen(
+            replace(_loadgen_config(), port=router.port)
+        )
+    finally:
+        await router.stop()
+    return result.to_dict()
+
+
+def _measure_topology(n_shards: int) -> dict:
+    corpus_spec = {"kind": "crowdflower", "n_tasks": N_TASKS, "seed": SEED}
+    # Fork the shard fleet BEFORE entering asyncio: the router loop must
+    # not be duplicated into the children.
+    fleet = spawn_shard_fleet(n_shards, corpus_spec, _serve_config())
+    try:
+        outcome = asyncio.run(_drive(fleet))
+    finally:
+        for shard in fleet:
+            shard.stop()
+    throughput = (
+        outcome["completions"] / outcome["duration_seconds"]
+        if outcome["duration_seconds"] > 0
+        else 0.0
+    )
+    return {
+        "shards": n_shards,
+        "clean": outcome["clean"],
+        "completions": outcome["completions"],
+        "reassignments": outcome["reassignments"],
+        "duration_seconds": outcome["duration_seconds"],
+        "completions_per_second": round(throughput, 2),
+        "p95_seconds": outcome["latency_seconds"]["p95"],
+    }
+
+
+def measure() -> dict:
+    topologies = [_measure_topology(n) for n in SHARD_COUNTS]
+    base = topologies[0]["completions_per_second"] or 1e-9
+    for topology in topologies:
+        topology["speedup_vs_1"] = round(
+            topology["completions_per_second"] / base, 3
+        )
+    return {
+        "benchmark": "shard_scaling",
+        "seed": SEED,
+        "cpu_count": os.cpu_count() or 1,
+        "speedup_floor_at_4": round(_speedup_floor_at_4(), 3),
+        "topologies": topologies,
+    }
+
+
+def gate_failures(record: dict) -> list[str]:
+    failures = []
+    by_count = {t["shards"]: t for t in record["topologies"]}
+    for topology in record["topologies"]:
+        if not topology["clean"]:
+            failures.append(
+                f"{topology['shards']}-shard run was not clean"
+            )
+    floor = _speedup_floor_at_4()
+    measured = by_count[4]["speedup_vs_1"]
+    if measured < floor:
+        failures.append(
+            f"4-shard speedup {measured}x < floor {floor:.2f}x "
+            f"(cores={os.cpu_count() or 1})"
+        )
+    return failures
+
+
+def check_against_baseline(record: dict, baseline: dict) -> list[str]:
+    failures = gate_failures(record)
+    reference = {t["shards"]: t for t in baseline["topologies"]}
+    for topology in record["topologies"]:
+        base = reference.get(topology["shards"])
+        if base is None:
+            continue
+        floor = base["completions_per_second"] * THROUGHPUT_DRIFT_FLOOR
+        if topology["completions_per_second"] < floor:
+            failures.append(
+                f"{topology['shards']}-shard throughput "
+                f"{topology['completions_per_second']}/s fell below "
+                f"{floor:.1f}/s (baseline "
+                f"{base['completions_per_second']}/s, floor "
+                f"{THROUGHPUT_DRIFT_FLOOR:.0%})"
+            )
+    return failures
+
+
+def test_shard_scaling_gates(report):
+    record = measure()
+    report("shard scaling: completions/s behind the router:\n"
+           + json.dumps(record, indent=2))
+    assert not gate_failures(record)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        metavar="BASELINE.json",
+        help="compare against a committed baseline instead of writing a new "
+        "one; exits 1 when a run is unclean, the CPU-conditional 4-shard "
+        "speedup floor fails, or throughput collapses vs the baseline",
+    )
+    args = parser.parse_args(argv)
+
+    record = measure()
+    print(json.dumps(record, indent=2))
+    if args.check:
+        baseline = json.loads(pathlib.Path(args.check).read_text())
+        failures = check_against_baseline(record, baseline)
+        for line in failures:
+            print(f"REGRESSION {line}", file=sys.stderr)
+        print("shard scaling check:", "FAIL" if failures else "OK")
+        return 1 if failures else 0
+
+    failures = gate_failures(record)
+    for line in failures:
+        print(f"GATE {line}", file=sys.stderr)
+    BASELINE_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {BASELINE_PATH}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

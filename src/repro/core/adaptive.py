@@ -179,6 +179,33 @@ class MotivationEstimator:
             self._diversity.pop(worker_id, None)
             self._relevance.pop(worker_id, None)
 
+    def export_worker(self, worker_id: str) -> dict:
+        """Portable per-worker slice of :meth:`state_dict` (shard handoff).
+
+        Only the worker's own running averages travel; decay and prior are
+        configuration and must already match on the importing side.
+        """
+        state: dict = {}
+        diversity = self._diversity.get(worker_id)
+        relevance = self._relevance.get(worker_id)
+        if diversity is not None:
+            state["diversity"] = list(diversity)
+        if relevance is not None:
+            state["relevance"] = list(relevance)
+        return state
+
+    def import_worker(self, worker_id: str, state: dict) -> None:
+        """Adopt one worker's :meth:`export_worker` slice, replacing any
+        stale entries a previous registration epoch may have left behind."""
+        self._diversity.pop(worker_id, None)
+        self._relevance.pop(worker_id, None)
+        if "diversity" in state:
+            pair = state["diversity"]
+            self._diversity[worker_id] = [float(pair[0]), float(pair[1])]
+        if "relevance" in state:
+            pair = state["relevance"]
+            self._relevance[worker_id] = [float(pair[0]), float(pair[1])]
+
     def state_dict(self) -> dict:
         """JSON-serializable snapshot of every worker's running averages."""
         return {

@@ -563,6 +563,20 @@ class SolveEngine:
                 self._shm.release(shm_ref.version)
             self._slots.release()
 
+    async def quiesce(self) -> None:
+        """Wait until no solve occupies a worker slot (drain support).
+
+        Acquiring every slot forces this coroutine behind all in-flight
+        solves on the same semaphore the dispatch path uses, so when it
+        returns the pool is momentarily empty; the slots are released
+        immediately — quiesce observes idleness, it does not lock the
+        engine down (the caller stops feeding it first).
+        """
+        for _ in range(self.n_workers):
+            await self._slots.acquire()
+        for _ in range(self.n_workers):
+            self._slots.release()
+
     def describe(self) -> dict:
         """Healthz block: pool size and current load."""
         info = {

@@ -51,6 +51,7 @@ _REASONS = {
     405: "Method Not Allowed",
     409: "Conflict",
     500: "Internal Server Error",
+    502: "Bad Gateway",
     503: "Service Unavailable",
 }
 

@@ -115,6 +115,8 @@ class SolveScheduler:
         self._due: dict[str, None] = {}  # insertion-ordered set
         self._waiters: dict[str, list[_Waiter]] = {}
         self._wakeup: asyncio.Event = asyncio.Event()
+        self._idle: asyncio.Event = asyncio.Event()
+        self._idle.set()
         self._runner: asyncio.Task | None = None
         self._drain_overflow = False
         self._closed = False
@@ -165,6 +167,27 @@ class SolveScheduler:
                     future.set_exception(RuntimeError("scheduler stopped"))
         self._waiters.clear()
         self._due.clear()
+        self._idle.set()
+
+    async def quiesce(self) -> None:
+        """Block until no batch is queued or in flight (drain support).
+
+        Event-driven, not polled: queued work wakes the batching loop as
+        usual, and every landed batch (success or failure) signals the idle
+        event through :meth:`_finish_batch`, so this coroutine sleeps
+        between state changes instead of spinning.  New :meth:`submit`
+        calls made while quiescing extend the wait — the drain protocol
+        stops feeding the scheduler *before* quiescing.
+        """
+        while True:
+            active = [t for t in self._inflight if not t.done()]
+            if not self._due and not self._waiters and not active:
+                return
+            if active:
+                await asyncio.wait(active, return_when=asyncio.ALL_COMPLETED)
+            else:
+                self._idle.clear()
+                await self._idle.wait()
 
     def submit(
         self, worker_id: str, trace: "Trace | None" = None
@@ -314,6 +337,7 @@ class SolveScheduler:
         if self._closed:
             self._concurrency.release()
             self._fail_waiters(waiters, RuntimeError("scheduler stopped"))
+            self._idle.set()
             return
         ctx.add_span("dispatch_wait", waited, abs_start=wait_started)
         started = time.perf_counter()
@@ -380,6 +404,7 @@ class SolveScheduler:
                         future.set_exception(error)
                 elif not future.done():
                     future.set_result(events.get(worker_id))
+        self._idle.set()
 
     @staticmethod
     def _fail_waiters(

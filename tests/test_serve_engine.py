@@ -240,8 +240,13 @@ class TestSolveEngine:
         events, seconds, max_gap = asyncio.run(scenario())
         assert "w0" in events
         assert seconds >= SlowSolver.delay * 0.9  # measured inside the worker
-        # A blocked loop would show one >= 0.4 s gap; allow generous jitter.
-        assert max_gap < 0.2, f"event loop stalled for {max_gap:.3f}s"
+        # A blocked loop would show one gap >= the full solve delay; pass
+        # anything clearly below it so scheduler jitter on a loaded CI
+        # box (pytest -n, containers) can't trip the assertion.
+        assert max_gap < SlowSolver.delay * 0.75, (
+            f"event loop stalled for {max_gap:.3f}s "
+            f"(solve delay {SlowSolver.delay}s)"
+        )
 
     def test_rejects_zero_workers(self, pool):
         service = make_service(pool)

@@ -1,0 +1,332 @@
+"""Router end-to-end tests over real sockets (ephemeral ports).
+
+The seventh test layer: cross-shard behaviour.  Everything here runs a
+real :class:`ShardCluster` (each shard a full daemon on its own port)
+behind a real :class:`RouterDaemon` and talks HTTP through the front
+door, so the assertions cover what a deployment would actually see —
+global C1/C2 across shard boundaries, mid-session drain handoff,
+stale-display degradation when a shard dies, and per-shard flight
+journals that replay bit-identically after a chaos run.
+"""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core import Task, TaskPool, Vocabulary
+from repro.crowd.service import ServiceConfig
+from repro.serve.app import ServeConfig
+from repro.serve.loadgen import LoadgenConfig, run_sharded
+from repro.serve.protocol import HttpClient
+from repro.serve.resilience import FaultPlan
+from repro.serve.router import (
+    RouterConfig,
+    RouterDaemon,
+    verify_routing_journal,
+)
+from repro.serve.shard import ShardCluster
+
+N_KEYWORDS = 16
+X_MAX = 4
+
+
+def make_pool(n_tasks=300, seed=0):
+    vocab = Vocabulary([f"k{i}" for i in range(N_KEYWORDS)])
+    rng = np.random.default_rng(seed)
+    return TaskPool(
+        [
+            Task(f"t{i}", rng.random(N_KEYWORDS) < 0.3, title=f"Task {i}")
+            for i in range(n_tasks)
+        ],
+        vocab,
+    )
+
+
+def serve_config(**overrides):
+    defaults = dict(
+        host="127.0.0.1",
+        port=0,
+        strategy="hta-gre",
+        service=ServiceConfig(
+            x_max=X_MAX, n_random_pad=1, reassign_after=2, min_pending=1,
+            candidate_cap=None,
+        ),
+        max_batch_delay=0.01,
+        seed=0,
+    )
+    defaults.update(overrides)
+    return ServeConfig(**defaults)
+
+
+def with_topology(coro_fn, n_shards=2, n_tasks=300, **config_overrides):
+    """Run ``coro_fn(cluster, router, client)`` against a live topology."""
+
+    async def scenario():
+        cluster = ShardCluster(
+            make_pool(n_tasks), serve_config(**config_overrides), n_shards
+        )
+        await cluster.start()
+        router = RouterDaemon(cluster.specs, RouterConfig(port=0))
+        await router.start()
+        client = HttpClient("127.0.0.1", router.port)
+        try:
+            return await coro_fn(cluster, router, client)
+        finally:
+            await client.close()
+            await router.stop()
+            await cluster.stop()
+
+    return asyncio.run(asyncio.wait_for(scenario(), timeout=60.0))
+
+
+async def register(client, worker_id, keywords=("k1", "k2", "k3")):
+    status, body = await client.request(
+        "POST", "/workers", {"worker_id": worker_id, "keywords": list(keywords)}
+    )
+    assert status == 200, body
+    return body
+
+
+def workers_on(router, shard, candidates):
+    """Worker ids from ``candidates`` that the ring routes to ``shard``."""
+    return [
+        wid for wid in candidates
+        if router.coordinator.shard_for(wid) == shard
+    ]
+
+
+class TestGlobalContracts:
+    def test_global_c1_c2_across_shards(self):
+        """No task is ever displayed to two workers, even when the workers
+        live on different shards — disjoint slices enforced end-to-end."""
+
+        async def check(cluster, router, client):
+            rng = np.random.default_rng(42)
+            candidates = [f"w{q}" for q in range(60)]
+            population = [
+                wid
+                for shard in range(3)  # 4 workers per shard, by the ring
+                for wid in workers_on(router, shard, candidates)[:4]
+            ]
+            assert len(population) == 12
+            displays = {}
+            for wid in population:
+                keywords = [
+                    f"k{i}"
+                    for i in rng.choice(N_KEYWORDS, size=5, replace=False)
+                ]
+                body = await register(client, wid, keywords)
+                displays[wid] = body["display"]
+            shards_used = {
+                router.coordinator.shard_for(wid) for wid in displays
+            }
+            return displays, shards_used
+
+        displays, shards_used = with_topology(check, n_shards=3)
+        assert shards_used == {0, 1, 2}  # the population actually spread
+        seen = {}
+        for wid, display in displays.items():
+            assert 0 < len(display["pending"]) <= X_MAX + 1  # C1 (+1 pad)
+            for tid in display["pending"]:
+                assert tid not in seen, (
+                    f"{tid} displayed to both {seen[tid]} and {wid} (C2)"
+                )
+                seen[tid] = wid
+
+    def test_complete_routes_to_owner_and_reassigns(self):
+        async def check(cluster, router, client):
+            body = await register(client, "alice")
+            first = body["display"]["pending"][0]
+            status, body = await client.request(
+                "POST", "/complete", {"worker_id": "alice", "task_id": first}
+            )
+            assert status == 200
+            assert body["completed"] == first
+            assert first not in body["display"]["pending"]
+            status, body = await client.request("GET", "/display/alice")
+            assert status == 200
+            return router.registry.snapshot()
+
+        snapshot = with_topology(check)
+        assert snapshot["router_requests_total"] >= 3
+
+    def test_metrics_aggregate_over_shards(self):
+        async def check(cluster, router, client):
+            await register(client, "alice")
+            await register(client, "bob")
+            status, text = await client.request("GET", "/metrics")
+            assert status == 200
+            return text
+
+        text = with_topology(check)
+        for line in text.splitlines():
+            if line.startswith("serve_workers_registered_total"):
+                assert float(line.rpartition(" ")[2]) == 2.0
+                break
+        else:
+            pytest.fail("serve_workers_registered_total missing from /metrics")
+
+
+class TestDrain:
+    def test_drain_hands_off_mid_session_bit_identically(self):
+        """A worker mid-session on the drained shard continues on the
+        adopting shard with the exact same display — the handoff carries
+        the session, not just the registration."""
+
+        async def check(cluster, router, client):
+            candidates = [f"w{q}" for q in range(40)]
+            moving = workers_on(router, 0, candidates)[:3]
+            staying = workers_on(router, 1, candidates)[:1]
+            assert moving and staying
+            fresh = workers_on(router, 0, [f"x{q}" for q in range(40)])[0]
+            before = {}
+            for wid in moving + staying:
+                await register(client, wid)
+            # Take one completion on the first mover so its display is
+            # mid-session state, not a fresh registration.
+            status, body = await client.request("GET", f"/display/{moving[0]}")
+            first = body["display"]["pending"][0]
+            await client.request(
+                "POST", "/complete", {"worker_id": moving[0], "task_id": first}
+            )
+            for wid in moving + staying:
+                status, body = await client.request("GET", f"/display/{wid}")
+                assert status == 200
+                before[wid] = body["display"]
+
+            status, outcome = await client.request(
+                "POST", "/admin/drain/0"
+            )
+            assert status == 200
+            assert set(outcome["moved"]) == set(moving)
+
+            after = {}
+            for wid in moving + staying:
+                status, body = await client.request("GET", f"/display/{wid}")
+                assert status == 200
+                assert not body.get("stale")
+                after[wid] = body["display"]
+            # A worker the old ring would have put on shard 0 now routes
+            # to a survivor and registers fine.
+            assert router.coordinator.shard_for(fresh) == 1
+            await register(client, fresh)
+            healthz = await client.request("GET", "/healthz")
+            return before, after, outcome, healthz[1]
+
+        before, after, outcome, healthz = with_topology(check, n_shards=2)
+        assert before == after  # bit-identical continuation
+        assert healthz["shards"]["0"]["draining"] is True
+        assert healthz["shards"]["0"]["live"] is False
+        assert 0 not in [int(k) for k in outcome["adopted"]]
+
+    def test_draining_last_shard_is_refused(self):
+        async def check(cluster, router, client):
+            status, body = await client.request("POST", "/admin/drain/0")
+            assert status == 200
+            status, body = await client.request("POST", "/admin/drain/1")
+            return status, body
+
+        status, body = with_topology(check, n_shards=2)
+        assert status == 409
+
+
+class TestStaleDisplay:
+    def test_display_survives_a_dead_shard(self):
+        """The router must never answer /display with a 5xx: when the
+        owning shard is unreachable it serves its cached last display,
+        marked stale."""
+
+        async def check(cluster, router, client):
+            wid = workers_on(router, 0, [f"w{q}" for q in range(40)])[0]
+            await register(client, wid)
+            status, body = await client.request("GET", f"/display/{wid}")
+            fresh = body["display"]
+
+            # stop() is graceful: the listen socket closes but live
+            # keep-alive connections drain normally.  A crash severs those
+            # too, so drop the router's pooled connections as well — its
+            # reconnect then hits the closed port.
+            await cluster.daemons[0].stop()
+            await router.coordinator.close()
+
+            status, body = await client.request("GET", f"/display/{wid}")
+            assert status == 200
+            assert body["stale"] is True
+            assert body["display"] == fresh
+
+            # Completions degrade the same way: acknowledged, not applied.
+            status, body = await client.request(
+                "POST",
+                "/complete",
+                {"worker_id": wid, "task_id": fresh["pending"][0]},
+            )
+            assert status == 200
+            assert body["stale"] is True
+
+            # A fresh registration cannot be served stale: that's a 502.
+            other = workers_on(router, 0, [f"x{q}" for q in range(40)])[0]
+            status, body = await client.request(
+                "POST", "/workers", {"worker_id": other, "keywords": ["k1"]}
+            )
+            assert status == 502
+
+            # No cached display for an unseen worker on the dead shard: 404.
+            unseen = workers_on(router, 0, [f"y{q}" for q in range(40)])[1]
+            status, body = await client.request("GET", f"/display/{unseen}")
+            assert status == 404
+
+            status, healthz = await client.request("GET", "/healthz")
+            assert status == 200
+            return healthz
+
+        healthz = with_topology(check, n_shards=2)
+        assert healthz["status"] == "degraded"
+        assert healthz["shards"]["0"]["status"] == "unreachable"
+        assert healthz["shards"]["1"]["status"] == "ok"
+
+
+class TestShardedReplay:
+    def test_chaos_run_journals_replay_bit_identically(self, tmp_path):
+        """Chaos loadgen through the router, then every per-shard flight
+        journal and the routing journal must verify via ``repro replay``."""
+        n_shards = 2
+        config = LoadgenConfig(
+            n_workers=8, completions_per_worker=4, seed=11, max_retries=5
+        )
+        chaos = serve_config(
+            seed=11,
+            fault_plan=FaultPlan(
+                seed=7,
+                drop_connection_p=0.02,
+                drop_response_p=0.02,
+                solve_fail_p=0.05,
+            ),
+        )
+        routing = tmp_path / "routing.jsonl"
+        result, snapshot = asyncio.run(
+            run_sharded(
+                config,
+                n_shards,
+                n_tasks=800,
+                serve_config=chaos,
+                journal_dir=str(tmp_path),
+                routing_journal=str(routing),
+            )
+        )
+        assert result.completions == 32
+        assert result.duplicate_display_violations == 0
+
+        for index in range(n_shards):
+            journal = tmp_path / f"journal-shard{index}.jsonl"
+            assert journal.exists()
+            header = json.loads(journal.read_text().splitlines()[0])
+            assert header["shard_id"] == index
+            assert cli_main(["replay", str(journal)]) == 0
+
+        report = verify_routing_journal(str(routing))
+        assert report["routes"] > 0
+        assert report["divergences"] == []
+        assert cli_main(["replay", str(routing)]) == 0

@@ -267,3 +267,48 @@ class TestSnapshotMigrations:
         assert _migrate_snapshot_v2(populated)["service"]["admitted"] == [
             {"task_id": "arr-0"}
         ]
+
+    def test_daemon_v3_snapshot_migration_shape(self, tmp_path):
+        """The v3 upgrade stamps the unsharded shard id a pre-shard
+        snapshot implied; a sharded daemon then refuses to restore it only
+        if its own shard id differs."""
+        from repro.serve.app import _migrate_snapshot_v3
+
+        state = {"service": {"pool": ["t0"]}, "displayed_ever": []}
+        migrated = _migrate_snapshot_v3(state)
+        assert migrated["shard_id"] is None
+        # Idempotent, and never clobbers a real shard id.
+        stamped = {"shard_id": 2, "service": {}}
+        assert _migrate_snapshot_v3(stamped)["shard_id"] == 2
+        assert _migrate_snapshot_v3(migrated)["shard_id"] is None
+
+    def test_daemon_v2_snapshot_migrates_through_to_v4(self, tmp_path):
+        """The chained v2 → v4 upgrade applies both single steps."""
+        from repro.serve.app import _migrate_snapshot_v2_to_v4
+
+        state = {"service": {"pool": ["t0"]}, "displayed_ever": []}
+        migrated = _migrate_snapshot_v2_to_v4(state)
+        assert migrated["service"]["admitted"] == []
+        assert migrated["shard_id"] is None
+
+    def test_snapshot_kinds_are_shard_namespaced(self, tmp_path):
+        """Two shards of one topology can share a snapshot db without
+        clobbering each other's records."""
+        from repro.serve.app import (
+            SNAPSHOT_SCHEMA_VERSION,
+            snapshot_kind_for,
+        )
+
+        assert snapshot_kind_for(None) == "serve"
+        assert snapshot_kind_for(0) == "serve:shard-0"
+        assert snapshot_kind_for(3) == "serve:shard-3"
+        db = tmp_path / "shards.db"
+        with SnapshotStore(db, schema_version=SNAPSHOT_SCHEMA_VERSION) as store:
+            store.save(snapshot_kind_for(0), {"shard_id": 0})
+            store.save(snapshot_kind_for(1), {"shard_id": 1})
+            assert store.latest_record(snapshot_kind_for(0)).state == {
+                "shard_id": 0
+            }
+            assert store.latest_record(snapshot_kind_for(1)).state == {
+                "shard_id": 1
+            }
