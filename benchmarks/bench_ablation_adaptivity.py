@@ -1,170 +1,317 @@
-"""Ablation — adaptivity of the alpha/beta estimates.
+"""Ablation — bandit adaptivity vs the paper's averaging estimator.
 
-The paper's online experiment shows adaptive HTA-GRE beats its fixed-weight
-variants on the *behavioural* metrics; this offline ablation isolates the
-estimation machinery: a heterogeneous population (half diversity-seekers,
-half relevance-seekers) completes tasks by latent utility, and we compare
-the *latent-weight* motivation achieved when assignments use (a) adaptive
-estimates, (b) fixed balanced weights, and (c) fixed diversity-only weights.
-Adaptive assignment should recover most of the oracle's (latent weights
-known) value.
+The paper's Section III estimator is a plain average of observed gains; the
+bandit task-assignment line in PAPERS.md (Zhang et al.) frames the same
+estimation as exploration/exploitation.  This bench measures where that
+framing pays: **drifting preferences**.  A seeded population completes
+tasks by latent utility, and halfway through the campaign every worker's
+latent alpha flips (diversity-seekers become relevance-seekers and vice
+versa).  Four estimation stacks drive the same solve→observe→re-solve
+loop:
+
+* ``plain``    — the paper's averaging estimator (decay 1.0, mean weights);
+* ``thompson`` — decayed Beta posterior + Thompson-sampled solve weights
+  (:class:`repro.core.bandit.ThompsonWeightPolicy`);
+* ``ucb``      — the same posterior + a deterministic optimism bonus
+  (:class:`repro.core.bandit.UCBWeightPolicy`);
+* ``oracle``   — the true latent weights each iteration (upper reference).
+
+Each iteration's assignment is re-scored under the *latent* weights of
+that iteration; **cumulative-motivation regret** is the oracle's
+cumulative latent motivation minus the variant's.  The averaging
+estimator keeps averaging the pre-flip evidence, so its post-flip weights
+go stale; the bandit stacks forget and explore, and the committed gate
+requires both to end with lower regret than averaging.
+
+Everything is seeded and deterministic.  Standalone:
+``python benchmarks/bench_ablation_adaptivity.py`` rewrites the committed
+``BENCH_adaptivity.json``; ``--check BASELINE.json`` re-runs and exits 1
+on a gate failure or a regression against the baseline.
 """
 
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
 import numpy as np
-import pytest
 
 from repro.analysis import format_table
 from repro.core import HTAInstance, MotivationWeights
-from repro.core.adaptive import MotivationEstimator, run_adaptive_loop
+from repro.core.adaptive import MotivationEstimator, observe_gains
+from repro.core.bandit import ThompsonWeightPolicy, UCBWeightPolicy
+from repro.core.estimators import BayesianMotivationEstimator
+from repro.core.motivation import motivation_of_subset
 from repro.core.solvers import HTAGreSolver
-from repro.core.solvers.baselines import override_weights
 from repro.data import AMTConfig, generate_amt_pool, generate_offline_workers
 
+BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_adaptivity.json"
 
-def latent_alpha_of(worker_position: int) -> float:
-    return 0.9 if worker_position % 2 == 0 else 0.1
+SEED = 20180416  # ICDE'18
+N_GROUPS = 60
+TASKS_PER_GROUP = 5
+N_WORKERS = 6
+X_MAX = 4
+N_ITERATIONS = 12
+FLIP_AT = 6  # iteration at which every latent preference flips
+ALPHA_HI = 0.85
+ALPHA_LO = 0.15
+#: Posterior decay for the bandit stacks — the knob that lets them track
+#: the flip while the paper's averaging (decay 1.0) cannot.
+BAYES_DECAY = 0.75
+
+VARIANTS = ("plain", "thompson", "ucb", "oracle")
+
+#: Baseline drift tolerance on cumulative motivation (the run is seeded;
+#: this only absorbs BLAS/platform float noise).
+BASELINE_TOLERANCE = 0.05
 
 
-def latent_policy(worker, assigned, instance, rng):
-    q = instance.workers.position(worker.worker_id)
-    alpha = latent_alpha_of(q)
-    order, remaining = [], list(assigned)
+def latent_alpha(worker_position: int, iteration: int) -> float:
+    """The worker's true alpha at ``iteration``: flips halfway through."""
+    start = ALPHA_HI if worker_position % 2 == 0 else ALPHA_LO
+    if iteration < FLIP_AT:
+        return start
+    return ALPHA_LO if start == ALPHA_HI else ALPHA_HI
+
+
+def _latent_order(instance, q: int, assigned: list[int], alpha: float) -> list[int]:
+    """Completion order by latent utility (greedy, like a real worker)."""
+    order: list[int] = []
+    remaining = list(assigned)
     while remaining:
         scores = []
         for t in remaining:
             div = instance.diversity[t, order].sum() if order else 0.0
             rel = instance.relevance[q, t]
-            scores.append(alpha * div + (1 - alpha) * rel)
+            scores.append(alpha * div + (1.0 - alpha) * rel)
         pick = remaining[int(np.argmax(scores))]
         order.append(pick)
         remaining.remove(pick)
     return order
 
 
-def latent_objective(trace, pool, workers) -> float:
-    """Re-score every iteration's assignment under the LATENT weights."""
-    total = 0.0
-    for record in trace.records:
-        for q, worker in enumerate(workers):
-            task_ids = record.assignment.tasks_of(worker.worker_id)
-            if not task_ids:
+def _make_stack(variant: str):
+    """(estimator, weight_policy) for a variant; oracle/plain have no policy."""
+    if variant == "plain":
+        return MotivationEstimator(), None
+    if variant == "thompson":
+        return (
+            BayesianMotivationEstimator(decay=BAYES_DECAY),
+            ThompsonWeightPolicy(seed=SEED),
+        )
+    if variant == "ucb":
+        return BayesianMotivationEstimator(decay=BAYES_DECAY), UCBWeightPolicy()
+    if variant == "oracle":
+        return None, None
+    raise ValueError(f"unknown variant {variant!r}")
+
+
+def run_variant(variant: str) -> dict:
+    """Drive the drifting-preference campaign; return per-iteration scores."""
+    pool = generate_amt_pool(
+        AMTConfig(n_groups=N_GROUPS, tasks_per_group=TASKS_PER_GROUP), rng=3
+    )
+    workers = generate_offline_workers(N_WORKERS, pool.vocabulary, rng=4)
+    estimator, policy = _make_stack(variant)
+    solver = HTAGreSolver()
+    rng = np.random.default_rng(SEED)
+
+    current_tasks = pool
+    current_workers = workers
+    per_iteration: list[float] = []
+    alpha_errors: list[float] = []
+
+    for iteration in range(N_ITERATIONS):
+        if len(current_tasks) < N_WORKERS * X_MAX:
+            break
+        # Solve-time weights: latent truth for the oracle, the estimation
+        # stack's choice otherwise.
+        updated = []
+        for q, worker in enumerate(current_workers):
+            if variant == "oracle":
+                alpha = latent_alpha(q, iteration)
+                weights = MotivationWeights(alpha, 1.0 - alpha)
+            elif policy is not None:
+                weights = policy.weights_for(estimator, worker.worker_id)
+            else:
+                weights = estimator.weights_for(worker.worker_id)
+            updated.append(worker.with_weights(weights))
+        current_workers = current_workers.with_updated(updated)
+        instance = HTAInstance(current_tasks, current_workers, X_MAX)
+        result = solver.solve(instance, rng)
+        assignment = result.assignment
+
+        if variant != "oracle":
+            alpha_errors.append(
+                float(
+                    np.mean(
+                        [
+                            abs(
+                                estimator.weights_for(w.worker_id).alpha
+                                - latent_alpha(q, iteration)
+                            )
+                            for q, w in enumerate(current_workers)
+                        ]
+                    )
+                )
+            )
+
+        # Workers complete by latent utility; score the iteration under the
+        # latent weights; feed the observations back into the estimator.
+        achieved = 0.0
+        for q, worker in enumerate(current_workers):
+            assigned_ids = assignment.tasks_of(worker.worker_id)
+            if not assigned_ids:
                 continue
-            idx = [pool.position(t) for t in task_ids]
-            instance = HTAInstance(pool, workers, 4)
-            from repro.core.motivation import motivation_of_subset
-
-            alpha = latent_alpha_of(q)
-            total += motivation_of_subset(
-                instance.diversity, instance.relevance[q], idx, alpha, 1 - alpha
+            assigned_idx = [current_tasks.position(t) for t in assigned_ids]
+            alpha = latent_alpha(q, iteration)
+            achieved += motivation_of_subset(
+                instance.diversity,
+                instance.relevance[q],
+                assigned_idx,
+                alpha,
+                1.0 - alpha,
             )
-    return total
+            if estimator is None:
+                continue
+            done: list[int] = []
+            for task_index in _latent_order(instance, q, assigned_idx, alpha):
+                observation = observe_gains(
+                    instance.diversity,
+                    instance.relevance[q],
+                    assigned_idx,
+                    done,
+                    task_index,
+                )
+                estimator.record(worker.worker_id, observation)
+                done.append(task_index)
+        per_iteration.append(achieved)
 
+        assigned_ids = assignment.assigned_task_ids()
+        if assigned_ids:
+            current_tasks = current_tasks.without(assigned_ids)
 
-class _FixedWeightsLoop:
-    """Solver wrapper forcing uniform weights at each iteration."""
-
-    def __init__(self, weights: MotivationWeights):
-        self._weights = weights
-        self._inner = HTAGreSolver()
-
-    def solve(self, instance, rng=None):
-        return self._inner.solve(override_weights(instance, self._weights), rng)
-
-
-class _OracleLoop:
-    """Solver wrapper injecting the true latent weights (upper reference)."""
-
-    def __init__(self):
-        self._inner = HTAGreSolver()
-
-    def solve(self, instance, rng=None):
-        updated = [
-            w.with_weights(
-                MotivationWeights(latent_alpha_of(q), 1 - latent_alpha_of(q))
-            )
-            for q, w in enumerate(instance.workers)
-        ]
-        forced = HTAInstance(
-            instance.tasks,
-            instance.workers.with_updated(updated),
-            instance.x_max,
-            instance.distance,
-        )
-        forced.__dict__["diversity"] = instance.diversity
-        forced.__dict__["relevance"] = instance.relevance
-        return self._inner.solve(forced, rng)
-
-
-def run_variant(name: str, rng_seed: int = 0):
-    pool = generate_amt_pool(AMTConfig(n_groups=40, tasks_per_group=5), rng=3)
-    workers = generate_offline_workers(6, pool.vocabulary, rng=4)
-    solvers = {
-        "adaptive": HTAGreSolver(),
-        "fixed-balanced": _FixedWeightsLoop(MotivationWeights.balanced()),
-        "fixed-div": _FixedWeightsLoop(MotivationWeights.diversity_only()),
-        "oracle": _OracleLoop(),
+    return {
+        "per_iteration": [round(v, 4) for v in per_iteration],
+        "cumulative_motivation": round(float(sum(per_iteration)), 4),
+        "mean_alpha_error": (
+            round(float(np.mean(alpha_errors)), 4) if alpha_errors else None
+        ),
+        "post_flip_alpha_error": (
+            round(float(np.mean(alpha_errors[FLIP_AT:])), 4)
+            if len(alpha_errors) > FLIP_AT
+            else None
+        ),
     }
-    estimator = MotivationEstimator() if name == "adaptive" else None
-    trace = run_adaptive_loop(
-        pool, workers, 4, solvers[name], 5,
-        completion_policy=latent_policy, estimator=estimator, rng=rng_seed,
-    )
-    return latent_objective(trace, pool, workers)
 
 
-@pytest.mark.parametrize("variant", ["adaptive", "fixed-balanced", "fixed-div", "oracle"])
-def test_ablation_adaptivity_time(benchmark, variant):
-    benchmark.pedantic(run_variant, args=(variant,), rounds=1, iterations=1)
+def measure() -> dict:
+    runs = {variant: run_variant(variant) for variant in VARIANTS}
+    oracle = runs["oracle"]["cumulative_motivation"]
+    regrets = {
+        variant: round(oracle - runs[variant]["cumulative_motivation"], 4)
+        for variant in VARIANTS
+        if variant != "oracle"
+    }
+    return {
+        "benchmark": "adaptivity",
+        "seed": SEED,
+        "workers": N_WORKERS,
+        "x_max": X_MAX,
+        "iterations": N_ITERATIONS,
+        "flip_at": FLIP_AT,
+        "bayes_decay": BAYES_DECAY,
+        "variants": runs,
+        "cumulative_regret": regrets,
+    }
 
 
-def test_ablation_adaptivity_report(report):
-    values = {name: run_variant(name) for name in
-              ("adaptive", "fixed-balanced", "fixed-div", "oracle")}
-    rows = [[name, round(value, 1)] for name, value in values.items()]
-    report(
-        format_table(
-            ["strategy", "latent motivation"],
-            rows,
-            title="Ablation: adaptivity under a heterogeneous latent population",
+def gate_failures(record: dict) -> list[str]:
+    """The issue's acceptance gate: both bandits beat averaging on regret."""
+    failures = []
+    regrets = record["cumulative_regret"]
+    for bandit in ("thompson", "ucb"):
+        if regrets[bandit] >= regrets["plain"]:
+            failures.append(
+                f"{bandit} cumulative regret {regrets[bandit]} is not below "
+                f"the averaging estimator's {regrets['plain']}"
+            )
+    if regrets["plain"] <= 0:
+        failures.append(
+            f"averaging regret {regrets['plain']} <= 0 — the drifting "
+            f"scenario no longer stresses the averaging estimator, so the "
+            f"comparison is vacuous"
         )
-    )
-    # Objective-value finding worth recording: on broad-keyword pools the
-    # quadratic diversity term dominates Eq. 3 for any alpha above ~0.15, so
-    # the *fixed diversity-only* strategy already nearly maximizes even the
-    # latent-weight objective — the value of adaptivity is not visible in
-    # the offline objective (it shows up in the behavioural metrics of
-    # Fig. 5 instead).  We assert only that adaptive stays close to the
-    # true-weight oracle.
-    assert values["adaptive"] >= 0.75 * values["oracle"]
+    return failures
 
 
-def test_ablation_adaptivity_recovers_latent_weights(report):
-    """The core Section III claim: the estimator separates the latent
-    diversity-seekers from the relevance-seekers by observation alone."""
-    pool = generate_amt_pool(AMTConfig(n_groups=60, tasks_per_group=5), rng=3)
-    workers = generate_offline_workers(6, pool.vocabulary, rng=4)
-    estimator = MotivationEstimator()
-    run_adaptive_loop(
-        pool, workers, 6, HTAGreSolver(), 5,
-        completion_policy=latent_policy, estimator=estimator, rng=0,
-    )
-    estimated = [
-        estimator.weights_for(w.worker_id).alpha for w in workers
+def check_against_baseline(record: dict, baseline: dict) -> list[str]:
+    failures = gate_failures(record)
+    for variant in VARIANTS:
+        current = record["variants"][variant]["cumulative_motivation"]
+        reference = baseline["variants"][variant]["cumulative_motivation"]
+        if reference and abs(current - reference) > abs(reference) * BASELINE_TOLERANCE:
+            failures.append(
+                f"{variant} cumulative motivation {current} drifted more "
+                f"than {BASELINE_TOLERANCE:.0%} from baseline {reference}"
+            )
+    return failures
+
+
+def test_bandits_beat_averaging_under_drift(report):
+    record = measure()
+    rows = [
+        [
+            variant,
+            record["variants"][variant]["cumulative_motivation"],
+            record["cumulative_regret"].get(variant, 0.0),
+            record["variants"][variant]["post_flip_alpha_error"],
+        ]
+        for variant in VARIANTS
     ]
-    seekers = [a for q, a in enumerate(estimated) if latent_alpha_of(q) > 0.5]
-    settlers = [a for q, a in enumerate(estimated) if latent_alpha_of(q) < 0.5]
     report(
         format_table(
-            ["latent group", "mean estimated alpha"],
-            [
-                ["diversity-seekers (alpha* = 0.9)", round(float(np.mean(seekers)), 3)],
-                ["relevance-seekers (alpha* = 0.1)", round(float(np.mean(settlers)), 3)],
-            ],
-            title="Ablation: latent-weight recovery by the estimator",
+            ["variant", "cumulative motivation", "regret vs oracle",
+             "post-flip alpha error"],
+            rows,
+            title="Ablation: cumulative-motivation regret under drifting "
+                  "preferences",
         )
     )
-    # The separation is modest on AMT-style pools (in-group tasks are near
-    # identical and cross-group distances are uniformly high, so behaviour
-    # differences are weakly identifiable), but it is consistently positive
-    # — and it compounds across iterations as assignments specialize.
-    assert np.mean(seekers) > np.mean(settlers) + 0.04
+    assert not gate_failures(record)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        metavar="BASELINE.json",
+        help="compare against a committed baseline instead of writing a new "
+        "one; exits 1 when a regret gate fails or cumulative motivation "
+        "drifts",
+    )
+    args = parser.parse_args(argv)
+
+    record = measure()
+    print(json.dumps(record, indent=2))
+    if args.check:
+        baseline = json.loads(pathlib.Path(args.check).read_text())
+        failures = check_against_baseline(record, baseline)
+        for line in failures:
+            print(f"REGRESSION {line}", file=sys.stderr)
+        print("adaptivity check:", "FAIL" if failures else "OK")
+        return 1 if failures else 0
+
+    failures = gate_failures(record)
+    for line in failures:
+        print(f"GATE {line}", file=sys.stderr)
+    BASELINE_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {BASELINE_PATH}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

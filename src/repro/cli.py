@@ -210,6 +210,20 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="with --router-spawned shards, record each "
                               "shard's flight journal to DIR/shard-N.jsonl "
                               "(verify them with `repro replay`)")
+    p_serve.add_argument("--estimator", choices=["plain", "bayes"],
+                         default="plain",
+                         help="motivation estimator: the paper's averaging "
+                              "(plain) or the Beta-posterior Bayesian one "
+                              "(required for --bandit thompson)")
+    p_serve.add_argument("--bandit", choices=["off", "thompson", "ucb"],
+                         default="off",
+                         help="bandit policy over solve-time alpha/beta: "
+                              "off keeps the estimator mean bit-identically")
+    p_serve.add_argument("--tier-policy", choices=["streak", "bandit"],
+                         default="streak",
+                         help="solver-ladder tier selection: the fixed "
+                              "breach/recovery streaks (streak) or the "
+                              "contextual tier bandit (bandit)")
     p_serve.set_defaults(handler=_cmd_serve)
 
     p_replay = sub.add_parser(
@@ -385,6 +399,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.restore and not args.snapshot_path:
         print("--restore requires --snapshot-path", file=sys.stderr)
         return 2
+    if args.bandit == "thompson" and args.estimator != "bayes":
+        print("--bandit thompson requires --estimator bayes "
+              "(Thompson samples the Beta posterior)", file=sys.stderr)
+        return 2
     quality = None
     if args.gold_rate > 0 or args.redundancy > 1:
         from .quality import AdjudicationConfig, GoldConfig, QualityConfig
@@ -443,6 +461,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         journal_path=None if args.router else args.journal,
         corpus_spec=corpus_spec,
         shard_id=args.shard_index,
+        estimator=args.estimator,
+        bandit=args.bandit,
+        tier_policy=args.tier_policy,
     )
     if args.router:
         return _serve_router(args, corpus_spec, config)

@@ -9,6 +9,18 @@ from .adaptive import (
     run_adaptive_loop,
 )
 from .assignment import Assignment
+from .bandit import (
+    ESTIMATORS,
+    TIER_POLICIES,
+    WEIGHT_POLICIES,
+    MeanWeightPolicy,
+    ThompsonWeightPolicy,
+    TierBandit,
+    UCBWeightPolicy,
+    build_adaptivity,
+    make_estimator,
+    make_weight_policy,
+)
 from .distance import (
     DistanceSpec,
     angular_distance,
@@ -32,10 +44,17 @@ from .task import Task, TaskGroup, TaskPool, pool_from_vectors
 from .worker import MotivationWeights, Worker, WorkerPool
 
 __all__ = [
+    "ESTIMATORS",
+    "TIER_POLICIES",
+    "WEIGHT_POLICIES",
     "AdaptiveTrace",
     "Assignment",
     "BayesianMotivationEstimator",
     "DistanceSpec",
+    "MeanWeightPolicy",
+    "ThompsonWeightPolicy",
+    "TierBandit",
+    "UCBWeightPolicy",
     "GainObservation",
     "HTAInstance",
     "IterationRecord",
@@ -52,12 +71,15 @@ __all__ = [
     "Worker",
     "WorkerPool",
     "angular_distance",
+    "build_adaptivity",
     "build_encoding",
     "check_metric_on_sample",
     "euclidean_distance",
     "get_distance",
     "hamming_distance",
     "jaccard_distance",
+    "make_estimator",
+    "make_weight_policy",
     "motivation",
     "observe_gains",
     "pairwise_jaccard",

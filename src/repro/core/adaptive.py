@@ -21,6 +21,7 @@ re-solve — and returns a trace used by the adaptivity ablation bench.
 
 from __future__ import annotations
 
+import math
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
@@ -39,6 +40,40 @@ from .task import TaskPool
 from .worker import MotivationWeights, Worker, WorkerPool
 
 _EPS = 1e-12
+
+
+def _validated_pair(pair: object, worker_id: str, what: str) -> list[float]:
+    """Coerce an imported ``[sum, count]`` pair, rejecting garbage loudly."""
+    try:
+        total, count = float(pair[0]), float(pair[1])  # type: ignore[index]
+    except (TypeError, ValueError, IndexError) as exc:
+        raise InvalidInstanceError(
+            f"estimator import for {worker_id!r}: malformed {what} pair {pair!r}"
+        ) from exc
+    if not (math.isfinite(total) and math.isfinite(count)):
+        raise InvalidInstanceError(
+            f"estimator import for {worker_id!r}: non-finite {what} pair {pair!r}"
+        )
+    if total < 0.0 or count < 0.0:
+        raise InvalidInstanceError(
+            f"estimator import for {worker_id!r}: negative {what} pair {pair!r}"
+        )
+    return [total, count]
+
+
+def _validated_raw(raw: object, worker_id: str) -> list[int]:
+    """Coerce an imported ``[div_count, rel_count]`` raw-observation pair."""
+    try:
+        div, rel = int(raw[0]), int(raw[1])  # type: ignore[index]
+    except (TypeError, ValueError, IndexError) as exc:
+        raise InvalidInstanceError(
+            f"estimator import for {worker_id!r}: malformed raw counts {raw!r}"
+        ) from exc
+    if div < 0 or rel < 0:
+        raise InvalidInstanceError(
+            f"estimator import for {worker_id!r}: negative raw counts {raw!r}"
+        )
+    return [div, rel]
 
 
 @dataclass(frozen=True)
@@ -122,29 +157,38 @@ class MotivationEstimator:
         # Per worker: [weighted sum of gains, weighted count] per factor.
         self._diversity: dict[str, list[float]] = {}
         self._relevance: dict[str, list[float]] = {}
+        # Per worker: [raw diversity obs, raw relevance obs] — never decayed,
+        # so cold-start "sufficient input" checks don't fire late.
+        self._raw: dict[str, list[int]] = {}
 
     def record(self, worker_id: str, observation: GainObservation) -> None:
         """Fold one observation into the worker's running averages."""
+        if observation.diversity is None and observation.relevance is None:
+            return
+        raw = self._raw.setdefault(worker_id, [0, 0])
         if observation.diversity is not None:
             self._fold(self._diversity, worker_id, observation.diversity)
+            raw[0] += 1
         if observation.relevance is not None:
             self._fold(self._relevance, worker_id, observation.relevance)
+            raw[1] += 1
 
     def _fold(self, store: dict[str, list[float]], worker_id: str, gain: float) -> None:
-        total, count = store.get(worker_id, (0.0, 0.0))
+        total, count = store.get(worker_id, [0.0, 0.0])
         store[worker_id] = [total * self._decay + gain, count * self._decay + 1.0]
 
     def observation_count(self, worker_id: str) -> int:
         """Number of raw observations recorded for ``worker_id`` (undecayed)."""
+        raw = self._raw.get(worker_id)
+        if raw is None:
+            return 0
+        return max(raw[0], raw[1])
+
+    def effective_count(self, worker_id: str) -> float:
+        """The decay-weighted observation mass (what the averages divide by)."""
         div = self._diversity.get(worker_id)
         rel = self._relevance.get(worker_id)
-        # Counts are decayed, so report the max of the two effective counts
-        # rounded — only used for reporting and cold-start decisions.
-        effective = max(
-            div[1] if div else 0.0,
-            rel[1] if rel else 0.0,
-        )
-        return int(round(effective))
+        return max(div[1] if div else 0.0, rel[1] if rel else 0.0)
 
     def average_gains(self, worker_id: str) -> tuple[float | None, float | None]:
         """The (possibly decayed) mean diversity and relevance gains."""
@@ -175,9 +219,11 @@ class MotivationEstimator:
         if worker_id is None:
             self._diversity.clear()
             self._relevance.clear()
+            self._raw.clear()
         else:
             self._diversity.pop(worker_id, None)
             self._relevance.pop(worker_id, None)
+            self._raw.pop(worker_id, None)
 
     def export_worker(self, worker_id: str) -> dict:
         """Portable per-worker slice of :meth:`state_dict` (shard handoff).
@@ -188,23 +234,43 @@ class MotivationEstimator:
         state: dict = {}
         diversity = self._diversity.get(worker_id)
         relevance = self._relevance.get(worker_id)
+        raw = self._raw.get(worker_id)
         if diversity is not None:
             state["diversity"] = list(diversity)
         if relevance is not None:
             state["relevance"] = list(relevance)
+        if raw is not None:
+            state["raw"] = list(raw)
         return state
 
     def import_worker(self, worker_id: str, state: dict) -> None:
         """Adopt one worker's :meth:`export_worker` slice, replacing any
-        stale entries a previous registration epoch may have left behind."""
+        stale entries a previous registration epoch may have left behind.
+
+        Raises:
+            InvalidInstanceError: on malformed, negative, or non-finite pairs.
+        """
         self._diversity.pop(worker_id, None)
         self._relevance.pop(worker_id, None)
+        self._raw.pop(worker_id, None)
+        diversity = relevance = None
         if "diversity" in state:
-            pair = state["diversity"]
-            self._diversity[worker_id] = [float(pair[0]), float(pair[1])]
+            diversity = _validated_pair(state["diversity"], worker_id, "diversity")
         if "relevance" in state:
-            pair = state["relevance"]
-            self._relevance[worker_id] = [float(pair[0]), float(pair[1])]
+            relevance = _validated_pair(state["relevance"], worker_id, "relevance")
+        if diversity is not None:
+            self._diversity[worker_id] = diversity
+        if relevance is not None:
+            self._relevance[worker_id] = relevance
+        if "raw" in state:
+            self._raw[worker_id] = _validated_raw(state["raw"], worker_id)
+        elif diversity is not None or relevance is not None:
+            # Pre-raw-count exporters: fall back to the effective counts
+            # (exact when decay == 1, a floor otherwise).
+            self._raw[worker_id] = [
+                int(round(diversity[1])) if diversity else 0,
+                int(round(relevance[1])) if relevance else 0,
+            ]
 
     def state_dict(self) -> dict:
         """JSON-serializable snapshot of every worker's running averages."""
@@ -213,6 +279,7 @@ class MotivationEstimator:
             "prior": [self._prior.alpha, self._prior.beta],
             "diversity": {w: list(v) for w, v in self._diversity.items()},
             "relevance": {w: list(v) for w, v in self._relevance.items()},
+            "raw": {w: list(v) for w, v in self._raw.items()},
         }
 
     def load_state_dict(self, state: dict) -> None:
@@ -226,6 +293,19 @@ class MotivationEstimator:
         self._relevance = {
             w: [float(v[0]), float(v[1])] for w, v in state["relevance"].items()
         }
+        raw = state.get("raw")
+        if raw is not None:
+            self._raw = {w: [int(v[0]), int(v[1])] for w, v in raw.items()}
+        else:
+            # Pre-raw-count snapshots: derive from the effective counts.
+            self._raw = {}
+            for w in set(self._diversity) | set(self._relevance):
+                div = self._diversity.get(w)
+                rel = self._relevance.get(w)
+                self._raw[w] = [
+                    int(round(div[1])) if div else 0,
+                    int(round(rel[1])) if rel else 0,
+                ]
 
 
 # ---------------------------------------------------------------------------
@@ -292,6 +372,7 @@ def run_adaptive_loop(
     completion_policy: CompletionPolicy = complete_all_in_order,
     estimator: MotivationEstimator | None = None,
     rng: "int | np.random.Generator | None" = None,
+    weight_policy: "object | None" = None,
 ) -> AdaptiveTrace:
     """Drive the solve / observe / re-estimate / re-solve loop (Section III).
 
@@ -306,6 +387,9 @@ def run_adaptive_loop(
             :mod:`repro.crowd.behavior` for realistic traces).
         estimator: Bring-your-own estimator (e.g. with decay); a fresh plain
             averager is used by default.
+        weight_policy: Optional bandit policy (see :mod:`repro.core.bandit`)
+            with ``weights_for(estimator, worker_id)``; when given, it decides
+            the solve-time weights instead of the estimator's mean.
     """
     generator = ensure_rng(rng)
     estimator = estimator or MotivationEstimator()
@@ -343,10 +427,16 @@ def run_adaptive_loop(
                 current_tasks[i].task_id for i in done_so_far
             ]
 
-        updated = [
-            w.with_weights(estimator.weights_for(w.worker_id))
-            for w in current_workers
-        ]
+        if weight_policy is not None:
+            updated = [
+                w.with_weights(weight_policy.weights_for(estimator, w.worker_id))
+                for w in current_workers
+            ]
+        else:
+            updated = [
+                w.with_weights(estimator.weights_for(w.worker_id))
+                for w in current_workers
+            ]
         current_workers = current_workers.with_updated(updated)
         weights_after = {w.worker_id: w.weights for w in current_workers}
 

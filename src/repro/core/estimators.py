@@ -41,16 +41,30 @@ class BayesianMotivationEstimator:
         prior_beta: Beta prior pseudo-count for the relevance side.
             The default ``(1, 1)`` (uniform prior) gives a posterior-mean
             cold start of 0.5, matching the paper's balanced cold start.
+        decay: Multiplicative decay applied to the accumulated vote mass
+            each time a new vote lands (1.0 = the pure conjugate update;
+            < 1 forgets stale evidence so the posterior can track drifting
+            preferences — the regime where Thompson/UCB pay off).
     """
 
-    def __init__(self, prior_alpha: float = 1.0, prior_beta: float = 1.0):
+    def __init__(
+        self,
+        prior_alpha: float = 1.0,
+        prior_beta: float = 1.0,
+        decay: float = 1.0,
+    ):
         if prior_alpha <= 0 or prior_beta <= 0:
             raise InvalidInstanceError(
                 f"prior pseudo-counts must be positive, got "
                 f"({prior_alpha}, {prior_beta})"
             )
+        if not 0.0 < decay <= 1.0:
+            raise InvalidInstanceError(f"decay must be in (0, 1], got {decay}")
         self._prior = (prior_alpha, prior_beta)
+        self._decay = decay
         self._counts: dict[str, list[float]] = {}
+        # Raw (undecayed) number of votes folded per worker.
+        self._raw: dict[str, int] = {}
 
     # -- interface shared with MotivationEstimator ---------------------------
 
@@ -71,8 +85,9 @@ class BayesianMotivationEstimator:
             return
         vote = div / total
         counts = self._counts.setdefault(worker_id, [0.0, 0.0])
-        counts[0] += vote
-        counts[1] += 1.0 - vote
+        counts[0] = counts[0] * self._decay + vote
+        counts[1] = counts[1] * self._decay + (1.0 - vote)
+        self._raw[worker_id] = self._raw.get(worker_id, 0) + 1
 
     def weights_for(self, worker_id: str) -> MotivationWeights:
         """Posterior-mean (alpha, beta)."""
@@ -83,14 +98,91 @@ class BayesianMotivationEstimator:
     def reset(self, worker_id: str | None = None) -> None:
         if worker_id is None:
             self._counts.clear()
+            self._raw.clear()
         else:
             self._counts.pop(worker_id, None)
-
-    # -- Bayesian extras --------------------------------------------------------
+            self._raw.pop(worker_id, None)
 
     def observation_count(self, worker_id: str) -> int:
+        """Number of raw votes recorded for ``worker_id`` (undecayed)."""
+        return self._raw.get(worker_id, 0)
+
+    # -- snapshot / handoff parity with MotivationEstimator --------------------
+
+    def export_worker(self, worker_id: str) -> dict:
+        """Portable per-worker slice of :meth:`state_dict` (shard handoff).
+
+        Only the worker's accumulated vote mass travels; prior and decay are
+        configuration and must already match on the importing side.
+        """
+        state: dict = {}
         counts = self._counts.get(worker_id)
-        return int(round(counts[0] + counts[1])) if counts else 0
+        if counts is not None:
+            state["counts"] = list(counts)
+        raw = self._raw.get(worker_id)
+        if raw is not None:
+            state["raw"] = raw
+        return state
+
+    def import_worker(self, worker_id: str, state: dict) -> None:
+        """Adopt one worker's :meth:`export_worker` slice, replacing any
+        stale entries a previous registration epoch may have left behind.
+
+        Raises:
+            InvalidInstanceError: on malformed, negative, or non-finite mass.
+        """
+        self._counts.pop(worker_id, None)
+        self._raw.pop(worker_id, None)
+        if "counts" in state:
+            self._counts[worker_id] = _validated_counts(
+                state["counts"], worker_id
+            )
+        if "raw" in state:
+            raw = state["raw"]
+            try:
+                raw = int(raw)
+            except (TypeError, ValueError) as exc:
+                raise InvalidInstanceError(
+                    f"estimator import for {worker_id!r}: malformed raw "
+                    f"count {state['raw']!r}"
+                ) from exc
+            if raw < 0:
+                raise InvalidInstanceError(
+                    f"estimator import for {worker_id!r}: negative raw "
+                    f"count {raw}"
+                )
+            self._raw[worker_id] = raw
+        elif "counts" in state:
+            # Pre-raw exporters: the undecayed count is at least the mass.
+            counts = self._counts[worker_id]
+            self._raw[worker_id] = int(round(counts[0] + counts[1]))
+
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of every worker's vote mass."""
+        return {
+            "prior": [self._prior[0], self._prior[1]],
+            "decay": self._decay,
+            "counts": {w: list(v) for w, v in self._counts.items()},
+            "raw": dict(self._raw),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot, replacing current state."""
+        prior = state["prior"]
+        self._prior = (float(prior[0]), float(prior[1]))
+        self._decay = float(state.get("decay", 1.0))
+        self._counts = {
+            w: [float(v[0]), float(v[1])] for w, v in state["counts"].items()
+        }
+        raw = state.get("raw")
+        if raw is not None:
+            self._raw = {w: int(v) for w, v in raw.items()}
+        else:
+            self._raw = {
+                w: int(round(v[0] + v[1])) for w, v in self._counts.items()
+            }
+
+    # -- Bayesian extras --------------------------------------------------------
 
     def credible_interval(
         self, worker_id: str, mass: float = 0.9
@@ -125,6 +217,25 @@ class BayesianMotivationEstimator:
     def _posterior(self, worker_id: str) -> tuple[float, float]:
         counts = self._counts.get(worker_id, [0.0, 0.0])
         return self._prior[0] + counts[0], self._prior[1] + counts[1]
+
+
+def _validated_counts(pair: object, worker_id: str) -> list[float]:
+    """Coerce an imported ``[div_mass, rel_mass]`` pair, rejecting garbage."""
+    try:
+        div, rel = float(pair[0]), float(pair[1])  # type: ignore[index]
+    except (TypeError, ValueError, IndexError) as exc:
+        raise InvalidInstanceError(
+            f"estimator import for {worker_id!r}: malformed counts {pair!r}"
+        ) from exc
+    if not (math.isfinite(div) and math.isfinite(rel)):
+        raise InvalidInstanceError(
+            f"estimator import for {worker_id!r}: non-finite counts {pair!r}"
+        )
+    if div < 0.0 or rel < 0.0:
+        raise InvalidInstanceError(
+            f"estimator import for {worker_id!r}: negative counts {pair!r}"
+        )
+    return [div, rel]
 
 
 def _erfinv(x: float) -> float:

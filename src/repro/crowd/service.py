@@ -280,12 +280,16 @@ class AssignmentService:
         config: ServiceConfig | None = None,
         estimator: MotivationEstimator | None = None,
         rng: "int | np.random.Generator | None" = None,
+        weight_policy: "object | None" = None,
     ):
         self._vocabulary = pool.vocabulary
         self._strategy = strategy
         self._solver = get_solver(strategy)
         self._config = config or ServiceConfig()
         self._estimator = estimator or MotivationEstimator()
+        # Optional bandit over solve-time weights (repro.core.bandit);
+        # ``None`` keeps the estimator-mean path bit-identical.
+        self._weight_policy = weight_policy
         self._rng = ensure_rng(rng)
         self._pool_state = TaskPoolState(pool, self._rng)
         # Every id the startup corpus ever contained: a displayed or leased
@@ -318,6 +322,16 @@ class AssignmentService:
     @property
     def is_adaptive(self) -> bool:
         return self._strategy in ADAPTIVE_STRATEGIES
+
+    @property
+    def estimator(self) -> MotivationEstimator:
+        """The live estimator (duck-typed; may be Bayesian)."""
+        return self._estimator
+
+    @property
+    def weight_policy(self) -> "object | None":
+        """The installed bandit weight policy, or ``None`` (mean path)."""
+        return self._weight_policy
 
     @property
     def pool_state(self) -> TaskPoolState:
@@ -385,8 +399,17 @@ class AssignmentService:
         diversity as the posterior mean ``r`` falls.  The early return at
         weight 0 is load-bearing: it guarantees bit-identical floats, not
         merely close ones, for the seed configuration.
+
+        When a bandit weight policy is installed (and the strategy is
+        adaptive, so weights aren't forced), the policy decides the base
+        weights from the estimator's posterior — Thompson draws happen
+        here, once per worker per prepared solve, in worker order, which
+        is what makes the draw sequence replayable.
         """
-        weights = self.weights_of(worker_id)
+        if self._weight_policy is not None and self.is_adaptive:
+            weights = self._weight_policy.weights_for(self._estimator, worker_id)
+        else:
+            weights = self.weights_of(worker_id)
         w = self._config.reputation_weight
         if w <= 0.0 or self._reputation_provider is None:
             return weights
@@ -729,6 +752,14 @@ class AssignmentService:
             },
             "estimator": self._estimator.state_dict(),
             "rng_state": self._rng.bit_generator.state,
+            # Only non-default policies add a key: the default snapshot
+            # payload (and hence journal end-state fingerprints) must not
+            # change shape.
+            **(
+                {"weight_policy": self._weight_policy.state_dict()}
+                if self._weight_policy is not None
+                else {}
+            ),
         }
 
     def restore_state(self, state: dict, tasks: Mapping[str, Task]) -> None:
@@ -808,6 +839,8 @@ class AssignmentService:
         self._displays = displays
         self._admitted = admitted
         self._estimator.load_state_dict(state["estimator"])
+        if self._weight_policy is not None and "weight_policy" in state:
+            self._weight_policy.load_state_dict(state["weight_policy"])
         self._rng.bit_generator.state = state["rng_state"]
 
     # -- shard handoff ---------------------------------------------------------
@@ -834,6 +867,8 @@ class AssignmentService:
             "estimator": self._estimator.export_worker(worker_id),
             "display": None,
         }
+        if self._weight_policy is not None:
+            state["bandit"] = self._weight_policy.export_worker(worker_id)
         display = self._displays.get(worker_id)
         if display is not None:
             state["display"] = {
@@ -879,6 +914,8 @@ class AssignmentService:
         )
         self._iterations[worker_id] = int(state["iteration"])
         self._estimator.import_worker(worker_id, state.get("estimator", {}))
+        if self._weight_policy is not None:
+            self._weight_policy.import_worker(worker_id, state.get("bandit", {}))
         spec = state.get("display")
         if spec is not None:
             shown = [tasks[tid] for tid in spec["task_ids"]]

@@ -37,6 +37,7 @@ from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
+from ..core.bandit import build_adaptivity
 from ..core.task import Task, TaskPool
 from ..core.worker import Worker
 from ..crowd.events import TasksAssigned
@@ -61,6 +62,7 @@ from .resilience import (
     InjectedFault,
     ResilienceConfig,
     degradation_ladder,
+    make_tier_controller,
 )
 from .tracing import SolveContext, SpanMetrics, TraceRecorder
 
@@ -150,6 +152,17 @@ class ServeConfig:
     #: single-daemon topology.  Namespaces snapshots, stamps the journal
     #: header, and unlocks the ``/admin`` drain/handoff endpoints' guards.
     shard_id: int | None = None
+    #: Motivation estimator: ``plain`` (the paper's averaging) or ``bayes``
+    #: (Beta posterior; enables Thompson sampling).
+    estimator: str = "plain"
+    #: Bandit policy over solve-time weights: ``off`` (posterior/average
+    #: mean, bit-identical to the seed behaviour), ``thompson``, or ``ucb``
+    #: (see :mod:`repro.core.bandit`).
+    bandit: str = "off"
+    #: Tier selection: ``streak`` (the PR-2 breach/recovery controller) or
+    #: ``bandit`` (contextual UCB over the ladder; see
+    #: :class:`~repro.serve.resilience.BanditTierController`).
+    tier_policy: str = "streak"
 
 
 class AssignmentDaemon:
@@ -169,11 +182,17 @@ class AssignmentDaemon:
             serving_pool = QualityController.serving_pool(
                 pool, self.config.quality
             )
+        estimator, weight_policy = build_adaptivity(
+            {"estimator": self.config.estimator, "bandit": self.config.bandit},
+            seed=self.config.seed,
+        )
         self.service = AssignmentService(
             serving_pool,
             self.config.strategy,
             self.config.service,
+            estimator=estimator,
             rng=self.config.seed,
+            weight_policy=weight_policy,
         )
         if self.quality is not None:
             self.service.set_reputation_provider(self.quality.reputation.mean)
@@ -186,7 +205,8 @@ class AssignmentDaemon:
         self._displayed_ever: set[str] = set()
         self._server: asyncio.AbstractServer | None = None
         self._started_at = time.monotonic()
-        self.degradation = DegradationController(
+        self.degradation = make_tier_controller(
+            self.config.tier_policy,
             degradation_ladder(self.config.strategy),
             self.config.resilience,
             self.registry,
@@ -270,6 +290,16 @@ class AssignmentDaemon:
             "serve_deduplicated_completions_total",
             "Retried completions answered from the completion cache",
         )
+        # Bandit metrics exist only when a weight policy is on, so the
+        # default daemon's /metrics output is unchanged.
+        self._bandit_draws = (
+            r.gauge(
+                "serve_bandit_weight_draws",
+                "Total bandit weight-policy consultations so far",
+            )
+            if weight_policy is not None
+            else None
+        )
         # (worker_id, completion_key) -> the original /complete response.
         # Scoped per registration epoch: entries are purged when the worker
         # unregisters or registers afresh, so a later worker reusing the
@@ -296,6 +326,11 @@ class AssignmentDaemon:
                         if self.config.quality is None
                         else self.config.quality.to_dict()
                     ),
+                    "adaptivity": {
+                        "estimator": self.config.estimator,
+                        "bandit": self.config.bandit,
+                        "tier_policy": self.config.tier_policy,
+                    },
                     "recorded_with": {
                         "solver_workers": self.config.solver_workers,
                         "fault_plan": (
@@ -458,6 +493,7 @@ class AssignmentDaemon:
                 self._register_display(event)
                 self._reassignments.inc()
             self._quality_tick()
+            self._adaptivity_tick()
             self._maybe_snapshot()
         return events
 
@@ -500,6 +536,7 @@ class AssignmentDaemon:
                 self._register_display(event)
                 self._reassignments.inc()
             self._quality_tick()
+            self._adaptivity_tick()
             self._maybe_snapshot()
         return events
 
@@ -532,6 +569,24 @@ class AssignmentDaemon:
         self.quality.on_tick()
         if self._recorder is not None:
             self._recorder.record_tick()
+
+    def _adaptivity_tick(self) -> None:
+        """Post-batch bandit bookkeeping: metrics and the quality reward feed."""
+        if self._bandit_draws is not None:
+            self._bandit_draws.set(self.service.weight_policy.draws)
+        if (
+            self.quality is not None
+            and self.quality.active
+            and hasattr(self.degradation, "observe_quality")
+        ):
+            # Adjudicated quality as tier-bandit reward: the mean posterior
+            # accuracy over every tracked worker this tick.
+            workers = self.quality.reputation.worker_ids()
+            if workers:
+                mean = sum(
+                    self.quality.reputation.mean(w) for w in workers
+                ) / len(workers)
+                self.degradation.observe_quality(mean)
 
     # -- snapshot / restore --------------------------------------------------
 
@@ -762,6 +817,15 @@ class AssignmentDaemon:
             },
             "admitted_tasks": len(self.service.admitted_tasks()),
             "resilience": self.degradation.describe(),
+            "adaptivity": {
+                "estimator": self.config.estimator,
+                "bandit": (
+                    {"policy": "off", "draws": 0}
+                    if self.service.weight_policy is None
+                    else self.service.weight_policy.describe()
+                ),
+                "tier_policy": self.config.tier_policy,
+            },
         }
         if self.engine is not None:
             payload["engine"] = self.engine.describe()

@@ -936,6 +936,20 @@ def main(argv: list[str] | None = None) -> int:
              "(--spawn-server only; --no-shared-memory forces pickling)",
     )
     parser.add_argument(
+        "--estimator", choices=["plain", "bayes"], default="plain",
+        help="spawned daemon's motivation estimator (--spawn-server only)",
+    )
+    parser.add_argument(
+        "--bandit", choices=["off", "thompson", "ucb"], default="off",
+        help="spawned daemon's weight-policy bandit (--spawn-server only; "
+             "thompson requires --estimator bayes)",
+    )
+    parser.add_argument(
+        "--tier-policy", choices=["streak", "bandit"], default="streak",
+        help="spawned daemon's solver-tier selection policy "
+             "(--spawn-server only)",
+    )
+    parser.add_argument(
         "--uvloop", choices=["auto", "on", "off"], default="auto",
         help="event-loop policy: auto uses uvloop when installed, "
              "on requires it, off keeps the stdlib loop",
@@ -989,9 +1003,17 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.bandit == "thompson" and args.estimator != "bayes":
+        print("--bandit thompson requires --estimator bayes", file=sys.stderr)
+        return 2
     if args.spawn_server:
         serve_config = None
         quality_wanted = args.gold_rate > 0 or args.redundancy > 1
+        adaptivity_wanted = (
+            args.estimator != "plain"
+            or args.bandit != "off"
+            or args.tier_policy != "streak"
+        )
         if (
             args.trace_file
             or args.trace_sample_rate > 0
@@ -1001,6 +1023,7 @@ def main(argv: list[str] | None = None) -> int:
             or quality_wanted
             or args.reputation_weight > 0
             or not args.shared_memory
+            or adaptivity_wanted
         ):
             from ..crowd.service import ServiceConfig
             from ..quality import (
@@ -1037,6 +1060,9 @@ def main(argv: list[str] | None = None) -> int:
                 fault_plan=fault_plan,
                 journal_path=args.journal,
                 quality=quality,
+                estimator=args.estimator,
+                bandit=args.bandit,
+                tier_policy=args.tier_policy,
             )
         if args.shards > 0:
             result, snapshot = asyncio.run(

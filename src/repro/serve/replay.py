@@ -57,6 +57,7 @@ from pathlib import Path
 
 import numpy as np
 
+from ..core.bandit import build_adaptivity
 from ..core.task import Task, TaskPool
 from ..core.worker import Worker
 from ..crowd.events import TasksAssigned
@@ -367,6 +368,16 @@ class Journal:
 
         return QualityConfig.from_dict(spec)
 
+    def adaptivity(self) -> dict:
+        """The recorded estimator/bandit config; journals recorded before
+        the adaptivity header key default to the paper's behaviour."""
+        spec = self.header.get("adaptivity") or {}
+        return {
+            "estimator": spec.get("estimator", "plain"),
+            "bandit": spec.get("bandit", "off"),
+            "tier_policy": spec.get("tier_policy", "streak"),
+        }
+
 
 def load_journal(path: "str | Path") -> Journal:
     """Parse and validate a journal file; raises :class:`ReplayError` on
@@ -663,12 +674,20 @@ def replay_journal(
 
         quality = QualityController(pool, quality_config)
         serving_pool = QualityController.serving_pool(pool, quality_config)
+    # Rebuild the recorded estimator/bandit stack exactly as the daemon did
+    # (including the Thompson stream derived from the journal seed), so a
+    # bandit-policy journal replays its draw sequence bit-identically.
+    estimator, weight_policy = build_adaptivity(
+        journal.adaptivity(), seed=journal.seed
+    )
     state = _ReplayState(
         service=AssignmentService(
             serving_pool,
             journal.strategy,
             journal.service_config(),
+            estimator=estimator,
             rng=journal.seed,
+            weight_policy=weight_policy,
         ),
         task_index={t.task_id: t for t in serving_pool},
         quality=quality,

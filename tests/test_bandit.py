@@ -1,0 +1,352 @@
+"""Unit tests for the bandit layer (:mod:`repro.core.bandit` and the
+tier-bandit controller in :mod:`repro.serve.resilience`).
+
+The contract under test: the default configuration (mean weights, streak
+tier policy) never consults a bandit, and every bandit that does run is
+reconstructible — Thompson's draw stream from a seed, UCB from pure
+state, the tier bandit from its counts — so journals and snapshots stay
+bit-identical.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import GainObservation, MotivationEstimator
+from repro.core.bandit import (
+    ESTIMATORS,
+    TIER_POLICIES,
+    WEIGHT_POLICIES,
+    MeanWeightPolicy,
+    ThompsonWeightPolicy,
+    TierBandit,
+    UCBWeightPolicy,
+    build_adaptivity,
+    make_estimator,
+    make_weight_policy,
+)
+from repro.core.estimators import BayesianMotivationEstimator
+from repro.errors import InvalidInstanceError
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.resilience import (
+    BanditTierController,
+    DegradationController,
+    ResilienceConfig,
+    degradation_ladder,
+    make_tier_controller,
+)
+
+
+def obs(div, rel):
+    return GainObservation(diversity=div, relevance=rel)
+
+
+def fed_bayes(n=6, decay=1.0):
+    estimator = BayesianMotivationEstimator(decay=decay)
+    for i in range(n):
+        estimator.record("w", obs(0.2 + 0.1 * (i % 3), 0.5))
+    return estimator
+
+
+class TestFactories:
+    def test_estimator_names(self):
+        assert isinstance(make_estimator("plain"), MotivationEstimator)
+        assert isinstance(make_estimator("bayes"), BayesianMotivationEstimator)
+        with pytest.raises(InvalidInstanceError):
+            make_estimator("nope")
+
+    def test_weight_policy_names(self):
+        assert make_weight_policy("off") is None
+        assert isinstance(make_weight_policy("thompson"), ThompsonWeightPolicy)
+        assert isinstance(make_weight_policy("ucb"), UCBWeightPolicy)
+        with pytest.raises(InvalidInstanceError):
+            make_weight_policy("nope")
+
+    def test_name_tuples_cover_the_factories(self):
+        assert set(ESTIMATORS) == {"plain", "bayes"}
+        assert set(WEIGHT_POLICIES) == {"off", "thompson", "ucb"}
+        assert set(TIER_POLICIES) == {"streak", "bandit"}
+
+    def test_build_adaptivity_defaults_to_the_paper(self):
+        estimator, policy = build_adaptivity({})
+        assert isinstance(estimator, MotivationEstimator)
+        assert policy is None
+
+    def test_thompson_requires_a_sampling_estimator(self):
+        # The estimator-swap crash's sibling: thompson draws from the
+        # posterior, which the plain averaging estimator does not have.
+        with pytest.raises(InvalidInstanceError, match="bayes"):
+            build_adaptivity({"estimator": "plain", "bandit": "thompson"})
+        estimator, policy = build_adaptivity(
+            {"estimator": "bayes", "bandit": "thompson"}, seed=7
+        )
+        assert isinstance(policy, ThompsonWeightPolicy)
+
+    def test_ucb_runs_on_either_estimator(self):
+        for name in ESTIMATORS:
+            _, policy = build_adaptivity({"estimator": name, "bandit": "ucb"})
+            assert isinstance(policy, UCBWeightPolicy)
+
+
+class TestMeanWeightPolicy:
+    def test_is_the_identity_over_the_estimator(self):
+        estimator = fed_bayes()
+        policy = MeanWeightPolicy()
+        assert policy.weights_for(estimator, "w") == estimator.weights_for("w")
+        policy.load_state_dict(policy.state_dict())
+        assert policy.export_worker("w") == {}
+
+
+class TestThompsonWeightPolicy:
+    def test_same_seed_same_draw_sequence(self):
+        draws = []
+        for _ in range(2):
+            estimator = fed_bayes()
+            policy = ThompsonWeightPolicy(seed=42)
+            draws.append(
+                [policy.weights_for(estimator, "w").alpha for _ in range(8)]
+            )
+        assert draws[0] == draws[1]
+
+    def test_different_seeds_differ(self):
+        estimator = fed_bayes()
+        a = ThompsonWeightPolicy(seed=1).weights_for(estimator, "w").alpha
+        b = ThompsonWeightPolicy(seed=2).weights_for(estimator, "w").alpha
+        assert a != b
+
+    def test_draws_stay_on_the_simplex(self):
+        estimator = fed_bayes()
+        policy = ThompsonWeightPolicy(seed=0)
+        for _ in range(20):
+            weights = policy.weights_for(estimator, "w")
+            assert 0.0 <= weights.alpha <= 1.0
+            assert weights.alpha + weights.beta == pytest.approx(1.0)
+        assert policy.draws == 20
+
+    def test_state_dict_round_trip_continues_the_stream(self):
+        estimator = fed_bayes()
+        source = ThompsonWeightPolicy(seed=9)
+        for _ in range(5):
+            source.weights_for(estimator, "w")
+        state = source.state_dict()
+        clone = ThompsonWeightPolicy(seed=0)  # wrong seed, state overrides
+        clone.load_state_dict(state)
+        tail_a = [source.weights_for(estimator, "w").alpha for _ in range(6)]
+        tail_b = [clone.weights_for(estimator, "w").alpha for _ in range(6)]
+        assert tail_a == tail_b
+        assert clone.draws == source.draws
+
+    def test_export_import_worker_pulls(self):
+        estimator = fed_bayes()
+        source = ThompsonWeightPolicy(seed=3)
+        for _ in range(4):
+            source.weights_for(estimator, "w")
+        blob = source.export_worker("w")
+        assert blob == {"pulls": 4}
+        target = ThompsonWeightPolicy(seed=3)
+        target.import_worker("w", blob)
+        assert target.export_worker("w") == blob
+        assert target.export_worker("ghost") == {}
+        with pytest.raises(InvalidInstanceError):
+            target.import_worker("w", {"pulls": -1})
+
+
+class TestUCBWeightPolicy:
+    def test_is_deterministic(self):
+        results = []
+        for _ in range(2):
+            estimator = fed_bayes()
+            policy = UCBWeightPolicy()
+            results.append(
+                [policy.weights_for(estimator, "w").alpha for _ in range(5)]
+            )
+        assert results[0] == results[1]
+
+    def test_bonus_shrinks_with_evidence(self):
+        # An under-observed worker gets a bigger diversity push than a
+        # well-observed one with the same posterior mean.
+        sparse, dense = fed_bayes(n=0), fed_bayes(n=0)
+        for _ in range(50):
+            dense.record("w", obs(0.5, 0.5))
+        policy = UCBWeightPolicy()
+        optimism_sparse = (
+            policy.weights_for(sparse, "w").alpha
+            - sparse.weights_for("w").alpha
+        )
+        optimism_dense = (
+            policy.weights_for(dense, "w").alpha - dense.weights_for("w").alpha
+        )
+        assert optimism_sparse > optimism_dense >= 0.0
+
+    def test_alpha_is_clipped_to_the_simplex(self):
+        estimator = BayesianMotivationEstimator(prior_alpha=50.0, prior_beta=1.0)
+        policy = UCBWeightPolicy(c=10.0)
+        weights = policy.weights_for(estimator, "w")
+        assert weights.alpha == 1.0
+        assert weights.beta == 0.0
+
+    def test_rejects_negative_exploration(self):
+        with pytest.raises(InvalidInstanceError):
+            UCBWeightPolicy(c=-0.1)
+
+    def test_state_dict_round_trip(self):
+        estimator = fed_bayes()
+        source = UCBWeightPolicy(c=0.5)
+        for _ in range(3):
+            source.weights_for(estimator, "w")
+        clone = UCBWeightPolicy()
+        clone.load_state_dict(json.loads(json.dumps(source.state_dict())))
+        assert clone.state_dict() == source.state_dict()
+        assert (
+            clone.weights_for(estimator, "w")
+            == source.weights_for(estimator, "w")
+        )
+
+
+class TestTierBandit:
+    def test_validation(self):
+        with pytest.raises(InvalidInstanceError):
+            TierBandit(0)
+        with pytest.raises(InvalidInstanceError):
+            TierBandit(3, n_contexts=0)
+        with pytest.raises(InvalidInstanceError):
+            TierBandit(3, c=-1.0)
+
+    def test_plays_unplayed_arms_lowest_first(self):
+        bandit = TierBandit(3)
+        for expected in (0, 1, 2):
+            arm = bandit.select(0)
+            assert arm == expected
+            bandit.update(0, arm, 0.5)
+
+    def test_converges_to_the_best_arm(self):
+        bandit = TierBandit(3, c=0.1)
+        rewards = (0.2, 0.9, 0.4)
+        for _ in range(100):
+            arm = bandit.select(0)
+            bandit.update(0, arm, rewards[arm])
+        counts = bandit.counts(0)
+        assert counts[1] > counts[0] and counts[1] > counts[2]
+        assert bandit.select(0) == 1
+
+    def test_contexts_are_independent(self):
+        bandit = TierBandit(2, c=0.1)
+        for _ in range(50):
+            arm = bandit.select(0)
+            bandit.update(0, arm, 1.0 if arm == 0 else 0.0)
+            arm = bandit.select(1)
+            bandit.update(1, arm, 1.0 if arm == 1 else 0.0)
+        assert bandit.select(0) == 0
+        assert bandit.select(1) == 1
+
+    def test_update_clips_rewards(self):
+        bandit = TierBandit(1)
+        bandit.update(0, 0, 5.0)
+        bandit.update(0, 0, -5.0)
+        assert bandit.means(0) == [0.5]
+
+    def test_state_dict_round_trip(self):
+        source = TierBandit(3, c=0.2)
+        for i in range(10):
+            arm = source.select(i % 2)
+            source.update(i % 2, arm, (i % 4) / 3.0)
+        clone = TierBandit(3)
+        clone.load_state_dict(json.loads(json.dumps(source.state_dict())))
+        assert clone.state_dict() == source.state_dict()
+        assert clone.select(0) == source.select(0)
+        assert clone.select(1) == source.select(1)
+
+    def test_state_shape_mismatch_rejected(self):
+        state = TierBandit(3).state_dict()
+        with pytest.raises(InvalidInstanceError):
+            TierBandit(2).load_state_dict(state)
+
+
+class TestBanditTierController:
+    def _controller(self, **kwargs):
+        return BanditTierController(
+            degradation_ladder("hta-gre"),
+            ResilienceConfig(solve_budget=0.1),
+            MetricsRegistry(),
+            **kwargs,
+        )
+
+    def test_surface_parity_with_streak_controller(self):
+        # The daemon holds either controller behind self.degradation; the
+        # bandit one must answer the whole streak-controller surface.
+        bandit = self._controller()
+        for attr in (
+            "tier", "strategy", "ladder", "solver", "observe_solve",
+            "observe_deadline_miss", "observe_solve_failure", "describe",
+        ):
+            assert hasattr(bandit, attr), attr
+        assert bandit.tier == 0
+        assert bandit.strategy == bandit.ladder[0] == "hta-gre"
+        assert bandit.solver() is not None
+
+    def test_healthy_solves_settle_on_the_top_tier(self):
+        controller = self._controller(exploration=0.05)
+        for _ in range(60):
+            controller.observe_solve(0.01)  # all under budget
+        # Under-budget solves reward tier 0 highest (no quality discount),
+        # so after the forced exploration of each rung it returns home.
+        assert controller.tier == 0
+        describe = controller.describe()
+        assert describe["policy"] == "bandit"
+        assert sum(describe["pulls"]["calm"]) > 0
+
+    def test_failures_and_misses_score_zero(self):
+        controller = self._controller()
+        controller.observe_deadline_miss()
+        controller.observe_solve_failure()
+        describe = controller.describe()
+        total_pulls = sum(describe["pulls"]["calm"]) + sum(
+            describe["pulls"]["pressured"]
+        )
+        assert total_pulls == 2
+        assert describe["reward_means"]["calm"][0] == 0.0
+
+    def test_quality_signal_drags_rewards_down(self):
+        controller = self._controller()
+        assert controller.describe()["quality_ewma"] == 1.0
+        controller.observe_quality(0.0)
+        assert controller.describe()["quality_ewma"] < 1.0
+        controller.observe_quality(2.0)  # clipped to 1.0
+        assert controller.describe()["quality_ewma"] <= 1.0
+
+    def test_metrics_are_registered(self):
+        registry = MetricsRegistry()
+        controller = BanditTierController(
+            degradation_ladder("hta-gre"),
+            ResilienceConfig(solve_budget=0.1),
+            registry,
+        )
+        controller.observe_solve(0.01)
+        assert registry.get("serve_bandit_tier_switches_total") is not None
+        exposition = registry.render()
+        assert "serve_bandit_tier_pulls_total" in exposition
+        assert "serve_bandit_tier_reward" in exposition
+
+
+class TestMakeTierController:
+    def test_streak_is_the_fixed_policy_default(self):
+        controller = make_tier_controller(
+            "streak", degradation_ladder("hta-gre"), ResilienceConfig(),
+            MetricsRegistry(),
+        )
+        assert isinstance(controller, DegradationController)
+
+    def test_bandit_opts_in(self):
+        controller = make_tier_controller(
+            "bandit", degradation_ladder("hta-gre"), ResilienceConfig(),
+            MetricsRegistry(),
+        )
+        assert isinstance(controller, BanditTierController)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            make_tier_controller(
+                "nope", degradation_ladder("hta-gre"), ResilienceConfig(),
+                MetricsRegistry(),
+            )
